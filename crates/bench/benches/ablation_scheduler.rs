@@ -1,0 +1,134 @@
+//! Ablation of the Figure 7 ILP formulation (a DESIGN.md design-choice
+//! bench): schedule every Table 3 ISAX with the exact ILP and with the
+//! greedy ASAP baseline, and compare the paper's objective (start times +
+//! lifetimes) and the resulting pipeline-register bits in the built
+//! hardware. The lifetime term is what saves registers in the ISAX module
+//! (§4.3's "minimizing ... lifetimes (saving registers in the ISAX
+//! module)").
+
+use ir::lil::OpKind;
+use longnail::driver::{builtin_datasheet, lil_iface_op};
+use longnail::isax_lib;
+use rtl::build::build_graph_module;
+use sched::problem::{LongnailProblem, OperatorTypeId, Schedule};
+use sched::{schedule_asap, schedule_ilp};
+use std::collections::HashMap;
+
+fn build_problem(
+    graph: &ir::lil::Graph,
+    ds: &scaiev::VirtualDatasheet,
+    budget: f64,
+) -> (LongnailProblem, Vec<sched::problem::OperationId>) {
+    let mut p = LongnailProblem {
+        cycle_time: budget,
+        ..LongnailProblem::default()
+    };
+    let mut cache: HashMap<String, OperatorTypeId> = HashMap::new();
+    let mut ids = Vec::new();
+    for (_, op) in graph.iter() {
+        let key = op.kind.mnemonic();
+        let tid = *cache.entry(key.clone()).or_insert_with(|| {
+            let ot = if let Some(iface) = lil_iface_op(&op.kind) {
+                let t = ds.timing(&iface).expect("datasheet entry");
+                let latest = match op.kind {
+                    OpKind::WriteRd | OpKind::ReadMem | OpKind::WriteMem
+                    | OpKind::WriteCustReg(_) => None,
+                    _ => t.latest,
+                };
+                let mut ot =
+                    sched::problem::OperatorType::sequential(&key, t.latency, 0.0);
+                ot.earliest = t.earliest;
+                ot.latest = latest;
+                ot
+            } else {
+                let delay = match op.kind {
+                    OpKind::Const(_)
+                    | OpKind::Sink
+                    | OpKind::Concat
+                    | OpKind::Replicate(_)
+                    | OpKind::ExtractConst { .. }
+                    | OpKind::ZExt
+                    | OpKind::SExt
+                    | OpKind::Trunc => 0.0,
+                    OpKind::Mux | OpKind::Not => 0.2,
+                    _ => 1.0,
+                };
+                sched::problem::OperatorType::combinational(&key, delay)
+            };
+            p.add_operator_type(ot)
+        });
+        ids.push(p.add_operation(&key, tid));
+    }
+    for (v, op) in graph.iter() {
+        for &operand in op.operands.iter().chain(op.pred.iter()) {
+            p.add_dependence(ids[operand.0], ids[v.0]);
+        }
+    }
+    (p, ids)
+}
+
+fn objective(p: &LongnailProblem, s: &Schedule) -> u64 {
+    let starts: u64 = s.start_time.iter().map(|&t| t as u64).sum();
+    let lifetimes: u64 = p
+        .dependences
+        .iter()
+        .map(|d| (s.start_time[d.to.0] - s.start_time[d.from.0]) as u64)
+        .sum();
+    starts + lifetimes
+}
+
+fn main() {
+    let ds = builtin_datasheet("VexRiscv").unwrap();
+    let budget = ds.clock_ns / longnail::driver::UNIT_NS;
+    println!("Scheduler ablation on VexRiscv: Figure 7 ILP vs ASAP baseline\n");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "ISAX", "LIL ops", "obj(ILP)", "obj(ASAP)", "regbits(ILP)", "regbits(ASAP)"
+    );
+    let mut ilp_total = 0u64;
+    let mut asap_total = 0u64;
+    for (name, unit, src) in isax_lib::all_isaxes() {
+        let module = coredsl::Frontend::new().compile_str(&src, &unit).unwrap();
+        let lil = ir::lower_module(&module).unwrap();
+        for graph in &lil.graphs {
+            if graph.kind == ir::lil::GraphKind::Always {
+                continue;
+            }
+            let (mut p_ilp, ids) = build_problem(graph, &ds, budget);
+            let (mut p_asap, _) = build_problem(graph, &ds, budget);
+            let Ok(ilp) = schedule_ilp(&mut p_ilp) else {
+                continue;
+            };
+            let Ok(asap) = schedule_asap(&mut p_asap) else {
+                continue;
+            };
+            let per_graph = |s: &Schedule| -> Vec<u32> {
+                (0..graph.len()).map(|i| s.start_time[ids[i].0]).collect()
+            };
+            let reg_bits = |starts: &[u32]| {
+                build_graph_module(graph, &lil, starts, &|_| 0)
+                    .module
+                    .register_bits()
+            };
+            let oi = objective(&p_ilp, &ilp);
+            let oa = objective(&p_asap, &asap);
+            ilp_total += oi;
+            asap_total += oa;
+            println!(
+                "{:<16} {:>8} {:>10} {:>10} {:>12} {:>12}",
+                format!("{name}/{}", graph.name),
+                graph.len(),
+                oi,
+                oa,
+                reg_bits(&per_graph(&ilp)),
+                reg_bits(&per_graph(&asap)),
+            );
+            assert!(oi <= oa, "{name}: ILP must not be worse than ASAP");
+        }
+    }
+    println!(
+        "\ntotal objective: ILP {ilp_total} vs ASAP {asap_total} \
+         ({:.1} % saved by the exact formulation)",
+        100.0 * (asap_total - ilp_total) as f64 / asap_total.max(1) as f64
+    );
+}

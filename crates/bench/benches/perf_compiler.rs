@@ -1,0 +1,109 @@
+//! Criterion performance benchmarks of the compiler itself: parsing, type
+//! checking, lowering, the ILP scheduler against the ASAP baseline
+//! (ablation of the Figure 7 formulation), and the full end-to-end flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use longnail::driver::builtin_datasheet;
+use longnail::isax_lib;
+use longnail::Longnail;
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let (_, src) = isax_lib::isax_source("dotprod").unwrap();
+    c.bench_function("parse_dotprod", |b| {
+        b.iter(|| coredsl::parser::parse(black_box(&src)).unwrap())
+    });
+    c.bench_function("frontend_dotprod", |b| {
+        let fe = coredsl::Frontend::new();
+        b.iter(|| fe.compile_str(black_box(&src), "X_DOTP").unwrap())
+    });
+    let sparkle = isax_lib::sparkle_src();
+    c.bench_function("frontend_sparkle", |b| {
+        let fe = coredsl::Frontend::new();
+        b.iter(|| fe.compile_str(black_box(&sparkle), "sparkle").unwrap())
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let fe = coredsl::Frontend::new();
+    let (_, src) = isax_lib::isax_source("sqrt_tightly").unwrap();
+    let module = fe.compile_str(&src, "sqrt_tightly").unwrap();
+    c.bench_function("lower_sqrt_unrolled", |b| {
+        b.iter(|| ir::lower_module(black_box(&module)).unwrap())
+    });
+}
+
+fn build_sqrt_problem(budget: f64) -> sched::problem::LongnailProblem {
+    use ir::lil::OpKind;
+    use sched::problem::{LongnailProblem, OperatorType};
+    let fe = coredsl::Frontend::new();
+    let (_, src) = isax_lib::isax_source("sqrt_tightly").unwrap();
+    let module = fe.compile_str(&src, "sqrt_tightly").unwrap();
+    let lil = ir::lower_module(&module).unwrap();
+    let graph = lil.graph("sqrt").unwrap();
+    let mut p = LongnailProblem {
+        cycle_time: budget,
+        ..LongnailProblem::default()
+    };
+    let mut ids = Vec::new();
+    for (_, op) in graph.iter() {
+        let ot = match &op.kind {
+            OpKind::ReadRs1 => OperatorType::combinational("rs1", 0.0).with_window(2, Some(4)),
+            OpKind::WriteRd => OperatorType::combinational("wr", 0.0).with_window(2, None),
+            OpKind::Const(_)
+            | OpKind::Sink
+            | OpKind::Concat
+            | OpKind::ExtractConst { .. }
+            | OpKind::ZExt
+            | OpKind::SExt
+            | OpKind::Trunc => OperatorType::combinational("wire", 0.0),
+            OpKind::Mux | OpKind::Not => OperatorType::combinational("mux", 0.2),
+            _ => OperatorType::combinational("logic", 1.0),
+        };
+        let tid = p.add_operator_type(ot);
+        ids.push(p.add_operation("op", tid));
+    }
+    for (v, op) in graph.iter() {
+        for &operand in op.operands.iter().chain(op.pred.iter()) {
+            p.add_dependence(ids[operand.0], ids[v.0]);
+        }
+    }
+    p
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    c.bench_function("schedule_sqrt_ilp", |b| {
+        b.iter_batched(
+            || build_sqrt_problem(6.0),
+            |mut p| sched::schedule_ilp(&mut p).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("schedule_sqrt_asap_baseline", |b| {
+        b.iter_batched(
+            || build_sqrt_problem(6.0),
+            |mut p| sched::schedule_asap(&mut p).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let ds = builtin_datasheet("VexRiscv").unwrap();
+    let ln = Longnail::new();
+    let (_, dotp) = isax_lib::isax_source("dotprod").unwrap();
+    c.bench_function("compile_dotprod_vexriscv", |b| {
+        b.iter(|| ln.compile(black_box(&dotp), "X_DOTP", &ds).unwrap())
+    });
+    let (_, zol) = isax_lib::isax_source("zol").unwrap();
+    c.bench_function("compile_zol_vexriscv", |b| {
+        b.iter(|| ln.compile(black_box(&zol), "zol", &ds).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frontend, bench_lowering, bench_schedulers, bench_end_to_end
+}
+criterion_main!(benches);

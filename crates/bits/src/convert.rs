@@ -1,0 +1,45 @@
+//! Standard conversion trait implementations.
+
+use crate::apint::ApInt;
+
+impl From<bool> for ApInt {
+    fn from(value: bool) -> Self {
+        ApInt::from_bool(value)
+    }
+}
+
+impl From<u8> for ApInt {
+    fn from(value: u8) -> Self {
+        ApInt::from_u64(value as u64, 8)
+    }
+}
+
+impl From<u16> for ApInt {
+    fn from(value: u16) -> Self {
+        ApInt::from_u64(value as u64, 16)
+    }
+}
+
+impl From<u32> for ApInt {
+    fn from(value: u32) -> Self {
+        ApInt::from_u64(value as u64, 32)
+    }
+}
+
+impl From<u64> for ApInt {
+    fn from(value: u64) -> Self {
+        ApInt::from_u64(value, 64)
+    }
+}
+
+impl From<i32> for ApInt {
+    fn from(value: i32) -> Self {
+        ApInt::from_i64(value as i64, 32)
+    }
+}
+
+impl From<i64> for ApInt {
+    fn from(value: i64) -> Self {
+        ApInt::from_i64(value, 64)
+    }
+}

@@ -1,0 +1,450 @@
+//! Arithmetic, logic, shift, comparison, and structural operations.
+//!
+//! All binary arithmetic/logic operations require equal operand widths and
+//! produce a result of that same width (wrapping), exactly like fixed-width
+//! RTL operators. Width adaptation is the caller's job via [`ApInt::zext`],
+//! [`ApInt::sext`], and [`ApInt::trunc`] — mirroring how the CoreDSL type
+//! checker inserts explicit extension/truncation casts.
+
+use crate::apint::{limbs_for, ApInt, LIMB_BITS};
+use std::cmp::Ordering;
+
+impl ApInt {
+    fn assert_same_width(&self, rhs: &ApInt, op: &str) {
+        assert_eq!(
+            self.width, rhs.width,
+            "{op}: operand widths differ ({} vs {})",
+            self.width, rhs.width
+        );
+    }
+
+    /// Zero-extends (or keeps) the value to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    pub fn zext(&self, width: u32) -> ApInt {
+        assert!(width >= self.width, "zext cannot narrow");
+        let mut out = ApInt::zero(width);
+        out.limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Sign-extends (or keeps) the value to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    pub fn sext(&self, width: u32) -> ApInt {
+        assert!(width >= self.width, "sext cannot narrow");
+        let mut out = self.zext(width);
+        if self.sign_bit() {
+            for pos in self.width..width {
+                out.set_bit(pos, true);
+            }
+        }
+        out
+    }
+
+    /// Truncates to the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > self.width()` or `width == 0`.
+    pub fn trunc(&self, width: u32) -> ApInt {
+        assert!(width <= self.width, "trunc cannot widen");
+        let mut out = ApInt::zero(width);
+        let n = out.limbs.len();
+        out.limbs.copy_from_slice(&self.limbs[..n]);
+        out.canonicalize();
+        out
+    }
+
+    /// Resizes with zero-extension or truncation as needed.
+    pub fn zext_or_trunc(&self, width: u32) -> ApInt {
+        if width >= self.width {
+            self.zext(width)
+        } else {
+            self.trunc(width)
+        }
+    }
+
+    /// Resizes with sign-extension or truncation as needed.
+    pub fn sext_or_trunc(&self, width: u32) -> ApInt {
+        if width >= self.width {
+            self.sext(width)
+        } else {
+            self.trunc(width)
+        }
+    }
+
+    /// Wrapping addition of equal-width values.
+    pub fn add(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "add");
+        let mut out = ApInt::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// Wrapping subtraction of equal-width values.
+    pub fn sub(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "sub");
+        self.add(&rhs.neg())
+    }
+
+    /// Two's-complement negation (wrapping).
+    pub fn neg(&self) -> ApInt {
+        self.not().add(&ApInt::one(self.width))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> ApInt {
+        let mut out = self.clone();
+        for l in &mut out.limbs {
+            *l = !*l;
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// Bitwise AND of equal-width values.
+    pub fn and(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "and");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR of equal-width values.
+    pub fn or(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "or");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o |= r;
+        }
+        out
+    }
+
+    /// Bitwise XOR of equal-width values.
+    pub fn xor(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "xor");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o ^= r;
+        }
+        out
+    }
+
+    /// Wrapping multiplication of equal-width values (low half of product).
+    pub fn mul(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "mul");
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n + 1];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                if i + j >= n {
+                    break;
+                }
+                let t = (a as u128) * (b as u128) + (acc[i + j] as u128) + carry;
+                acc[i + j] = t as u64;
+                carry = t >> 64;
+            }
+        }
+        let mut out = ApInt::zero(self.width);
+        out.limbs.copy_from_slice(&acc[..n]);
+        out.canonicalize();
+        out
+    }
+
+    /// Unsigned division. Division by zero yields all-ones (the RISC-V
+    /// convention, which CoreDSL simulators follow).
+    pub fn udiv(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "udiv");
+        if rhs.is_zero() {
+            return ApInt::ones(self.width);
+        }
+        self.udivrem(rhs).0
+    }
+
+    /// Unsigned remainder. Remainder by zero yields the dividend (the RISC-V
+    /// convention).
+    pub fn urem(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "urem");
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        self.udivrem(rhs).1
+    }
+
+    /// Signed division, truncating toward zero. Division by zero yields
+    /// all-ones.
+    pub fn sdiv(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "sdiv");
+        if rhs.is_zero() {
+            return ApInt::ones(self.width);
+        }
+        let (la, lb) = (self.sign_bit(), rhs.sign_bit());
+        let a = if la { self.neg() } else { self.clone() };
+        let b = if lb { rhs.neg() } else { rhs.clone() };
+        let q = a.udivrem(&b).0;
+        if la != lb {
+            q.neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder (sign follows the dividend). Remainder by zero yields
+    /// the dividend.
+    pub fn srem(&self, rhs: &ApInt) -> ApInt {
+        self.assert_same_width(rhs, "srem");
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        let la = self.sign_bit();
+        let a = if la { self.neg() } else { self.clone() };
+        let b = if rhs.sign_bit() { rhs.neg() } else { rhs.clone() };
+        let r = a.udivrem(&b).1;
+        if la {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// Schoolbook long division on canonical values; `rhs` must be non-zero.
+    fn udivrem(&self, rhs: &ApInt) -> (ApInt, ApInt) {
+        debug_assert!(!rhs.is_zero());
+        let mut quot = ApInt::zero(self.width);
+        let mut rem = ApInt::zero(self.width);
+        for pos in (0..self.width).rev() {
+            rem = rem.shl_bits(1);
+            rem.set_bit(0, self.bit(pos));
+            if rem.uge(rhs) {
+                rem = rem.sub(rhs);
+                quot.set_bit(pos, true);
+            }
+        }
+        (quot, rem)
+    }
+
+    /// Logical left shift by a compile-time amount; bits shifted past the
+    /// width are discarded. Shift amounts `>= width` yield zero.
+    pub fn shl_bits(&self, amount: u32) -> ApInt {
+        if amount >= self.width {
+            return ApInt::zero(self.width);
+        }
+        let mut out = ApInt::zero(self.width);
+        let limb_shift = (amount / LIMB_BITS) as usize;
+        let bit_shift = amount % LIMB_BITS;
+        for i in (limb_shift..self.limbs.len()).rev() {
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (LIMB_BITS - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// Logical right shift by a compile-time amount. Shift amounts `>= width`
+    /// yield zero.
+    pub fn lshr_bits(&self, amount: u32) -> ApInt {
+        if amount >= self.width {
+            return ApInt::zero(self.width);
+        }
+        let mut out = ApInt::zero(self.width);
+        let limb_shift = (amount / LIMB_BITS) as usize;
+        let bit_shift = amount % LIMB_BITS;
+        for i in 0..(self.limbs.len() - limb_shift) {
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
+                v |= self.limbs[i + limb_shift + 1] << (LIMB_BITS - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Arithmetic right shift by a compile-time amount. Shift amounts
+    /// `>= width` yield all-sign-bits.
+    pub fn ashr_bits(&self, amount: u32) -> ApInt {
+        let sign = self.sign_bit();
+        if amount >= self.width {
+            return if sign {
+                ApInt::ones(self.width)
+            } else {
+                ApInt::zero(self.width)
+            };
+        }
+        let mut out = self.lshr_bits(amount);
+        if sign {
+            for pos in (self.width - amount)..self.width {
+                out.set_bit(pos, true);
+            }
+        }
+        out
+    }
+
+    /// Left shift by a runtime amount (`rhs` read as unsigned).
+    pub fn shl(&self, rhs: &ApInt) -> ApInt {
+        match rhs.try_to_u64() {
+            Some(amt) if amt < self.width as u64 => self.shl_bits(amt as u32),
+            _ => ApInt::zero(self.width),
+        }
+    }
+
+    /// Logical right shift by a runtime amount (`rhs` read as unsigned).
+    pub fn lshr(&self, rhs: &ApInt) -> ApInt {
+        match rhs.try_to_u64() {
+            Some(amt) if amt < self.width as u64 => self.lshr_bits(amt as u32),
+            _ => ApInt::zero(self.width),
+        }
+    }
+
+    /// Arithmetic right shift by a runtime amount (`rhs` read as unsigned).
+    pub fn ashr(&self, rhs: &ApInt) -> ApInt {
+        match rhs.try_to_u64() {
+            Some(amt) if amt < self.width as u64 => self.ashr_bits(amt as u32),
+            _ if self.sign_bit() => ApInt::ones(self.width),
+            _ => ApInt::zero(self.width),
+        }
+    }
+
+    /// Unsigned comparison.
+    pub fn ucmp(&self, rhs: &ApInt) -> Ordering {
+        self.assert_same_width(rhs, "ucmp");
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed comparison.
+    pub fn scmp(&self, rhs: &ApInt) -> Ordering {
+        self.assert_same_width(rhs, "scmp");
+        match (self.sign_bit(), rhs.sign_bit()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.ucmp(rhs),
+        }
+    }
+
+    /// `self < rhs`, unsigned.
+    pub fn ult(&self, rhs: &ApInt) -> bool {
+        self.ucmp(rhs) == Ordering::Less
+    }
+
+    /// `self <= rhs`, unsigned.
+    pub fn ule(&self, rhs: &ApInt) -> bool {
+        self.ucmp(rhs) != Ordering::Greater
+    }
+
+    /// `self >= rhs`, unsigned.
+    pub fn uge(&self, rhs: &ApInt) -> bool {
+        self.ucmp(rhs) != Ordering::Less
+    }
+
+    /// `self < rhs`, signed.
+    pub fn slt(&self, rhs: &ApInt) -> bool {
+        self.scmp(rhs) == Ordering::Less
+    }
+
+    /// `self <= rhs`, signed.
+    pub fn sle(&self, rhs: &ApInt) -> bool {
+        self.scmp(rhs) != Ordering::Greater
+    }
+
+    /// Extracts bits `[lo + width - 1 : lo]` as a new `width`-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `self.width()` or `width == 0`.
+    pub fn extract(&self, lo: u32, width: u32) -> ApInt {
+        assert!(width >= 1, "extract width must be at least 1");
+        assert!(
+            lo + width <= self.width,
+            "extract [{}:{}] out of range for width {}",
+            lo + width - 1,
+            lo,
+            self.width
+        );
+        self.lshr_bits(lo).trunc(width)
+    }
+
+    /// Concatenation `self :: rhs` — `self` becomes the *most* significant
+    /// part, matching CoreDSL's and Verilog's `{a, b}` semantics.
+    pub fn concat(&self, rhs: &ApInt) -> ApInt {
+        let width = self.width + rhs.width;
+        let mut out = rhs.zext(width);
+        let hi = self.zext(width).shl_bits(rhs.width);
+        out = out.or(&hi);
+        out
+    }
+
+    /// Replicates the value `count` times (Verilog `{count{self}}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn replicate(&self, count: u32) -> ApInt {
+        assert!(count >= 1, "replicate count must be at least 1");
+        let mut out = self.clone();
+        for _ in 1..count {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// Fallible conversion to `u64` (unsigned interpretation).
+    pub fn try_to_u64(&self) -> Option<u64> {
+        if self.limbs.iter().skip(1).all(|&l| l == 0) {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// Low 64 bits (unsigned interpretation, silently truncating).
+    pub fn to_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Signed interpretation as `i64`; sign-extends values narrower than 64
+    /// bits and truncates wider ones.
+    pub fn to_i64(&self) -> i64 {
+        if self.width >= 64 {
+            return self.limbs[0] as i64;
+        }
+        let raw = self.limbs[0];
+        if self.sign_bit() {
+            (raw | (u64::MAX << self.width)) as i64
+        } else {
+            raw as i64
+        }
+    }
+}
+
+// Allow `limbs_for` to be referenced from this module without an unused
+// import warning when compiled standalone.
+#[allow(unused)]
+fn _touch(width: u32) -> usize {
+    limbs_for(width)
+}

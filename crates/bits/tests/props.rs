@@ -1,0 +1,143 @@
+//! Property-based tests: `ApInt` semantics against native integer
+//! references at machine widths, and algebraic laws at wide widths.
+
+use bits::ApInt;
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn to_signed(v: u64, width: u32) -> i64 {
+    let m = mask(width);
+    let v = v & m;
+    if width < 64 && v >> (width - 1) & 1 == 1 {
+        (v | !m) as i64
+    } else {
+        v as i64
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_sub_mul_match_native(a: u64, b: u64, width in 1u32..=64) {
+        let (am, bm) = (a & mask(width), b & mask(width));
+        let x = ApInt::from_u64(am, width);
+        let y = ApInt::from_u64(bm, width);
+        prop_assert_eq!(x.add(&y).to_u64(), am.wrapping_add(bm) & mask(width));
+        prop_assert_eq!(x.sub(&y).to_u64(), am.wrapping_sub(bm) & mask(width));
+        prop_assert_eq!(x.mul(&y).to_u64(), am.wrapping_mul(bm) & mask(width));
+    }
+
+    #[test]
+    fn unsigned_division_matches_native(a: u64, b: u64, width in 1u32..=64) {
+        let (am, bm) = (a & mask(width), b & mask(width));
+        prop_assume!(bm != 0);
+        let x = ApInt::from_u64(am, width);
+        let y = ApInt::from_u64(bm, width);
+        prop_assert_eq!(x.udiv(&y).to_u64(), am / bm);
+        prop_assert_eq!(x.urem(&y).to_u64(), am % bm);
+    }
+
+    #[test]
+    fn signed_division_matches_native(a: u64, b: u64, width in 2u32..=63) {
+        let (am, bm) = (a & mask(width), b & mask(width));
+        let (asig, bsig) = (to_signed(am, width), to_signed(bm, width));
+        prop_assume!(bsig != 0);
+        let x = ApInt::from_u64(am, width);
+        let y = ApInt::from_u64(bm, width);
+        // The quotient wraps at the operand width (MIN / -1 overflows, as
+        // in hardware), so reduce the i64 reference to the same width.
+        let expect_div = to_signed(asig.wrapping_div(bsig) as u64, width);
+        let expect_rem = to_signed(asig.wrapping_rem(bsig) as u64, width);
+        prop_assert_eq!(x.sdiv(&y).to_i64(), expect_div);
+        prop_assert_eq!(x.srem(&y).to_i64(), expect_rem);
+    }
+
+    #[test]
+    fn shifts_match_native(a: u64, amount in 0u32..80, width in 1u32..=64) {
+        let am = a & mask(width);
+        let x = ApInt::from_u64(am, width);
+        let amt = ApInt::from_u64(amount as u64, 8);
+        let expected_shl = if amount >= width { 0 } else { (am << amount) & mask(width) };
+        prop_assert_eq!(x.shl(&amt).to_u64(), expected_shl);
+        let expected_lshr = if amount >= width { 0 } else { am >> amount };
+        prop_assert_eq!(x.lshr(&amt).to_u64(), expected_lshr);
+        let sig = to_signed(am, width);
+        let expected_ashr = if amount >= width {
+            if sig < 0 { mask(width) } else { 0 }
+        } else {
+            ((sig >> amount) as u64) & mask(width)
+        };
+        prop_assert_eq!(x.ashr(&amt).to_u64(), expected_ashr);
+    }
+
+    #[test]
+    fn comparisons_match_native(a: u64, b: u64, width in 1u32..=64) {
+        let (am, bm) = (a & mask(width), b & mask(width));
+        let x = ApInt::from_u64(am, width);
+        let y = ApInt::from_u64(bm, width);
+        prop_assert_eq!(x.ult(&y), am < bm);
+        prop_assert_eq!(x.ule(&y), am <= bm);
+        prop_assert_eq!(x.slt(&y), to_signed(am, width) < to_signed(bm, width));
+        prop_assert_eq!(x.sle(&y), to_signed(am, width) <= to_signed(bm, width));
+    }
+
+    #[test]
+    fn concat_extract_roundtrip(a: u64, b: u64, wa in 1u32..=32, wb in 1u32..=32) {
+        let x = ApInt::from_u64(a & mask(wa), wa);
+        let y = ApInt::from_u64(b & mask(wb), wb);
+        let joined = x.concat(&y);
+        prop_assert_eq!(joined.width(), wa + wb);
+        prop_assert_eq!(joined.extract(wb, wa), x);
+        prop_assert_eq!(joined.extract(0, wb), y);
+    }
+
+    #[test]
+    fn extension_preserves_value(a: u64, width in 1u32..=64, extra in 0u32..=128) {
+        let am = a & mask(width);
+        let x = ApInt::from_u64(am, width);
+        prop_assert_eq!(x.zext(width + extra).trunc(width), x.clone());
+        prop_assert_eq!(x.sext(width + extra).trunc(width), x.clone());
+        prop_assert_eq!(x.sext(width + extra).to_i64(), to_signed(am, width));
+    }
+
+    #[test]
+    fn wide_arithmetic_laws(a: u64, b: u64, c: u64) {
+        // Associativity/commutativity at a width no native type covers.
+        let width = 200;
+        let x = ApInt::from_u64(a, width);
+        let y = ApInt::from_u64(b, width);
+        let z = ApInt::from_u64(c, width);
+        prop_assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        // Division identity: a = q*b + r with r < b.
+        if !y.is_zero() {
+            let q = x.udiv(&y);
+            let r = x.urem(&y);
+            prop_assert!(r.ult(&y));
+            prop_assert_eq!(q.mul(&y).add(&r), x);
+        }
+    }
+
+    #[test]
+    fn decimal_string_roundtrip(a: u64, b: u64) {
+        // Build a 128-bit value from two limbs and round-trip via decimal.
+        let v = ApInt::from_u64(a, 64).concat(&ApInt::from_u64(b, 64));
+        let s = v.to_dec_string();
+        let back = ApInt::from_str_radix(&s, 10, 128).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a: u64, width in 1u32..=64) {
+        let x = ApInt::from_u64(a & mask(width), width);
+        prop_assert!(x.add(&x.neg()).is_zero());
+        prop_assert_eq!(x.neg().neg(), x);
+    }
+}

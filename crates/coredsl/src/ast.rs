@@ -1,0 +1,311 @@
+//! Untyped abstract syntax tree produced by the parser.
+//!
+//! Mirrors the top-level grammar of Figure 2: a description is a list of
+//! imports followed by `InstructionSet` and `Core` definitions, each with
+//! optional `architectural_state`, `instructions`, `always`, and `functions`
+//! sections.
+
+use crate::error::Span;
+use bits::ApInt;
+
+/// A parsed CoreDSL description file.
+#[derive(Debug, Clone, Default)]
+pub struct Description {
+    /// `import "<name>";` directives, in order.
+    pub imports: Vec<String>,
+    /// `InstructionSet` definitions.
+    pub instruction_sets: Vec<IsaDef>,
+    /// `Core` definitions.
+    pub cores: Vec<CoreDef>,
+}
+
+/// An `InstructionSet NAME (extends BASE)? { ... }` definition.
+#[derive(Debug, Clone)]
+pub struct IsaDef {
+    pub name: String,
+    pub extends: Option<String>,
+    pub body: IsaBody,
+    pub span: Span,
+}
+
+/// A `Core NAME (provides A, B)? { ... }` definition.
+#[derive(Debug, Clone)]
+pub struct CoreDef {
+    pub name: String,
+    pub provides: Vec<String>,
+    pub body: IsaBody,
+    pub span: Span,
+}
+
+/// The shared body of instruction sets and cores.
+#[derive(Debug, Clone, Default)]
+pub struct IsaBody {
+    pub state: Vec<StateDecl>,
+    pub instructions: Vec<InstrDef>,
+    pub always_blocks: Vec<AlwaysDef>,
+    pub functions: Vec<FuncDef>,
+}
+
+/// Storage class of an architectural-state declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageClass {
+    /// `register` — storage instantiated for (or by) the core / SCAIE-V.
+    Register,
+    /// `extern` — an address space provided by the environment (e.g. `MEM`).
+    Extern,
+    /// No storage class — an ISA *parameter*, assigned during elaboration.
+    Param,
+}
+
+/// One declaration in an `architectural_state` section.
+#[derive(Debug, Clone)]
+pub struct StateDecl {
+    pub storage: StorageClass,
+    /// `const` qualifier (e.g. ROMs like the AES S-Box).
+    pub is_const: bool,
+    pub ty: TypeExpr,
+    pub name: String,
+    /// Array extent expression, if declared as `name[extent]`.
+    pub extent: Option<Expr>,
+    /// Initializer: a single expression or `{e0, e1, ...}` list.
+    pub init: Option<Initializer>,
+    pub span: Span,
+}
+
+/// Initializer of a state declaration.
+#[derive(Debug, Clone)]
+pub enum Initializer {
+    Single(Expr),
+    List(Vec<Expr>),
+}
+
+/// A syntactic type: signedness plus an (optionally expression-valued) width.
+#[derive(Debug, Clone)]
+pub struct TypeExpr {
+    pub signed: bool,
+    /// Width expression (`signed<W>`); `None` for keyword aliases that fix
+    /// the width (e.g. `int`).
+    pub width: WidthSpec,
+    pub span: Span,
+}
+
+/// Width of a [`TypeExpr`].
+#[derive(Debug, Clone)]
+pub enum WidthSpec {
+    /// Fixed width from a keyword alias (`int`, `char`, ...).
+    Fixed(u32),
+    /// `signed<expr>` — must elaborate to a constant.
+    Expr(Box<Expr>),
+}
+
+/// An instruction definition with encoding and behavior.
+#[derive(Debug, Clone)]
+pub struct InstrDef {
+    pub name: String,
+    pub encoding: Vec<EncPiece>,
+    pub behavior: Block,
+    pub span: Span,
+}
+
+/// One `::`-separated piece of an encoding specifier, MSB first.
+#[derive(Debug, Clone)]
+pub enum EncPiece {
+    /// Sized integer literal, e.g. `7'b0001011`.
+    Const { value: ApInt, span: Span },
+    /// Named operand field covering bits `[hi:lo]` of that field,
+    /// e.g. `rs1[4:0]` or `imm[11:5]`.
+    Field {
+        name: String,
+        hi: u32,
+        lo: u32,
+        span: Span,
+    },
+}
+
+/// An `always`-block: behavior without an encoding (paper §2.5).
+#[derive(Debug, Clone)]
+pub struct AlwaysDef {
+    pub name: String,
+    pub behavior: Block,
+    pub span: Span,
+}
+
+/// A helper function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    pub name: String,
+    /// `None` for `void`.
+    pub ret: Option<TypeExpr>,
+    pub params: Vec<(TypeExpr, String)>,
+    pub body: Block,
+    pub span: Span,
+}
+
+/// A `{ ... }` statement block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// C-inspired statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Local variable declaration with optional initializer.
+    Decl {
+        ty: TypeExpr,
+        name: String,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// Assignment `lhs op= rhs` (compound ops carry their operator).
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+        span: Span,
+    },
+    /// `++x` / `x++` / `--x` / `x--` as a statement.
+    IncDec {
+        target: Expr,
+        increment: bool,
+        span: Span,
+    },
+    If {
+        cond: Expr,
+        then_block: Block,
+        else_block: Option<Block>,
+        span: Span,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+        span: Span,
+    },
+    /// `while (cond) body` / `do body while (cond);`.
+    While {
+        cond: Expr,
+        body: Block,
+        /// True for `do ... while` (body runs at least once).
+        do_first: bool,
+        span: Span,
+    },
+    /// `spawn { ... }` — decoupled continuation (paper §2.5).
+    Spawn { body: Block, span: Span },
+    /// Expression statement (function call).
+    Expr { expr: Expr, span: Span },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
+    /// Nested block.
+    Block(Block),
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    LogNot,
+    Plus,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+/// Expression payload.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal; `sized` records a Verilog-style explicit width.
+    Int { value: ApInt, sized: bool },
+    /// Identifier: local, parameter, register, or encoding field.
+    Ident(String),
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    /// `base[index]`.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// `base[hi:lo]`.
+    Range {
+        base: Box<Expr>,
+        hi: Box<Expr>,
+        lo: Box<Expr>,
+    },
+    /// `(type)expr` or `(signed)expr` / `(unsigned)expr` (width-preserving).
+    Cast {
+        signed: bool,
+        width: Option<WidthSpec>,
+        operand: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_val: Box<Expr>,
+        else_val: Box<Expr>,
+    },
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}

@@ -1,0 +1,507 @@
+//! Elaboration: import resolution, `InstructionSet` inheritance, `Core`
+//! composition, and parameter assignment (paper §2.2).
+//!
+//! Elaboration flattens the modular description into a single [`SemaInput`]
+//! — base-ISA state first, then each extension in inheritance order — and
+//! hands it to [`crate::sema`] for type checking.
+
+use crate::ast::{CoreDef, Description, IsaDef, Stmt};
+use crate::error::{Diagnostic, Result, Span};
+use crate::parser::parse;
+use crate::prelude_src;
+use crate::sema::{analyze, SemaInput};
+use crate::tast::TypedModule;
+use std::collections::{HashMap, HashSet};
+
+/// The CoreDSL frontend: owns the import namespace and drives
+/// parse → elaborate → analyze.
+///
+/// # Examples
+///
+/// ```
+/// use coredsl::Frontend;
+///
+/// let src = r#"
+/// import "RV32I.core_desc";
+/// InstructionSet nopext extends RV32I {
+///     instructions {
+///         custom_nop {
+///             encoding: 25'd0 :: 7'b0001011;
+///             behavior: { }
+///         }
+///     }
+/// }
+/// "#;
+/// let module = Frontend::new().compile_str(src, "nopext").unwrap();
+/// // The RV32I base state (X, PC, MEM) is visible after elaboration:
+/// assert!(module.register("X").is_some());
+/// assert!(module.register("PC").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    sources: HashMap<String, String>,
+}
+
+impl Default for Frontend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Frontend {
+    /// Creates a frontend with the built-in `RV32I.core_desc` prelude
+    /// registered.
+    pub fn new() -> Self {
+        let mut sources = HashMap::new();
+        sources.insert(
+            prelude_src::RV32I_IMPORT.to_string(),
+            prelude_src::RV32I.to_string(),
+        );
+        Frontend { sources }
+    }
+
+    /// Registers an importable source under `name` (the string used in
+    /// `import "<name>";`). Replaces any previous source of that name.
+    pub fn add_source(&mut self, name: &str, text: &str) -> &mut Self {
+        self.sources.insert(name.to_string(), text.to_string());
+        self
+    }
+
+    /// Compiles a root description: parses `src` (and, transitively, its
+    /// imports), then elaborates and type-checks the requested unit.
+    ///
+    /// `unit` names the `InstructionSet` or `Core` to elaborate. As a
+    /// convenience, if `unit` does not match any definition but the root
+    /// source defines exactly one instruction set or core, that definition
+    /// is elaborated (so callers can pass a display name).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse, elaboration, or type error.
+    pub fn compile_str(&self, src: &str, unit: &str) -> Result<TypedModule> {
+        let mut world = World::default();
+        world.load_description(src, "<root>", self)?;
+        let root_sets: Vec<String> = world.root_units.clone();
+        let target = if world.isa_defs.contains_key(unit) || world.core_defs.contains_key(unit) {
+            unit.to_string()
+        } else if root_sets.len() == 1 {
+            root_sets[0].clone()
+        } else {
+            return Err(Diagnostic::new(
+                Span::default(),
+                format!(
+                    "no InstructionSet or Core named `{unit}` (root defines: {})",
+                    root_sets.join(", ")
+                ),
+            ));
+        };
+        let mut input = world.flatten(&target)?;
+        // Give the module the caller-facing name.
+        if !unit.is_empty() {
+            input.name = unit.to_string();
+        }
+        analyze(input)
+    }
+
+    /// Compiles a registered importable source by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `import_name` is not registered, or on any
+    /// parse/elaboration/type error.
+    pub fn compile_import(&self, import_name: &str, unit: &str) -> Result<TypedModule> {
+        let src = self.sources.get(import_name).ok_or_else(|| {
+            Diagnostic::new(
+                Span::default(),
+                format!("no source registered for import {import_name:?}"),
+            )
+        })?;
+        self.compile_str(src, unit)
+    }
+}
+
+/// The set of all parsed definitions reachable from the root file.
+#[derive(Default)]
+struct World {
+    isa_defs: HashMap<String, IsaDef>,
+    core_defs: HashMap<String, CoreDef>,
+    loaded: HashSet<String>,
+    /// Units defined in the *root* file, in order.
+    root_units: Vec<String>,
+}
+
+impl World {
+    fn load_description(&mut self, src: &str, name: &str, fe: &Frontend) -> Result<()> {
+        let desc: Description = parse(src).map_err(|d| d.in_source(name))?;
+        for import in &desc.imports {
+            if !self.loaded.insert(import.clone()) {
+                continue; // already loaded (diamond imports are fine)
+            }
+            let text = fe.sources.get(import).ok_or_else(|| {
+                Diagnostic::new(
+                    Span::default(),
+                    format!("cannot resolve import {import:?}"),
+                )
+                .in_source(name)
+            })?;
+            // Clone to satisfy the borrow checker; sources are small.
+            let text = text.clone();
+            self.load_description(&text, import, fe)?;
+        }
+        let is_root = name == "<root>";
+        for isa in desc.instruction_sets {
+            if is_root {
+                self.root_units.push(isa.name.clone());
+            }
+            if self.isa_defs.insert(isa.name.clone(), isa.clone()).is_some() {
+                return Err(Diagnostic::new(
+                    isa.span,
+                    format!("InstructionSet `{}` defined more than once", isa.name),
+                )
+                .in_source(name));
+            }
+        }
+        for core in desc.cores {
+            if is_root {
+                self.root_units.push(core.name.clone());
+            }
+            if self
+                .core_defs
+                .insert(core.name.clone(), core.clone())
+                .is_some()
+            {
+                return Err(Diagnostic::new(
+                    core.span,
+                    format!("Core `{}` defined more than once", core.name),
+                )
+                .in_source(name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the inheritance chain of an instruction set, base first.
+    fn chain(&self, name: &str) -> Result<Vec<&IsaDef>> {
+        let mut chain = Vec::new();
+        let mut seen = HashSet::new();
+        let mut cur = Some(name.to_string());
+        while let Some(n) = cur {
+            if !seen.insert(n.clone()) {
+                return Err(Diagnostic::new(
+                    Span::default(),
+                    format!("inheritance cycle involving `{n}`"),
+                ));
+            }
+            let def = self.isa_defs.get(&n).ok_or_else(|| {
+                Diagnostic::new(
+                    Span::default(),
+                    format!("unknown InstructionSet `{n}`"),
+                )
+            })?;
+            chain.push(def);
+            cur = def.extends.clone();
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Flattens the named unit into a [`SemaInput`].
+    fn flatten(&self, name: &str) -> Result<SemaInput> {
+        let mut input = SemaInput {
+            name: name.to_string(),
+            ..SemaInput::default()
+        };
+        let mut merged: Vec<&IsaDef> = Vec::new();
+        let mut seen = HashSet::new();
+        if let Some(core) = self.core_defs.get(name) {
+            for provided in &core.provides {
+                for def in self.chain(provided)? {
+                    if seen.insert(def.name.clone()) {
+                        merged.push(def);
+                    }
+                }
+            }
+            // The core's own body contributes parameter assignments and
+            // possibly additional state/instructions.
+            for decl in &core.body.state {
+                if decl.storage == crate::ast::StorageClass::Param {
+                    if let Some(crate::ast::Initializer::Single(e)) = &decl.init {
+                        input
+                            .param_overrides
+                            .push((decl.name.clone(), e.clone()));
+                        continue;
+                    }
+                }
+                input.state.push((decl.clone(), core.name.clone()));
+            }
+            self.merge_bodies(&merged, &mut input);
+            input
+                .instructions
+                .extend(core.body.instructions.iter().cloned());
+            input
+                .always_blocks
+                .extend(core.body.always_blocks.iter().cloned());
+            input.functions.extend(core.body.functions.iter().cloned());
+            // Core-body `param = value;` assignments (parsed as bare
+            // assignments) are also accepted as overrides:
+            self.collect_core_param_assignments(core, &mut input);
+        } else {
+            for def in self.chain(name)? {
+                if seen.insert(def.name.clone()) {
+                    merged.push(def);
+                }
+            }
+            self.merge_bodies(&merged, &mut input);
+        }
+        Ok(input)
+    }
+
+    fn merge_bodies(&self, defs: &[&IsaDef], input: &mut SemaInput) {
+        for def in defs {
+            for decl in &def.body.state {
+                input.state.push((decl.clone(), def.name.clone()));
+            }
+            input
+                .instructions
+                .extend(def.body.instructions.iter().cloned());
+            input
+                .always_blocks
+                .extend(def.body.always_blocks.iter().cloned());
+            input.functions.extend(def.body.functions.iter().cloned());
+        }
+    }
+
+    fn collect_core_param_assignments(&self, _core: &CoreDef, _input: &mut SemaInput) {
+        // Parameter re-assignment inside core bodies is expressed as state
+        // declarations without storage class, handled in `flatten`. Bare
+        // assignment statements cannot appear at section level in our
+        // grammar, so nothing further to collect.
+        let _ = Stmt::Block(crate::ast::Block::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tast::BuiltinReg;
+
+    const DOTP: &str = r#"
+import "RV32I.core_desc";
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] * (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+      }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn compiles_figure1_dotprod() {
+        let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+        assert_eq!(module.name, "X_DOTP");
+        let (_, x) = module.register("X").unwrap();
+        assert_eq!(x.builtin, Some(BuiltinReg::Gpr));
+        assert_eq!(x.elems, 32);
+        assert_eq!(module.instructions.len(), 1);
+        let dotp = &module.instructions[0];
+        assert_eq!(dotp.encoding.pattern_string().len(), 32);
+        assert_eq!(
+            dotp.encoding.pattern_string(),
+            "0000000----------000-----0001011"
+        );
+        // rd, rs1, rs2 fields present:
+        let names: Vec<_> = dotp.encoding.fields.iter().map(|f| &f.name).collect();
+        assert!(names.contains(&&"rs1".to_string()));
+        assert!(names.contains(&&"rd".to_string()));
+    }
+
+    #[test]
+    fn xlen_parameter_is_resolved() {
+        let module = Frontend::new()
+            .compile_str("import \"RV32I.core_desc\";\nInstructionSet e extends RV32I { }", "e")
+            .unwrap();
+        let (name, _, value) = &module.params[0];
+        assert_eq!(name, "XLEN");
+        assert_eq!(value.to_u64(), 32);
+    }
+
+    #[test]
+    fn unknown_import_is_an_error() {
+        let err = Frontend::new()
+            .compile_str("import \"nope.core_desc\";\nInstructionSet e { }", "e")
+            .unwrap_err();
+        assert!(err.message.contains("cannot resolve import"));
+    }
+
+    #[test]
+    fn unknown_base_set_is_an_error() {
+        let err = Frontend::new()
+            .compile_str("InstructionSet e extends NOPE { }", "e")
+            .unwrap_err();
+        assert!(err.message.contains("unknown InstructionSet"));
+    }
+
+    #[test]
+    fn inheritance_cycles_are_detected() {
+        let src = "InstructionSet a extends b { } InstructionSet b extends a { }";
+        let err = Frontend::new().compile_str(src, "a").unwrap_err();
+        assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn lossy_assignment_is_rejected() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet bad extends RV32I {
+  instructions {
+    i {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<4> u4 = 0;
+        unsigned<5> u5 = 0;
+        u4 = u5;
+      }
+    }
+  }
+}
+"#;
+        let err = Frontend::new().compile_str(src, "bad").unwrap_err();
+        assert!(err.message.contains("lose information"), "{err}");
+    }
+
+    #[test]
+    fn sign_discarding_assignment_is_rejected() {
+        let src = r#"
+InstructionSet bad {
+  instructions {
+    i {
+      encoding: 12'd0 :: 5'd0 :: 3'd0 :: 5'd0 :: 7'b0001011;
+      behavior: {
+        signed<4> s4 = 0;
+        unsigned<4> u4 = 0;
+        u4 = s4;
+      }
+    }
+  }
+}
+"#;
+        let err = Frontend::new().compile_str(src, "bad").unwrap_err();
+        assert!(err.message.contains("lose information"), "{err}");
+    }
+
+    #[test]
+    fn explicit_cast_permits_narrowing() {
+        let src = r#"
+InstructionSet ok {
+  instructions {
+    i {
+      encoding: 12'd0 :: 5'd0 :: 3'd0 :: 5'd0 :: 7'b0001011;
+      behavior: {
+        unsigned<5> u5 = 17;
+        signed<4> s4 = 3;
+        unsigned<4> u4 = (unsigned<4>)(u5 + s4);
+      }
+    }
+  }
+}
+"#;
+        assert!(Frontend::new().compile_str(src, "ok").is_ok());
+    }
+
+    #[test]
+    fn core_definition_composes_sets() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet ext1 extends RV32I {
+  architectural_state { register unsigned<32> ACC; }
+}
+Core MyCore provides ext1 {
+  architectural_state { unsigned int XLEN = 32; }
+}
+"#;
+        let module = Frontend::new().compile_str(src, "MyCore").unwrap();
+        assert!(module.register("ACC").is_some());
+        assert!(module.register("X").is_some());
+    }
+
+    #[test]
+    fn zol_figure3_compiles() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC, END_PC, COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101 :: 5'b00000 :: 7'b0001011;
+      behavior: {
+        START_PC = (unsigned<32>)(PC + 4);
+        END_PC = (unsigned<32>)(PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+      }
+    }
+  }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+      }
+    }
+  }
+}
+"#;
+        let module = Frontend::new().compile_str(src, "zol").unwrap();
+        assert_eq!(module.always_blocks.len(), 1);
+        let (_, count) = module.register("COUNT").unwrap();
+        assert!(count.is_custom());
+        assert_eq!(count.addr_width(), 0);
+        let (_, x) = module.register("X").unwrap();
+        assert!(!x.is_custom());
+        assert_eq!(x.addr_width(), 5);
+    }
+
+    #[test]
+    fn functions_must_be_pure() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet bad extends RV32I {
+  functions {
+    unsigned<32> peek() { return PC; }
+  }
+}
+"#;
+        let err = Frontend::new().compile_str(src, "bad").unwrap_err();
+        assert!(err.message.contains("architectural state"), "{err}");
+    }
+
+    #[test]
+    fn mem_range_load_types_as_32bit() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet lw extends RV32I {
+  instructions {
+    loadw {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> addr = X[rs1];
+        X[rd] = MEM[addr+3:addr];
+      }
+    }
+  }
+}
+"#;
+        let module = Frontend::new().compile_str(src, "lw").unwrap();
+        assert_eq!(module.instructions.len(), 1);
+    }
+}

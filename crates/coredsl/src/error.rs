@@ -1,0 +1,71 @@
+//! Source locations and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range in a source file, with line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// 1-based line of the span start.
+    pub line: u32,
+    /// 1-based column of the span start.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A frontend error: lexing, parsing, type checking, or elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Location the error refers to.
+    pub span: Span,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Name of the source unit (import string or synthetic name).
+    pub source_name: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a source-unit name (filled in later by
+    /// the driver).
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+            source_name: String::new(),
+        }
+    }
+
+    /// Attaches the source-unit name.
+    pub fn in_source(mut self, name: &str) -> Self {
+        if self.source_name.is_empty() {
+            self.source_name = name.to_string();
+        }
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.source_name.is_empty() {
+            write!(f, "{}: {}", self.span, self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.source_name, self.span, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, Diagnostic>;

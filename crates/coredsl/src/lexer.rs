@@ -1,0 +1,420 @@
+//! Hand-written lexer for CoreDSL.
+//!
+//! Supports C-style integer literals (`42`, `0xcafe`, `0b101`, `017`),
+//! Verilog-style sized literals (`7'd0`, `3'b111`, `16'hcafe`), identifiers,
+//! the keyword set of Figure 2, line (`//`) and block (`/* */`) comments.
+
+use crate::error::{Diagnostic, Result, Span};
+use crate::token::{Punct, Token, TokenKind, KEYWORDS};
+#[cfg(test)]
+use crate::token::Keyword;
+use bits::ApInt;
+
+/// Tokenizes `src`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated comments/strings, malformed
+/// literals, or characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(Diagnostic::new(span, "unterminated block comment"));
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some('\n') | None => {
+                                return Err(Diagnostic::new(span, "unterminated string literal"))
+                            }
+                            Some(c) => s.push(c),
+                        }
+                    }
+                    self.push(TokenKind::Str(s), span);
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let word = self.take_word();
+                    match KEYWORDS.iter().find(|(w, _)| *w == word) {
+                        Some((_, kw)) => self.push(TokenKind::Keyword(*kw), span),
+                        None => self.push(TokenKind::Ident(word), span),
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let tok = self.lex_number(span)?;
+                    self.push(tok, span);
+                }
+                _ => {
+                    let p = self.lex_punct(span)?;
+                    self.push(TokenKind::Punct(p), span);
+                }
+            }
+        }
+        let span = self.span();
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn take_word(&mut self) -> String {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        word
+    }
+
+    fn take_digits(&mut self) -> String {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+    }
+
+    /// Lexes a C-style or Verilog-style literal. A Verilog literal begins
+    /// with a decimal size, then `'` and a base letter: `7'd0`, `3'b111`.
+    fn lex_number(&mut self, span: Span) -> Result<TokenKind> {
+        let first = self.take_digits();
+        if self.peek() == Some('\'') {
+            // Verilog-style sized literal.
+            self.bump();
+            let width: u32 = first
+                .replace('_', "")
+                .parse()
+                .map_err(|_| Diagnostic::new(span, format!("invalid literal size `{first}`")))?;
+            if width == 0 || width > bits::MAX_WIDTH {
+                return Err(Diagnostic::new(
+                    span,
+                    format!("literal size {width} out of range"),
+                ));
+            }
+            let base = self.bump().ok_or_else(|| {
+                Diagnostic::new(span, "expected base letter after `'` in sized literal")
+            })?;
+            let radix = match base {
+                'b' | 'B' => 2,
+                'o' | 'O' => 8,
+                'd' | 'D' => 10,
+                'h' | 'H' => 16,
+                _ => {
+                    return Err(Diagnostic::new(
+                        span,
+                        format!("invalid literal base `{base}` (expected b/o/d/h)"),
+                    ))
+                }
+            };
+            let digits = self.take_digits();
+            let value = ApInt::from_str_radix(&digits, radix, width)
+                .map_err(|e| Diagnostic::new(span, format!("invalid sized literal: {e}")))?;
+            Ok(TokenKind::Int {
+                value,
+                width: Some(width),
+            })
+        } else {
+            // C-style literal: minimal-width unsigned type.
+            let (radix, digits) = if let Some(rest) = first.strip_prefix("0x").or(first.strip_prefix("0X")) {
+                (16, rest.to_string())
+            } else if let Some(rest) = first.strip_prefix("0b").or(first.strip_prefix("0B")) {
+                (2, rest.to_string())
+            } else if first.len() > 1 && first.starts_with('0') && first.chars().all(|c| c.is_ascii_digit() || c == '_') {
+                (8, first[1..].to_string())
+            } else {
+                (10, first.clone())
+            };
+            // Parse generously wide, then shrink to the minimal width.
+            let wide_bits = (digits.len() as u32).saturating_mul(match radix {
+                2 => 1,
+                8 => 3,
+                16 => 4,
+                _ => 4,
+            }).max(8) + 4;
+            let wide = ApInt::from_str_radix(&digits, radix, wide_bits)
+                .map_err(|e| Diagnostic::new(span, format!("invalid integer literal: {e}")))?;
+            let min = wide.min_unsigned_width();
+            Ok(TokenKind::Int {
+                value: wide.trunc(min),
+                width: None,
+            })
+        }
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<Punct> {
+        use Punct::*;
+        let c = self.bump().unwrap();
+        let next = self.peek();
+        let two = |l: &mut Lexer<'a>, p: Punct| {
+            l.bump();
+            p
+        };
+        let p = match (c, next) {
+            (':', Some(':')) => two(self, ColonColon),
+            (':', _) => Colon,
+            ('+', Some('+')) => two(self, PlusPlus),
+            ('+', Some('=')) => two(self, PlusAssign),
+            ('+', _) => Plus,
+            ('-', Some('-')) => two(self, MinusMinus),
+            ('-', Some('=')) => two(self, MinusAssign),
+            ('-', _) => Minus,
+            ('*', Some('=')) => two(self, StarAssign),
+            ('*', _) => Star,
+            ('/', Some('=')) => two(self, SlashAssign),
+            ('/', _) => Slash,
+            ('%', Some('=')) => two(self, PercentAssign),
+            ('%', _) => Percent,
+            ('&', Some('&')) => two(self, AmpAmp),
+            ('&', Some('=')) => two(self, AmpAssign),
+            ('&', _) => Amp,
+            ('|', Some('|')) => two(self, PipePipe),
+            ('|', Some('=')) => two(self, PipeAssign),
+            ('|', _) => Pipe,
+            ('^', Some('=')) => two(self, CaretAssign),
+            ('^', _) => Caret,
+            ('~', _) => Tilde,
+            ('!', Some('=')) => two(self, Ne),
+            ('!', _) => Bang,
+            ('<', Some('<')) => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    ShlAssign
+                } else {
+                    Shl
+                }
+            }
+            ('<', Some('=')) => two(self, Le),
+            ('<', _) => Lt,
+            ('>', Some('>')) => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    ShrAssign
+                } else {
+                    Shr
+                }
+            }
+            ('>', Some('=')) => two(self, Ge),
+            ('>', _) => Gt,
+            ('=', Some('=')) => two(self, EqEq),
+            ('=', _) => Assign,
+            ('{', _) => LBrace,
+            ('}', _) => RBrace,
+            ('(', _) => LParen,
+            (')', _) => RParen,
+            ('[', _) => LBracket,
+            (']', _) => RBracket,
+            (';', _) => Semi,
+            (',', _) => Comma,
+            ('?', _) => Question,
+            _ => {
+                return Err(Diagnostic::new(
+                    span,
+                    format!("unexpected character `{c}`"),
+                ))
+            }
+        };
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("InstructionSet X_DOTP extends RV32I");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::InstructionSet));
+        assert_eq!(ks[1], TokenKind::Ident("X_DOTP".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::Extends));
+        assert_eq!(ks[3], TokenKind::Ident("RV32I".into()));
+        assert_eq!(ks[4], TokenKind::Eof);
+    }
+
+    #[test]
+    fn c_literals_get_minimal_width() {
+        match &kinds("42")[0] {
+            TokenKind::Int { value, width } => {
+                assert_eq!(value.to_u64(), 42);
+                assert_eq!(value.width(), 6);
+                assert_eq!(*width, None);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &kinds("0xcafe")[0] {
+            TokenKind::Int { value, .. } => {
+                assert_eq!(value.to_u64(), 0xcafe);
+                assert_eq!(value.width(), 16);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &kinds("0")[0] {
+            TokenKind::Int { value, .. } => {
+                assert_eq!(value.to_u64(), 0);
+                assert_eq!(value.width(), 1);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verilog_literals_keep_exact_width() {
+        match &kinds("7'd0")[0] {
+            TokenKind::Int { value, width } => {
+                assert_eq!(value.to_u64(), 0);
+                assert_eq!(value.width(), 7);
+                assert_eq!(*width, Some(7));
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &kinds("3'b111")[0] {
+            TokenKind::Int { value, width } => {
+                assert_eq!(value.to_u64(), 7);
+                assert_eq!(*width, Some(3));
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &kinds("16'hCAFE")[0] {
+            TokenKind::Int { value, .. } => assert_eq!(value.to_u64(), 0xcafe),
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        use Punct::*;
+        let ks = kinds(":: : <<= << <= < >>= >> >= > == = ++ += !");
+        let expect = [
+            ColonColon, Colon, ShlAssign, Shl, Le, Lt, ShrAssign, Shr, Ge, Gt, EqEq, Assign,
+            PlusPlus, PlusAssign, Bang,
+        ];
+        for (k, e) in ks.iter().zip(expect.iter()) {
+            assert_eq!(k, &TokenKind::Punct(*e));
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line comment\n /* block\n comment */ b");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0], TokenKind::Ident("a".into()));
+        assert_eq!(ks[1], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds(r#"import "RV32I.core_desc";"#)[1],
+            TokenKind::Str("RV32I.core_desc".into())
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("3'q111").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("0'd1").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+}

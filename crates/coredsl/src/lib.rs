@@ -1,0 +1,59 @@
+//! CoreDSL language frontend.
+//!
+//! CoreDSL (paper §2) is a behavioral architecture description language with
+//! a C-like surface syntax, arbitrary-precision bitwidth-aware integer types,
+//! instruction encodings, and the `always`/`spawn` constructs for decoupled
+//! execution. This crate implements the complete frontend:
+//!
+//! * [`lexer`] / [`parser`] — the grammar of Figure 2 plus C-inspired
+//!   statements, expressions, and Verilog-style literals,
+//! * [`types`] — the bitwidth-aware type system of §2.3 (lossless implicit
+//!   assignment, widening operators, explicit narrowing casts),
+//! * [`sema`] — contextual analysis producing a *typed* AST,
+//! * [`elab`] — imports, `InstructionSet` inheritance, parameter
+//!   assignment, and `Core` definitions, yielding an elaborated
+//!   [`tast::TypedModule`] ready for HLS.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! InstructionSet demo {
+//!     architectural_state {
+//!         register unsigned<32> X[32];
+//!     }
+//!     instructions {
+//!         double_reg {
+//!             encoding: 7'd0 :: 5'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+//!             behavior: {
+//!                 X[rd] = (unsigned<32>)(X[rs1] + X[rs1]);
+//!             }
+//!         }
+//!     }
+//! }
+//! "#;
+//! let module = coredsl::Frontend::new().compile_str(src, "demo").unwrap();
+//! assert_eq!(module.instructions.len(), 1);
+//! assert_eq!(module.instructions[0].name, "double_reg");
+//! ```
+
+pub mod ast;
+pub mod elab;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod prelude_src;
+pub mod sema;
+pub mod tast;
+pub mod token;
+pub mod types;
+
+/// Value-level evaluation helpers shared with downstream interpreters.
+pub mod sema_support {
+    pub use crate::sema::{eval_binary as eval_binary_op, resize as resize_value};
+}
+
+pub use elab::Frontend;
+pub use error::{Diagnostic, Span};
+pub use tast::TypedModule;
+pub use types::IntType;

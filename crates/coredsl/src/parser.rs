@@ -1,0 +1,1238 @@
+//! Recursive-descent parser for CoreDSL, implementing the grammar of
+//! Figure 2 plus C-inspired statements and expressions.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Result, Span};
+use crate::lexer::lex;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Parses a complete CoreDSL description file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Description> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.description()
+}
+
+/// Parses a single expression (used by tests and the REPL-style tooling).
+///
+/// # Errors
+///
+/// Returns an error if `src` is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Span> {
+        let span = self.span();
+        if self.eat_punct(p) {
+            Ok(span)
+        } else {
+            Err(Diagnostic::new(
+                span,
+                format!("expected `{p}`, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<Span> {
+        let span = self.span();
+        if self.eat_keyword(k) {
+            Ok(span)
+        } else {
+            Err(Diagnostic::new(
+                span,
+                format!("expected keyword `{k:?}`, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(Diagnostic::new(
+                self.span(),
+                format!("expected end of input, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn description(&mut self) -> Result<Description> {
+        let mut desc = Description::default();
+        while self.eat_keyword(Keyword::Import) {
+            let span = self.span();
+            match self.bump().kind {
+                TokenKind::Str(s) => desc.imports.push(s),
+                other => {
+                    return Err(Diagnostic::new(
+                        span,
+                        format!("expected import string, found {}", other.describe()),
+                    ))
+                }
+            }
+            self.expect_punct(Punct::Semi)?;
+        }
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::InstructionSet) => {
+                    let span = self.span();
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    let extends = if self.eat_keyword(Keyword::Extends) {
+                        Some(self.expect_ident()?.0)
+                    } else {
+                        None
+                    };
+                    let body = self.isa_body()?;
+                    desc.instruction_sets.push(IsaDef {
+                        name,
+                        extends,
+                        body,
+                        span,
+                    });
+                }
+                TokenKind::Keyword(Keyword::Core) => {
+                    let span = self.span();
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    let mut provides = Vec::new();
+                    if self.eat_keyword(Keyword::Provides) {
+                        provides.push(self.expect_ident()?.0);
+                        while self.eat_punct(Punct::Comma) {
+                            provides.push(self.expect_ident()?.0);
+                        }
+                    }
+                    let body = self.isa_body()?;
+                    desc.cores.push(CoreDef {
+                        name,
+                        provides,
+                        body,
+                        span,
+                    });
+                }
+                TokenKind::Eof => break,
+                other => {
+                    return Err(Diagnostic::new(
+                        self.span(),
+                        format!(
+                            "expected `InstructionSet` or `Core`, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(desc)
+    }
+
+    fn isa_body(&mut self) -> Result<IsaBody> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut body = IsaBody::default();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::ArchitecturalState) => {
+                    self.bump();
+                    self.expect_punct(Punct::LBrace)?;
+                    while !self.eat_punct(Punct::RBrace) {
+                        let mut decls = self.state_decl()?;
+                        body.state.append(&mut decls);
+                    }
+                }
+                TokenKind::Keyword(Keyword::Instructions) => {
+                    self.bump();
+                    self.expect_punct(Punct::LBrace)?;
+                    while !self.eat_punct(Punct::RBrace) {
+                        body.instructions.push(self.instruction()?);
+                    }
+                }
+                TokenKind::Keyword(Keyword::Always) => {
+                    self.bump();
+                    self.expect_punct(Punct::LBrace)?;
+                    while !self.eat_punct(Punct::RBrace) {
+                        let span = self.span();
+                        let (name, _) = self.expect_ident()?;
+                        self.expect_punct(Punct::LBrace)?;
+                        let behavior = self.block_body()?;
+                        body.always_blocks.push(AlwaysDef {
+                            name,
+                            behavior,
+                            span,
+                        });
+                    }
+                }
+                TokenKind::Keyword(Keyword::Functions) => {
+                    self.bump();
+                    self.expect_punct(Punct::LBrace)?;
+                    while !self.eat_punct(Punct::RBrace) {
+                        body.functions.push(self.function()?);
+                    }
+                }
+                TokenKind::Punct(Punct::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        self.span(),
+                        format!(
+                            "expected an ISA section or `}}`, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(body)
+    }
+
+    // ---- architectural state --------------------------------------------
+
+    /// Parses one state declaration line, which may declare several names:
+    /// `register unsigned<32> START_PC, END_PC, COUNT;`
+    fn state_decl(&mut self) -> Result<Vec<StateDecl>> {
+        let span = self.span();
+        let storage = if self.eat_keyword(Keyword::Register) {
+            StorageClass::Register
+        } else if self.eat_keyword(Keyword::Extern) {
+            StorageClass::Extern
+        } else {
+            StorageClass::Param
+        };
+        let is_const = self.eat_keyword(Keyword::Const);
+        // `const` may also precede the storage class.
+        let storage = if storage == StorageClass::Param && self.eat_keyword(Keyword::Register) {
+            StorageClass::Register
+        } else {
+            storage
+        };
+        let ty = self.type_expr()?;
+        let mut out = Vec::new();
+        loop {
+            let (name, nspan) = self.expect_ident()?;
+            let extent = if self.eat_punct(Punct::LBracket) {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                Some(e)
+            } else {
+                None
+            };
+            let init = if self.eat_punct(Punct::Assign) {
+                if self.eat_punct(Punct::LBrace) {
+                    let mut items = Vec::new();
+                    if !self.eat_punct(Punct::RBrace) {
+                        items.push(self.expr()?);
+                        while self.eat_punct(Punct::Comma) {
+                            if self.peek() == &TokenKind::Punct(Punct::RBrace) {
+                                break;
+                            }
+                            items.push(self.expr()?);
+                        }
+                        self.expect_punct(Punct::RBrace)?;
+                    }
+                    Some(Initializer::List(items))
+                } else {
+                    Some(Initializer::Single(self.expr()?))
+                }
+            } else {
+                None
+            };
+            out.push(StateDecl {
+                storage,
+                is_const,
+                ty: ty.clone(),
+                name,
+                extent,
+                init,
+                span: nspan,
+            });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        let _ = span;
+        self.expect_punct(Punct::Semi)?;
+        Ok(out)
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    fn at_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Keyword(
+                Keyword::Signed
+                    | Keyword::Unsigned
+                    | Keyword::Bool
+                    | Keyword::Char
+                    | Keyword::Short
+                    | Keyword::Int
+                    | Keyword::Long
+            )
+        )
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr> {
+        let span = self.span();
+        let signed_kw = if self.eat_keyword(Keyword::Signed) {
+            Some(true)
+        } else if self.eat_keyword(Keyword::Unsigned) {
+            Some(false)
+        } else {
+            None
+        };
+        // `signed<expr>` / `unsigned<expr>`:
+        if let Some(signed) = signed_kw {
+            if self.eat_punct(Punct::Lt) {
+                let width = self.width_level_expr()?;
+                self.expect_punct(Punct::Gt)?;
+                return Ok(TypeExpr {
+                    signed,
+                    width: WidthSpec::Expr(Box::new(width)),
+                    span,
+                });
+            }
+        }
+        // Keyword aliases, optionally after `signed` / `unsigned`:
+        let (default_signed, width) = if self.eat_keyword(Keyword::Bool) {
+            (false, 1)
+        } else if self.eat_keyword(Keyword::Char) {
+            (true, 8)
+        } else if self.eat_keyword(Keyword::Short) {
+            (true, 16)
+        } else if self.eat_keyword(Keyword::Int) {
+            (true, 32)
+        } else if self.eat_keyword(Keyword::Long) {
+            if self.eat_keyword(Keyword::Long) {
+                (true, 64)
+            } else {
+                (true, 32)
+            }
+        } else if let Some(s) = signed_kw {
+            // bare `signed` / `unsigned` == 32-bit int
+            (s, 32)
+        } else {
+            return Err(Diagnostic::new(
+                span,
+                format!("expected a type, found {}", self.peek().describe()),
+            ));
+        };
+        Ok(TypeExpr {
+            signed: signed_kw.unwrap_or(default_signed),
+            width: WidthSpec::Fixed(width),
+            span,
+        })
+    }
+
+    // ---- instructions -----------------------------------------------------
+
+    fn instruction(&mut self) -> Result<InstrDef> {
+        let span = self.span();
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        self.expect_keyword(Keyword::Encoding)?;
+        self.expect_punct(Punct::Colon)?;
+        let encoding = self.encoding()?;
+        self.expect_keyword(Keyword::Behavior)?;
+        self.expect_punct(Punct::Colon)?;
+        let behavior = match self.stmt()? {
+            Stmt::Block(b) => b,
+            other => Block { stmts: vec![other] },
+        };
+        self.expect_punct(Punct::RBrace)?;
+        Ok(InstrDef {
+            name,
+            encoding,
+            behavior,
+            span,
+        })
+    }
+
+    fn encoding(&mut self) -> Result<Vec<EncPiece>> {
+        let mut pieces = Vec::new();
+        loop {
+            let span = self.span();
+            match self.peek().clone() {
+                TokenKind::Int { value, width } => {
+                    self.bump();
+                    if width.is_none() {
+                        return Err(Diagnostic::new(
+                            span,
+                            "encoding constants must be sized Verilog-style literals (e.g. 7'b0001011)",
+                        ));
+                    }
+                    pieces.push(EncPiece::Const { value, span });
+                }
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    self.expect_punct(Punct::LBracket)?;
+                    let hi = self.const_u32()?;
+                    self.expect_punct(Punct::Colon)?;
+                    let lo = self.const_u32()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    if lo > hi {
+                        return Err(Diagnostic::new(
+                            span,
+                            format!("encoding field range [{hi}:{lo}] is reversed"),
+                        ));
+                    }
+                    pieces.push(EncPiece::Field { name, hi, lo, span });
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        span,
+                        format!(
+                            "expected encoding constant or field, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+            if self.eat_punct(Punct::Semi) {
+                break;
+            }
+            self.expect_punct(Punct::ColonColon)?;
+        }
+        Ok(pieces)
+    }
+
+    fn const_u32(&mut self) -> Result<u32> {
+        let span = self.span();
+        match self.bump().kind {
+            TokenKind::Int { value, .. } => value.try_to_u64().map(|v| v as u32).ok_or_else(|| {
+                Diagnostic::new(span, "integer constant too large")
+            }),
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected integer constant, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- functions ---------------------------------------------------------
+
+    fn function(&mut self) -> Result<FuncDef> {
+        let span = self.span();
+        let ret = if self.eat_keyword(Keyword::Void) {
+            None
+        } else {
+            Some(self.type_expr()?)
+        };
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let ty = self.type_expr()?;
+                let (pname, _) = self.expect_ident()?;
+                params.push((ty, pname));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let body = self.block_body()?;
+        Ok(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            span,
+        })
+    }
+
+    // ---- statements ----------------------------------------------------------
+
+    /// Parses statements until the matching `}` (which is consumed).
+    fn block_body(&mut self) -> Result<Block> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_block = self.stmt_as_block()?;
+                let else_block = if self.eat_keyword(Keyword::Else) {
+                    Some(self.stmt_as_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.eat_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(true)?))
+                };
+                let cond = if self.peek() == &TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semi()?))
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    do_first: false,
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.stmt_as_block()?;
+                self.expect_keyword(Keyword::While)?;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    do_first: true,
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::Spawn) => {
+                self.bump();
+                self.expect_punct(Punct::LBrace)?;
+                let body = self.block_body()?;
+                Ok(Stmt::Spawn { body, span })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            _ => self.simple_stmt(true),
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block> {
+        Ok(match self.stmt()? {
+            Stmt::Block(b) => b,
+            other => Block { stmts: vec![other] },
+        })
+    }
+
+    /// Declaration, assignment, inc/dec, or expression statement.
+    fn simple_stmt(&mut self, want_semi: bool) -> Result<Stmt> {
+        let s = self.simple_stmt_no_semi()?;
+        if want_semi {
+            self.expect_punct(Punct::Semi)?;
+        }
+        Ok(s)
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        if self.at_type_start() {
+            let ty = self.type_expr()?;
+            let (name, _) = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            });
+        }
+        // Prefix increment/decrement.
+        if self.eat_punct(Punct::PlusPlus) {
+            let target = self.unary()?;
+            return Ok(Stmt::IncDec {
+                target,
+                increment: true,
+                span,
+            });
+        }
+        if self.eat_punct(Punct::MinusMinus) {
+            let target = self.unary()?;
+            return Ok(Stmt::IncDec {
+                target,
+                increment: false,
+                span,
+            });
+        }
+        let target = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => Some(AssignOp::Set),
+            TokenKind::Punct(Punct::PlusAssign) => Some(AssignOp::Add),
+            TokenKind::Punct(Punct::MinusAssign) => Some(AssignOp::Sub),
+            TokenKind::Punct(Punct::StarAssign) => Some(AssignOp::Mul),
+            TokenKind::Punct(Punct::SlashAssign) => Some(AssignOp::Div),
+            TokenKind::Punct(Punct::PercentAssign) => Some(AssignOp::Rem),
+            TokenKind::Punct(Punct::AmpAssign) => Some(AssignOp::And),
+            TokenKind::Punct(Punct::PipeAssign) => Some(AssignOp::Or),
+            TokenKind::Punct(Punct::CaretAssign) => Some(AssignOp::Xor),
+            TokenKind::Punct(Punct::ShlAssign) => Some(AssignOp::Shl),
+            TokenKind::Punct(Punct::ShrAssign) => Some(AssignOp::Shr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            return Ok(Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            });
+        }
+        // Postfix increment/decrement.
+        if self.eat_punct(Punct::PlusPlus) {
+            return Ok(Stmt::IncDec {
+                target,
+                increment: true,
+                span,
+            });
+        }
+        if self.eat_punct(Punct::MinusMinus) {
+            return Ok(Stmt::IncDec {
+                target,
+                increment: false,
+                span,
+            });
+        }
+        Ok(Stmt::Expr { expr: target, span })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.log_or()?;
+        if self.eat_punct(Punct::Question) {
+            let span = cond.span;
+            let then_val = self.expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_val = self.ternary()?;
+            return Ok(Expr::new(
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_val: Box::new(then_val),
+                    else_val: Box::new(else_val),
+                },
+                span,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn binary_level<F>(&mut self, next: F, table: &[(Punct, BinOp)]) -> Result<Expr>
+    where
+        F: Fn(&mut Self) -> Result<Expr>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for &(p, op) in table {
+                if self.peek() == &TokenKind::Punct(p) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span;
+                    lhs = Expr::new(
+                        ExprKind::Binary {
+                            op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                        span,
+                    );
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn log_or(&mut self) -> Result<Expr> {
+        self.binary_level(Self::log_and, &[(Punct::PipePipe, BinOp::LogOr)])
+    }
+
+    fn log_and(&mut self) -> Result<Expr> {
+        self.binary_level(Self::bit_or, &[(Punct::AmpAmp, BinOp::LogAnd)])
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        self.binary_level(Self::bit_xor, &[(Punct::Pipe, BinOp::Or)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        self.binary_level(Self::bit_and, &[(Punct::Caret, BinOp::Xor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        self.binary_level(Self::equality, &[(Punct::Amp, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::relational,
+            &[(Punct::EqEq, BinOp::Eq), (Punct::Ne, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::concat,
+            &[
+                (Punct::Le, BinOp::Le),
+                (Punct::Ge, BinOp::Ge),
+                (Punct::Lt, BinOp::Lt),
+                (Punct::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn concat(&mut self) -> Result<Expr> {
+        self.binary_level(Self::shift, &[(Punct::ColonColon, BinOp::Concat)])
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::additive,
+            &[(Punct::Shl, BinOp::Shl), (Punct::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(Punct::Plus, BinOp::Add), (Punct::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (Punct::Star, BinOp::Mul),
+                (Punct::Slash, BinOp::Div),
+                (Punct::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    /// Expression level used inside `signed< ... >` widths: stops before
+    /// comparison operators so the closing `>` is not consumed.
+    fn width_level_expr(&mut self) -> Result<Expr> {
+        self.shift()
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
+            TokenKind::Punct(Punct::Tilde) => Some(UnOp::Not),
+            TokenKind::Punct(Punct::Bang) => Some(UnOp::LogNot),
+            TokenKind::Punct(Punct::Plus) => Some(UnOp::Plus),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
+        }
+        // Cast: `(` followed by a type keyword.
+        if self.peek() == &TokenKind::Punct(Punct::LParen) {
+            if let TokenKind::Keyword(
+                Keyword::Signed
+                | Keyword::Unsigned
+                | Keyword::Bool
+                | Keyword::Char
+                | Keyword::Short
+                | Keyword::Int
+                | Keyword::Long,
+            ) = self.peek_at(1)
+            {
+                self.bump(); // (
+                let (signed, width) = self.cast_type()?;
+                self.expect_punct(Punct::RParen)?;
+                let operand = self.unary()?;
+                return Ok(Expr::new(
+                    ExprKind::Cast {
+                        signed,
+                        width,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                ));
+            }
+        }
+        self.postfix()
+    }
+
+    /// Parses the type inside a cast. `(signed)` / `(unsigned)` keep the
+    /// operand width (width `None`); everything else fixes a width.
+    fn cast_type(&mut self) -> Result<(bool, Option<WidthSpec>)> {
+        let span = self.span();
+        let signed_kw = if self.eat_keyword(Keyword::Signed) {
+            Some(true)
+        } else if self.eat_keyword(Keyword::Unsigned) {
+            Some(false)
+        } else {
+            None
+        };
+        if let Some(s) = signed_kw {
+            if self.eat_punct(Punct::Lt) {
+                let w = self.width_level_expr()?;
+                self.expect_punct(Punct::Gt)?;
+                return Ok((s, Some(WidthSpec::Expr(Box::new(w)))));
+            }
+            // `(signed int)` etc.
+            if self.at_type_start() {
+                let alias = self.type_expr()?;
+                let w = match alias.width {
+                    WidthSpec::Fixed(w) => w,
+                    WidthSpec::Expr(_) => unreachable!("aliases have fixed widths"),
+                };
+                return Ok((s, Some(WidthSpec::Fixed(w))));
+            }
+            // Bare `(signed)` / `(unsigned)`: signedness reinterpretation.
+            return Ok((s, None));
+        }
+        // Alias keyword without explicit signedness.
+        let alias = self.type_expr()?;
+        match alias.width {
+            WidthSpec::Fixed(w) => Ok((alias.signed, Some(WidthSpec::Fixed(w)))),
+            WidthSpec::Expr(_) => Err(Diagnostic::new(span, "malformed cast type")),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct(Punct::LBracket) {
+                let first = self.expr()?;
+                if self.eat_punct(Punct::Colon) {
+                    let lo = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    let span = e.span;
+                    e = Expr::new(
+                        ExprKind::Range {
+                            base: Box::new(e),
+                            hi: Box::new(first),
+                            lo: Box::new(lo),
+                        },
+                        span,
+                    );
+                } else {
+                    self.expect_punct(Punct::RBracket)?;
+                    let span = e.span;
+                    e = Expr::new(
+                        ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(first),
+                        },
+                        span,
+                    );
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int { value, width } => {
+                self.bump();
+                Ok(Expr::new(
+                    ExprKind::Int {
+                        value,
+                        sized: width.is_some(),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_punct(Punct::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_punct(Punct::RParen)?;
+                    }
+                    Ok(Expr::new(ExprKind::Call { callee: name, args }, span))
+                } else {
+                    Ok(Expr::new(ExprKind::Ident(name), span))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_dotprod() {
+        let src = r#"
+import "RV32I.core_desc"
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] *
+                            (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+} } } }
+"#;
+        // Note: the paper's Figure 1 omits the trailing `;` after the
+        // import — our grammar requires it per Figure 2.
+        let src = src.replace("\"RV32I.core_desc\"\n", "\"RV32I.core_desc\";\n");
+        let desc = parse(&src).unwrap();
+        assert_eq!(desc.imports, vec!["RV32I.core_desc"]);
+        assert_eq!(desc.instruction_sets.len(), 1);
+        let isa = &desc.instruction_sets[0];
+        assert_eq!(isa.name, "X_DOTP");
+        assert_eq!(isa.extends.as_deref(), Some("RV32I"));
+        let instr = &isa.body.instructions[0];
+        assert_eq!(instr.name, "dotp");
+        assert_eq!(instr.encoding.len(), 6);
+        assert_eq!(instr.behavior.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_figure3_zol() {
+        let src = r#"
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC, END_PC, COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101
+                :: 5'b00000 :: 7'b0001011;
+      behavior:
+      {
+        START_PC = (unsigned<32>)(PC + 4);
+        END_PC = (unsigned<32>)(PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+  } } }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+} } } }
+"#;
+        let desc = parse(src).unwrap();
+        let isa = &desc.instruction_sets[0];
+        assert_eq!(isa.body.state.len(), 3);
+        assert_eq!(isa.body.state[1].name, "END_PC");
+        assert_eq!(isa.body.instructions.len(), 1);
+        assert_eq!(isa.body.always_blocks.len(), 1);
+        assert_eq!(isa.body.always_blocks[0].name, "zol");
+    }
+
+    #[test]
+    fn parses_spawn_block() {
+        let src = r#"
+InstructionSet sqrt extends RV32I {
+  instructions {
+    sqrt {
+      encoding: 7'd1 :: 5'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> x = X[rs1];
+        spawn {
+          X[rd] = x >> 1;
+        }
+      }
+} } }
+"#;
+        let desc = parse(src).unwrap();
+        let behavior = &desc.instruction_sets[0].body.instructions[0].behavior;
+        assert!(matches!(behavior.stmts[1], Stmt::Spawn { .. }));
+    }
+
+    #[test]
+    fn parses_core_def_with_provides() {
+        let src = "Core VexRiscv provides RV32I, zol { }";
+        let desc = parse(src).unwrap();
+        assert_eq!(desc.cores[0].name, "VexRiscv");
+        assert_eq!(desc.cores[0].provides, vec!["RV32I", "zol"]);
+    }
+
+    #[test]
+    fn parses_functions_section() {
+        let src = r#"
+InstructionSet f {
+  functions {
+    unsigned<32> rot(unsigned<32> x, unsigned<5> n) {
+      return (unsigned<32>)((x >> n) | (x << (32 - n)));
+    }
+    void nothing() { }
+  }
+}
+"#;
+        let desc = parse(src).unwrap();
+        let funcs = &desc.instruction_sets[0].body.functions;
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "rot");
+        assert_eq!(funcs[0].params.len(), 2);
+        assert!(funcs[1].ret.is_none());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        // :: binds tighter than comparison, looser than shift.
+        let e = parse_expr("a == b :: c << d").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Eq, rhs, .. } => match rhs.kind {
+                ExprKind::Binary {
+                    op: BinOp::Concat, ..
+                } => {}
+                other => panic!("expected concat on rhs, got {other:?}"),
+            },
+            other => panic!("expected eq at top, got {other:?}"),
+        }
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, .. } => {}
+            other => panic!("expected add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_forms() {
+        assert!(matches!(
+            parse_expr("(signed)x").unwrap().kind,
+            ExprKind::Cast {
+                signed: true,
+                width: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_expr("(unsigned<5>)(a+b)").unwrap().kind,
+            ExprKind::Cast {
+                signed: false,
+                width: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_expr("(int)x").unwrap().kind,
+            ExprKind::Cast {
+                signed: true,
+                width: Some(WidthSpec::Fixed(32)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn range_and_index() {
+        let e = parse_expr("MEM[addr+3:addr]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Range { .. }));
+        let e = parse_expr("X[rs1][7:0]").unwrap();
+        match e.kind {
+            ExprKind::Range { base, .. } => {
+                assert!(matches!(base.kind, ExprKind::Index { .. }))
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsized_encoding_constants() {
+        let src = r#"
+InstructionSet bad {
+  instructions {
+    i { encoding: 0 :: rd[4:0] :: 7'b0001011; behavior: { } }
+  }
+}
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_encoding_range() {
+        let src = r#"
+InstructionSet bad {
+  instructions {
+    i { encoding: rd[0:4] :: 27'd0; behavior: { } }
+  }
+}
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let e = parse_expr("a ? b : c ? d : e").unwrap();
+        match e.kind {
+            ExprKind::Ternary { else_val, .. } => {
+                assert!(matches!(else_val.kind, ExprKind::Ternary { .. }))
+            }
+            other => panic!("expected ternary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_rom_initializer() {
+        let src = r#"
+InstructionSet s {
+  architectural_state {
+    register const unsigned<8> SBOX[4] = {0x63, 0x7c, 0x77, 0x7b};
+  }
+}
+"#;
+        let desc = parse(src).unwrap();
+        let d = &desc.instruction_sets[0].body.state[0];
+        assert!(d.is_const);
+        assert!(matches!(d.init, Some(Initializer::List(ref v)) if v.len() == 4));
+    }
+}

@@ -1,0 +1,26 @@
+//! Built-in CoreDSL sources available to every compilation.
+
+/// The `RV32I` base instruction-set description.
+///
+/// Declares the architectural state of the 32-bit base ISA — the standard
+/// register field `X` with 32 elements of type `unsigned<32>` (as referenced
+/// by the paper's Figure 1), the program counter `PC`, and the
+/// byte-addressable standard address space `MEM`. ISAXes extend this set and
+/// access the state through SCAIE-V sub-interfaces.
+///
+/// Longnail compiles only the *extension* instructions; the base RV32I
+/// instructions are implemented natively by the host cores, so this prelude
+/// carries state declarations only.
+pub const RV32I: &str = r#"
+InstructionSet RV32I {
+    architectural_state {
+        unsigned int XLEN = 32;
+        register unsigned<32> X[32];
+        register unsigned<32> PC;
+        extern unsigned<8> MEM[4294967296];
+    }
+}
+"#;
+
+/// Name under which [`RV32I`] is registered with the import resolver.
+pub const RV32I_IMPORT: &str = "RV32I.core_desc";

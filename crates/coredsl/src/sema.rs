@@ -1,0 +1,1329 @@
+//! Semantic analysis: name resolution, constant evaluation, and type
+//! checking per the rules of paper §2.3.
+//!
+//! The checker enforces the central CoreDSL guarantee that *precision or
+//! sign information is never lost implicitly*: a plain assignment requires
+//! the target type to hold every value of the source type, otherwise an
+//! explicit C-style cast is required. Compound assignments (`+=`, `--`, ...)
+//! are desugared to plain assignments with an implicit wrapping cast to the
+//! target type, matching the CoreDSL specification.
+
+use crate::ast;
+use crate::ast::{AssignOp, BinOp, StorageClass, UnOp, WidthSpec};
+use crate::error::{Diagnostic, Result, Span};
+use crate::tast::*;
+use crate::types::IntType;
+use bits::ApInt;
+use std::collections::HashMap;
+
+/// Flattened (post-inheritance) input to semantic analysis, produced by
+/// [`crate::elab`].
+#[derive(Debug, Clone, Default)]
+pub struct SemaInput {
+    /// Name of the elaborated unit.
+    pub name: String,
+    /// State declarations with the name of the declaring instruction set.
+    pub state: Vec<(ast::StateDecl, String)>,
+    /// Parameter overrides from `Core` bodies (name → value expression).
+    pub param_overrides: Vec<(String, ast::Expr)>,
+    pub instructions: Vec<ast::InstrDef>,
+    pub always_blocks: Vec<ast::AlwaysDef>,
+    pub functions: Vec<ast::FuncDef>,
+}
+
+/// Runs semantic analysis over a flattened description.
+///
+/// # Errors
+///
+/// Returns the first type or name-resolution error.
+pub fn analyze(input: SemaInput) -> Result<TypedModule> {
+    let mut sema = Sema::default();
+    sema.module.name = input.name.clone();
+    sema.resolve_params(&input)?;
+    sema.build_registers(&input)?;
+    sema.collect_function_signatures(&input)?;
+    for f in &input.functions {
+        let func = sema.check_function(f)?;
+        sema.module.functions.push(func);
+    }
+    for i in &input.instructions {
+        let instr = sema.check_instruction(i)?;
+        sema.module.instructions.push(instr);
+    }
+    for a in &input.always_blocks {
+        let blk = sema.check_always(a)?;
+        sema.module.always_blocks.push(blk);
+    }
+    Ok(sema.module)
+}
+
+#[derive(Default)]
+struct Sema {
+    module: TypedModule,
+    params: HashMap<String, (IntType, ApInt)>,
+    func_sigs: HashMap<String, (Option<IntType>, Vec<IntType>)>,
+}
+
+/// What kind of body is being checked; restricts the allowed constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyKind {
+    Instruction,
+    Always,
+    Function,
+}
+
+struct Ctx<'a> {
+    kind: BodyKind,
+    fields: HashMap<String, u32>,
+    locals: Vec<Local>,
+    scopes: Vec<HashMap<String, LocalId>>,
+    ret: Option<IntType>,
+    sema: &'a Sema,
+}
+
+impl Sema {
+    // ---- parameters and registers --------------------------------------
+
+    fn resolve_params(&mut self, input: &SemaInput) -> Result<()> {
+        for (decl, _) in &input.state {
+            if decl.storage != StorageClass::Param {
+                continue;
+            }
+            let ty = self.eval_type(&decl.ty)?;
+            let override_expr = input
+                .param_overrides
+                .iter()
+                .find(|(n, _)| *n == decl.name)
+                .map(|(_, e)| e);
+            let init_expr = match (override_expr, &decl.init) {
+                (Some(e), _) => e,
+                (None, Some(ast::Initializer::Single(e))) => e,
+                (None, Some(ast::Initializer::List(_))) => {
+                    return Err(Diagnostic::new(
+                        decl.span,
+                        format!("parameter `{}` cannot have a list initializer", decl.name),
+                    ))
+                }
+                (None, None) => {
+                    return Err(Diagnostic::new(
+                        decl.span,
+                        format!("parameter `{}` has no value", decl.name),
+                    ))
+                }
+            };
+            let (value, _) = self.eval_const(init_expr)?;
+            let value = if ty.signed {
+                value.sext_or_trunc(ty.width)
+            } else {
+                value.zext_or_trunc(ty.width)
+            };
+            self.params.insert(decl.name.clone(), (ty, value.clone()));
+            self.module.params.push((decl.name.clone(), ty, value));
+        }
+        Ok(())
+    }
+
+    fn build_registers(&mut self, input: &SemaInput) -> Result<()> {
+        for (decl, origin) in &input.state {
+            if decl.storage == StorageClass::Param {
+                continue;
+            }
+            if self.module.register(&decl.name).is_some() {
+                // Inherited duplicate (e.g. RV32I state pulled in twice):
+                // keep the first definition.
+                continue;
+            }
+            let ty = self.eval_type(&decl.ty)?;
+            let elems = match &decl.extent {
+                None => 1u64,
+                Some(e) => {
+                    let (v, _) = self.eval_const(e)?;
+                    v.try_to_u64().filter(|&n| n >= 1).ok_or_else(|| {
+                        Diagnostic::new(decl.span, "register array extent out of range")
+                    })?
+                }
+            };
+            let init = match &decl.init {
+                None => None,
+                Some(ast::Initializer::Single(e)) => {
+                    let (v, vt) = self.eval_const(e)?;
+                    Some(vec![resize(&v, vt, ty)])
+                }
+                Some(ast::Initializer::List(items)) => {
+                    if items.len() as u64 > elems {
+                        return Err(Diagnostic::new(
+                            decl.span,
+                            format!(
+                                "initializer has {} elements but `{}` holds {elems}",
+                                items.len(),
+                                decl.name
+                            ),
+                        ));
+                    }
+                    let mut vals = Vec::with_capacity(items.len());
+                    for e in items {
+                        let (v, vt) = self.eval_const(e)?;
+                        vals.push(resize(&v, vt, ty));
+                    }
+                    Some(vals)
+                }
+            };
+            let kind = match decl.storage {
+                StorageClass::Register => RegisterKind::Register,
+                StorageClass::Extern => RegisterKind::Extern,
+                StorageClass::Param => unreachable!(),
+            };
+            let builtin = match decl.name.as_str() {
+                "X" => Some(BuiltinReg::Gpr),
+                "PC" => Some(BuiltinReg::Pc),
+                "MEM" => Some(BuiltinReg::Mem),
+                _ => None,
+            };
+            if decl.is_const && init.is_none() {
+                return Err(Diagnostic::new(
+                    decl.span,
+                    format!("const register `{}` must be initialized", decl.name),
+                ));
+            }
+            self.module.registers.push(Register {
+                name: decl.name.clone(),
+                ty,
+                elems,
+                kind,
+                is_const: decl.is_const,
+                init,
+                builtin,
+                origin: origin.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn collect_function_signatures(&mut self, input: &SemaInput) -> Result<()> {
+        for f in &input.functions {
+            let ret = match &f.ret {
+                None => None,
+                Some(t) => Some(self.eval_type(t)?),
+            };
+            let mut params = Vec::new();
+            for (t, _) in &f.params {
+                params.push(self.eval_type(t)?);
+            }
+            if self.func_sigs.insert(f.name.clone(), (ret, params)).is_some() {
+                return Err(Diagnostic::new(
+                    f.span,
+                    format!("function `{}` defined more than once", f.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- constant evaluation ---------------------------------------------
+
+    fn eval_type(&self, t: &ast::TypeExpr) -> Result<IntType> {
+        let width = match &t.width {
+            WidthSpec::Fixed(w) => *w,
+            WidthSpec::Expr(e) => {
+                let (v, _) = self.eval_const(e)?;
+                v.try_to_u64()
+                    .filter(|&w| w >= 1 && w <= bits::MAX_WIDTH as u64)
+                    .ok_or_else(|| Diagnostic::new(t.span, "type width out of range"))?
+                    as u32
+            }
+        };
+        Ok(IntType {
+            signed: t.signed,
+            width,
+        })
+    }
+
+    /// Evaluates a compile-time constant expression (parameters are in
+    /// scope). Returns the value at its natural type.
+    fn eval_const(&self, e: &ast::Expr) -> Result<(ApInt, IntType)> {
+        match &e.kind {
+            ast::ExprKind::Int { value, .. } => {
+                Ok((value.clone(), IntType::unsigned(value.width())))
+            }
+            ast::ExprKind::Ident(name) => self
+                .params
+                .get(name)
+                .map(|(t, v)| (v.clone(), *t))
+                .ok_or_else(|| {
+                    Diagnostic::new(
+                        e.span,
+                        format!("`{name}` is not a compile-time constant"),
+                    )
+                }),
+            ast::ExprKind::Unary { op, operand } => {
+                let (v, t) = self.eval_const(operand)?;
+                Ok(match op {
+                    UnOp::Neg => {
+                        let rt = t.neg_result();
+                        let wide = resize(&v, t, rt);
+                        (wide.neg(), rt)
+                    }
+                    UnOp::Not => (v.not(), t),
+                    UnOp::LogNot => (ApInt::from_bool(v.is_zero()), IntType::bool_ty()),
+                    UnOp::Plus => (v, t),
+                })
+            }
+            ast::ExprKind::Binary { op, lhs, rhs } => {
+                let (lv, lt) = self.eval_const(lhs)?;
+                let (rv, rt) = self.eval_const(rhs)?;
+                eval_binary(*op, &lv, lt, &rv, rt)
+                    .ok_or_else(|| Diagnostic::new(e.span, "unsupported constant operator"))
+            }
+            ast::ExprKind::Cast {
+                signed,
+                width,
+                operand,
+            } => {
+                let (v, t) = self.eval_const(operand)?;
+                let w = match width {
+                    None => t.width,
+                    Some(WidthSpec::Fixed(w)) => *w,
+                    Some(WidthSpec::Expr(we)) => {
+                        let (wv, _) = self.eval_const(we)?;
+                        wv.try_to_u64().filter(|&w| w >= 1).ok_or_else(|| {
+                            Diagnostic::new(e.span, "cast width out of range")
+                        })? as u32
+                    }
+                };
+                let target = IntType {
+                    signed: *signed,
+                    width: w,
+                };
+                Ok((resize(&v, t, target), target))
+            }
+            ast::ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let (c, _) = self.eval_const(cond)?;
+                if c.is_zero() {
+                    self.eval_const(else_val)
+                } else {
+                    self.eval_const(then_val)
+                }
+            }
+            _ => Err(Diagnostic::new(
+                e.span,
+                "expression is not a compile-time constant",
+            )),
+        }
+    }
+
+    // ---- bodies -------------------------------------------------------------
+
+    fn check_instruction(&self, i: &ast::InstrDef) -> Result<Instruction> {
+        let encoding = self.check_encoding(i)?;
+        let mut ctx = Ctx {
+            kind: BodyKind::Instruction,
+            fields: encoding
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.width))
+                .collect(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret: None,
+            sema: self,
+        };
+        let behavior = ctx.check_block(&i.behavior)?;
+        Ok(Instruction {
+            name: i.name.clone(),
+            encoding,
+            behavior,
+            locals: ctx.locals,
+        })
+    }
+
+    fn check_always(&self, a: &ast::AlwaysDef) -> Result<AlwaysBlock> {
+        let mut ctx = Ctx {
+            kind: BodyKind::Always,
+            fields: HashMap::new(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret: None,
+            sema: self,
+        };
+        let behavior = ctx.check_block(&a.behavior)?;
+        Ok(AlwaysBlock {
+            name: a.name.clone(),
+            behavior,
+            locals: ctx.locals,
+        })
+    }
+
+    fn check_function(&self, f: &ast::FuncDef) -> Result<Function> {
+        let (ret, param_tys) = self.func_sigs[&f.name].clone();
+        let mut ctx = Ctx {
+            kind: BodyKind::Function,
+            fields: HashMap::new(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret,
+            sema: self,
+        };
+        let mut params = Vec::new();
+        for ((_, name), ty) in f.params.iter().zip(param_tys) {
+            let id = ctx.declare_local(name.clone(), ty, f.span)?;
+            params.push(id);
+        }
+        let body = ctx.check_block(&f.body)?;
+        Ok(Function {
+            name: f.name.clone(),
+            ret,
+            params,
+            body,
+            locals: ctx.locals,
+        })
+    }
+
+    fn check_encoding(&self, i: &ast::InstrDef) -> Result<Encoding> {
+        let mut pieces = Vec::new();
+        let mut fields: Vec<Field> = Vec::new();
+        for p in &i.encoding {
+            match p {
+                ast::EncPiece::Const { value, .. } => {
+                    pieces.push(EncodingPiece::Const(value.clone()))
+                }
+                ast::EncPiece::Field { name, hi, lo, span } => {
+                    if self.module.register(name).is_some() {
+                        return Err(Diagnostic::new(
+                            *span,
+                            format!("encoding field `{name}` collides with a register"),
+                        ));
+                    }
+                    match fields.iter_mut().find(|f| f.name == *name) {
+                        Some(f) => f.width = f.width.max(hi + 1),
+                        None => fields.push(Field {
+                            name: name.clone(),
+                            width: hi + 1,
+                        }),
+                    }
+                    pieces.push(EncodingPiece::Field {
+                        name: name.clone(),
+                        hi: *hi,
+                        lo: *lo,
+                    });
+                }
+            }
+        }
+        let enc = Encoding { pieces, fields };
+        if enc.width() != 32 {
+            return Err(Diagnostic::new(
+                i.span,
+                format!(
+                    "instruction `{}` encoding is {} bits wide, expected 32",
+                    i.name,
+                    enc.width()
+                ),
+            ));
+        }
+        Ok(enc)
+    }
+}
+
+/// Resizes `v` of type `from` to type `to`, using the *source* signedness
+/// for extension (C cast semantics).
+pub fn resize(v: &ApInt, from: IntType, to: IntType) -> ApInt {
+    if from.signed {
+        v.sext_or_trunc(to.width)
+    } else {
+        v.zext_or_trunc(to.width)
+    }
+}
+
+/// Evaluates a binary operator on values, returning the result at the
+/// §2.3 result type. This single definition is shared by the constant
+/// folder and (via [`crate::sema_support`]) the golden interpreter, so both
+/// agree bit-for-bit. Returns `None` for operators outside the evaluable
+/// set (none today; kept for forward compatibility).
+pub fn eval_binary(
+    op: BinOp,
+    lv: &ApInt,
+    lt: IntType,
+    rv: &ApInt,
+    rt: IntType,
+) -> Option<(ApInt, IntType)> {
+    let at = |t: IntType| -> (ApInt, ApInt) {
+        (resize(lv, lt, t), resize(rv, rt, t))
+    };
+    Some(match op {
+        BinOp::Add => {
+            let t = lt.add_result(rt);
+            let (a, b) = at(t);
+            (a.add(&b), t)
+        }
+        BinOp::Sub => {
+            let t = lt.sub_result(rt);
+            let (a, b) = at(t);
+            (a.sub(&b), t)
+        }
+        BinOp::Mul => {
+            let t = lt.mul_result(rt);
+            let (a, b) = at(t);
+            (a.mul(&b), t)
+        }
+        BinOp::Div => {
+            let t = lt.div_result(rt);
+            let (a, b) = at(t);
+            (if t.signed { a.sdiv(&b) } else { a.udiv(&b) }, t)
+        }
+        BinOp::Rem => {
+            let ct = lt.common(rt);
+            let (a, b) = at(ct);
+            let r = if ct.signed { a.srem(&b) } else { a.urem(&b) };
+            let t = lt.rem_result(rt);
+            (resize(&r, ct, t), t)
+        }
+        BinOp::And | BinOp::Or | BinOp::Xor => {
+            let t = lt.bitwise_result(rt);
+            let (a, b) = at(t);
+            let r = match op {
+                BinOp::And => a.and(&b),
+                BinOp::Or => a.or(&b),
+                _ => a.xor(&b),
+            };
+            (r, t)
+        }
+        BinOp::Shl => (lv.shl(rv), lt.shift_result()),
+        BinOp::Shr => (
+            if lt.signed { lv.ashr(rv) } else { lv.lshr(rv) },
+            lt.shift_result(),
+        ),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+            let ct = lt.common(rt);
+            let (a, b) = at(ct);
+            let r = match (op, ct.signed) {
+                (BinOp::Eq, _) => a == b,
+                (BinOp::Ne, _) => a != b,
+                (BinOp::Lt, true) => a.slt(&b),
+                (BinOp::Lt, false) => a.ult(&b),
+                (BinOp::Le, true) => a.sle(&b),
+                (BinOp::Le, false) => a.ule(&b),
+                (BinOp::Gt, true) => b.slt(&a),
+                (BinOp::Gt, false) => b.ult(&a),
+                (BinOp::Ge, true) => b.sle(&a),
+                (BinOp::Ge, false) => b.ule(&a),
+                _ => unreachable!(),
+            };
+            (ApInt::from_bool(r), IntType::bool_ty())
+        }
+        BinOp::LogAnd => (
+            ApInt::from_bool(!lv.is_zero() && !rv.is_zero()),
+            IntType::bool_ty(),
+        ),
+        BinOp::LogOr => (
+            ApInt::from_bool(!lv.is_zero() || !rv.is_zero()),
+            IntType::bool_ty(),
+        ),
+        BinOp::Concat => (lv.concat(rv), lt.concat_result(rt)),
+    })
+}
+
+impl<'a> Ctx<'a> {
+    fn declare_local(&mut self, name: String, ty: IntType, span: Span) -> Result<LocalId> {
+        if self.scopes.last().unwrap().contains_key(&name) {
+            return Err(Diagnostic::new(
+                span,
+                format!("`{name}` is already declared in this scope"),
+            ));
+        }
+        let id = LocalId(self.locals.len());
+        self.locals.push(Local {
+            name: name.clone(),
+            ty,
+        });
+        self.scopes.last_mut().unwrap().insert(name, id);
+        Ok(id)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn check_block(&mut self, b: &ast::Block) -> Result<Block> {
+        self.scopes.push(HashMap::new());
+        let result = self.check_stmts(&b.stmts);
+        self.scopes.pop();
+        Ok(Block { stmts: result? })
+    }
+
+    fn check_stmts(&mut self, stmts: &[ast::Stmt]) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        for s in stmts {
+            out.push(self.check_stmt(s)?);
+        }
+        Ok(out)
+    }
+
+    fn check_stmt(&mut self, s: &ast::Stmt) -> Result<Stmt> {
+        match s {
+            ast::Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
+                let ty = self.sema.eval_type(ty)?;
+                let init = match init {
+                    None => None,
+                    Some(e) => {
+                        let value = self.check_expr(e)?;
+                        Some(self.coerce_assign(value, ty, *span)?)
+                    }
+                };
+                let local = self.declare_local(name.clone(), ty, *span)?;
+                Ok(Stmt::Decl { local, init })
+            }
+            ast::Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => {
+                let (lv, target_ty) = self.check_lvalue(target)?;
+                let rhs = self.check_expr(value)?;
+                let value = if *op == AssignOp::Set {
+                    self.coerce_assign(rhs, target_ty, *span)?
+                } else {
+                    // Compound assignment: `a op= b` is
+                    // `a = (type_of_a)(a op b)` — wrapping implicit cast.
+                    let cur = self.lvalue_as_expr(&lv, target_ty);
+                    let bin_op = match op {
+                        AssignOp::Add => BinOp::Add,
+                        AssignOp::Sub => BinOp::Sub,
+                        AssignOp::Mul => BinOp::Mul,
+                        AssignOp::Div => BinOp::Div,
+                        AssignOp::Rem => BinOp::Rem,
+                        AssignOp::And => BinOp::And,
+                        AssignOp::Or => BinOp::Or,
+                        AssignOp::Xor => BinOp::Xor,
+                        AssignOp::Shl => BinOp::Shl,
+                        AssignOp::Shr => BinOp::Shr,
+                        AssignOp::Set => unreachable!(),
+                    };
+                    let combined = self.type_binary(bin_op, cur, rhs, *span)?;
+                    Expr {
+                        ty: target_ty,
+                        kind: ExprKind::Cast {
+                            operand: Box::new(combined),
+                        },
+                    }
+                };
+                Ok(Stmt::Assign { target: lv, value })
+            }
+            ast::Stmt::IncDec {
+                target,
+                increment,
+                span,
+            } => {
+                let (lv, target_ty) = self.check_lvalue(target)?;
+                let cur = self.lvalue_as_expr(&lv, target_ty);
+                let one = Expr::constant(ApInt::one(1), false);
+                let op = if *increment { BinOp::Add } else { BinOp::Sub };
+                let combined = self.type_binary(op, cur, one, *span)?;
+                Ok(Stmt::Assign {
+                    target: lv,
+                    value: Expr {
+                        ty: target_ty,
+                        kind: ExprKind::Cast {
+                            operand: Box::new(combined),
+                        },
+                    },
+                })
+            }
+            ast::Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                let cond = self.check_expr(cond)?;
+                let then_block = self.check_block(then_block)?;
+                let else_block = match else_block {
+                    Some(b) => self.check_block(b)?,
+                    None => Block::default(),
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                })
+            }
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
+                self.scopes.push(HashMap::new());
+                let result = (|| {
+                    let init = match init {
+                        Some(s) => vec![self.check_stmt(s)?],
+                        None => Vec::new(),
+                    };
+                    let cond = match cond {
+                        Some(c) => self.check_expr(c)?,
+                        None => {
+                            return Err(Diagnostic::new(
+                                *span,
+                                "for-loops must have a condition (loops are unrolled during synthesis)",
+                            ))
+                        }
+                    };
+                    let step = match step {
+                        Some(s) => vec![self.check_stmt(s)?],
+                        None => Vec::new(),
+                    };
+                    let body = self.check_block(body)?;
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    })
+                })();
+                self.scopes.pop();
+                result
+            }
+            ast::Stmt::While {
+                cond,
+                body,
+                do_first,
+                span: _,
+            } => {
+                // `while` is a for-loop without init/step; `do..while`
+                // prepends one unconditional execution of the body.
+                self.scopes.push(HashMap::new());
+                let result = (|| {
+                    let cond = self.check_expr(cond)?;
+                    let first = if *do_first {
+                        Some(self.check_block(body)?)
+                    } else {
+                        None
+                    };
+                    let checked_body = self.check_block(body)?;
+                    let looped = Stmt::For {
+                        init: Vec::new(),
+                        cond,
+                        step: Vec::new(),
+                        body: checked_body,
+                    };
+                    Ok(match first {
+                        None => looped,
+                        Some(first) => Stmt::If {
+                            cond: Expr::constant(ApInt::one(1), false),
+                            then_block: Block {
+                                stmts: first
+                                    .stmts
+                                    .into_iter()
+                                    .chain(std::iter::once(looped))
+                                    .collect(),
+                            },
+                            else_block: Block::default(),
+                        },
+                    })
+                })();
+                self.scopes.pop();
+                result
+            }
+            ast::Stmt::Spawn { body, span } => {
+                if self.kind != BodyKind::Instruction {
+                    return Err(Diagnostic::new(
+                        *span,
+                        "spawn-blocks are only allowed inside instruction behavior",
+                    ));
+                }
+                let body = self.check_block(body)?;
+                Ok(Stmt::Spawn { body })
+            }
+            ast::Stmt::Expr { expr, span } => match &expr.kind {
+                ast::ExprKind::Call { .. } => {
+                    let e = self.check_expr(expr)?;
+                    match e.kind {
+                        ExprKind::Call { callee, args } => Ok(Stmt::Call { callee, args }),
+                        _ => unreachable!(),
+                    }
+                }
+                _ => Err(Diagnostic::new(
+                    *span,
+                    "expression statement has no effect",
+                )),
+            },
+            ast::Stmt::Return { value, span } => {
+                if self.kind != BodyKind::Function {
+                    return Err(Diagnostic::new(
+                        *span,
+                        "return is only allowed inside functions",
+                    ));
+                }
+                let value = match (&self.ret, value) {
+                    (None, None) => None,
+                    (Some(rt), Some(e)) => {
+                        let rt = *rt;
+                        let v = self.check_expr(e)?;
+                        Some(self.coerce_assign(v, rt, *span)?)
+                    }
+                    (None, Some(_)) => {
+                        return Err(Diagnostic::new(*span, "void function returns a value"))
+                    }
+                    (Some(_), None) => {
+                        return Err(Diagnostic::new(*span, "missing return value"))
+                    }
+                };
+                Ok(Stmt::Return { value })
+            }
+            ast::Stmt::Block(b) => {
+                let inner = self.check_block(b)?;
+                Ok(Stmt::If {
+                    cond: Expr::constant(ApInt::one(1), false),
+                    then_block: inner,
+                    else_block: Block::default(),
+                })
+            }
+        }
+    }
+
+    /// Checks that `value` may be implicitly assigned to `target_ty` (the
+    /// lossless rule), wrapping it in a widening cast when the types differ.
+    fn coerce_assign(&self, value: Expr, target_ty: IntType, span: Span) -> Result<Expr> {
+        if value.ty == target_ty {
+            return Ok(value);
+        }
+        if !target_ty.can_losslessly_hold(value.ty) {
+            return Err(Diagnostic::new(
+                span,
+                format!(
+                    "implicit conversion from {} to {} may lose information; use an explicit cast",
+                    value.ty, target_ty
+                ),
+            ));
+        }
+        Ok(Expr {
+            ty: target_ty,
+            kind: ExprKind::Cast {
+                operand: Box::new(value),
+            },
+        })
+    }
+
+    fn check_lvalue(&mut self, e: &ast::Expr) -> Result<(LValue, IntType)> {
+        match &e.kind {
+            ast::ExprKind::Ident(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let ty = self.locals[id.0].ty;
+                    return Ok((LValue::Local(id), ty));
+                }
+                if let Some((reg, r)) = self.sema.module.register(name) {
+                    self.check_state_access(r, e.span)?;
+                    if r.elems > 1 {
+                        return Err(Diagnostic::new(
+                            e.span,
+                            format!("register array `{name}` needs an index to be assigned"),
+                        ));
+                    }
+                    let ty = r.ty;
+                    return Ok((LValue::Reg { reg, index: None }, ty));
+                }
+                Err(Diagnostic::new(
+                    e.span,
+                    format!("cannot assign to `{name}`"),
+                ))
+            }
+            ast::ExprKind::Index { base, index } => {
+                let ast::ExprKind::Ident(name) = &base.kind else {
+                    return Err(Diagnostic::new(e.span, "invalid assignment target"));
+                };
+                let Some((reg, r)) = self.sema.module.register(name) else {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!("cannot index-assign `{name}`"),
+                    ));
+                };
+                self.check_state_access(r, e.span)?;
+                if r.elems <= 1 {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!("`{name}` is not a register array"),
+                    ));
+                }
+                if r.is_const {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!("cannot assign to const register `{name}`"),
+                    ));
+                }
+                let ty = r.ty;
+                let index = self.check_expr(index)?;
+                Ok((
+                    LValue::Reg {
+                        reg,
+                        index: Some(index),
+                    },
+                    ty,
+                ))
+            }
+            ast::ExprKind::Range { base, hi, lo } => {
+                // Register-array range store (e.g. MEM[a+3:a] = v) or a
+                // bit-range store into a local.
+                if let ast::ExprKind::Ident(name) = &base.kind {
+                    if let Some((reg, r)) = self.sema.module.register(name) {
+                        self.check_state_access(r, e.span)?;
+                        if r.elems <= 1 {
+                            return Err(Diagnostic::new(
+                                e.span,
+                                format!("`{name}` is not a register array"),
+                            ));
+                        }
+                        let elemw = r.ty.width;
+                        let elems = range_extent(hi, lo).ok_or_else(|| {
+                            Diagnostic::new(
+                                e.span,
+                                "range bounds must be constants or share a base with constant offsets",
+                            )
+                        })?;
+                        let lo = self.check_expr(lo)?;
+                        let ty = IntType::unsigned(elems as u32 * elemw);
+                        return Ok((LValue::RegRange { reg, lo, elems }, ty));
+                    }
+                    if let Some(id) = self.lookup_local(name) {
+                        let width = range_extent(hi, lo).ok_or_else(|| {
+                            Diagnostic::new(
+                                e.span,
+                                "range bounds must be constants or share a base with constant offsets",
+                            )
+                        })? as u32;
+                        let offset = self.check_expr(lo)?;
+                        return Ok((
+                            LValue::LocalRange {
+                                local: id,
+                                offset,
+                                width,
+                            },
+                            IntType::unsigned(width),
+                        ));
+                    }
+                }
+                Err(Diagnostic::new(e.span, "invalid assignment target"))
+            }
+            _ => Err(Diagnostic::new(e.span, "invalid assignment target")),
+        }
+    }
+
+    /// Rejects architectural-state access inside functions (functions are
+    /// pure so they can be inlined unconditionally).
+    fn check_state_access(&self, r: &Register, span: Span) -> Result<()> {
+        if self.kind == BodyKind::Function && !r.is_const {
+            return Err(Diagnostic::new(
+                span,
+                format!(
+                    "functions may not access architectural state (`{}`)",
+                    r.name
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Re-reads an lvalue as an expression (for compound-assignment
+    /// desugaring).
+    fn lvalue_as_expr(&self, lv: &LValue, ty: IntType) -> Expr {
+        let kind = match lv {
+            LValue::Local(id) => ExprKind::Local(*id),
+            LValue::LocalRange {
+                local,
+                offset,
+                width,
+            } => ExprKind::Slice {
+                base: Box::new(Expr {
+                    ty: self.locals[local.0].ty,
+                    kind: ExprKind::Local(*local),
+                }),
+                offset: Box::new(offset.clone()),
+                width: *width,
+            },
+            LValue::Reg { reg, index } => ExprKind::ReadReg {
+                reg: *reg,
+                index: index.clone().map(Box::new),
+            },
+            LValue::RegRange { reg, lo, elems } => ExprKind::ReadRegRange {
+                reg: *reg,
+                lo: Box::new(lo.clone()),
+                elems: *elems,
+            },
+        };
+        Expr { ty, kind }
+    }
+
+    fn type_binary(&self, op: BinOp, lhs: Expr, rhs: Expr, span: Span) -> Result<Expr> {
+        let (lt, rt) = (lhs.ty, rhs.ty);
+        let ty = match op {
+            BinOp::Add => lt.add_result(rt),
+            BinOp::Sub => lt.sub_result(rt),
+            BinOp::Mul => lt.mul_result(rt),
+            BinOp::Div => lt.div_result(rt),
+            BinOp::Rem => lt.rem_result(rt),
+            BinOp::And | BinOp::Or | BinOp::Xor => lt.bitwise_result(rt),
+            BinOp::Shl | BinOp::Shr => lt.shift_result(),
+            BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::LogAnd
+            | BinOp::LogOr => IntType::bool_ty(),
+            BinOp::Concat => lt.concat_result(rt),
+        };
+        if ty.width > bits::MAX_WIDTH {
+            return Err(Diagnostic::new(span, "operator result width too large"));
+        }
+        Ok(Expr {
+            ty,
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        })
+    }
+
+    fn check_expr(&mut self, e: &ast::Expr) -> Result<Expr> {
+        match &e.kind {
+            ast::ExprKind::Int { value, .. } => Ok(Expr::constant(value.clone(), false)),
+            ast::ExprKind::Ident(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    return Ok(Expr {
+                        ty: self.locals[id.0].ty,
+                        kind: ExprKind::Local(id),
+                    });
+                }
+                if let Some(&width) = self.fields.get(name) {
+                    return Ok(Expr {
+                        ty: IntType::unsigned(width),
+                        kind: ExprKind::Field(name.clone()),
+                    });
+                }
+                if let Some((ty, v)) = self.sema.params.get(name) {
+                    return Ok(Expr {
+                        ty: *ty,
+                        kind: ExprKind::Const(v.clone()),
+                    });
+                }
+                if let Some((reg, r)) = self.sema.module.register(name) {
+                    self.check_state_access(r, e.span)?;
+                    if r.elems > 1 {
+                        return Err(Diagnostic::new(
+                            e.span,
+                            format!("register array `{name}` must be indexed"),
+                        ));
+                    }
+                    return Ok(Expr {
+                        ty: r.ty,
+                        kind: ExprKind::ReadReg { reg, index: None },
+                    });
+                }
+                Err(Diagnostic::new(e.span, format!("unknown name `{name}`")))
+            }
+            ast::ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.check_expr(lhs)?;
+                let r = self.check_expr(rhs)?;
+                self.type_binary(*op, l, r, e.span)
+            }
+            ast::ExprKind::Unary { op, operand } => {
+                let v = self.check_expr(operand)?;
+                let ty = match op {
+                    UnOp::Neg => v.ty.neg_result(),
+                    UnOp::Not => v.ty.not_result(),
+                    UnOp::LogNot => IntType::bool_ty(),
+                    UnOp::Plus => v.ty,
+                };
+                Ok(Expr {
+                    ty,
+                    kind: ExprKind::Unary {
+                        op: *op,
+                        operand: Box::new(v),
+                    },
+                })
+            }
+            ast::ExprKind::Index { base, index } => {
+                // Register-array element read?
+                if let ast::ExprKind::Ident(name) = &base.kind {
+                    if self.lookup_local(name).is_none() && !self.fields.contains_key(name) {
+                        if let Some((reg, r)) = self.sema.module.register(name) {
+                            self.check_state_access(r, e.span)?;
+                            if r.elems > 1 {
+                                let ty = r.ty;
+                                let index = self.check_expr(index)?;
+                                return Ok(Expr {
+                                    ty,
+                                    kind: ExprKind::ReadReg {
+                                        reg,
+                                        index: Some(Box::new(index)),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+                // Single-bit select on a scalar value.
+                let base = self.check_expr(base)?;
+                let index = self.check_expr(index)?;
+                Ok(Expr {
+                    ty: IntType::unsigned(1),
+                    kind: ExprKind::Slice {
+                        base: Box::new(base),
+                        offset: Box::new(index),
+                        width: 1,
+                    },
+                })
+            }
+            ast::ExprKind::Range { base, hi, lo } => {
+                // Register-array range read (address-space load)?
+                if let ast::ExprKind::Ident(name) = &base.kind {
+                    if self.lookup_local(name).is_none() && !self.fields.contains_key(name) {
+                        if let Some((reg, r)) = self.sema.module.register(name) {
+                            if r.elems > 1 {
+                                self.check_state_access(r, e.span)?;
+                                let elemw = r.ty.width;
+                                let elems = range_extent(hi, lo).ok_or_else(|| {
+                                    Diagnostic::new(
+                                        e.span,
+                                        "range bounds must be constants or share a base with constant offsets",
+                                    )
+                                })?;
+                                let lo = self.check_expr(lo)?;
+                                return Ok(Expr {
+                                    ty: IntType::unsigned(elems as u32 * elemw),
+                                    kind: ExprKind::ReadRegRange {
+                                        reg,
+                                        lo: Box::new(lo),
+                                        elems,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+                // Bit-range on a scalar value.
+                let width = range_extent(hi, lo).ok_or_else(|| {
+                    Diagnostic::new(
+                        e.span,
+                        "range bounds must be constants or share a base with constant offsets",
+                    )
+                })? as u32;
+                let base = self.check_expr(base)?;
+                if width > base.ty.width {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!(
+                            "bit range of width {width} exceeds operand width {}",
+                            base.ty.width
+                        ),
+                    ));
+                }
+                let offset = self.check_expr(lo)?;
+                Ok(Expr {
+                    ty: IntType::unsigned(width),
+                    kind: ExprKind::Slice {
+                        base: Box::new(base),
+                        offset: Box::new(offset),
+                        width,
+                    },
+                })
+            }
+            ast::ExprKind::Cast {
+                signed,
+                width,
+                operand,
+            } => {
+                let v = self.check_expr(operand)?;
+                let w = match width {
+                    None => v.ty.width,
+                    Some(WidthSpec::Fixed(w)) => *w,
+                    Some(WidthSpec::Expr(we)) => {
+                        let (wv, _) = self.sema.eval_const(we)?;
+                        wv.try_to_u64()
+                            .filter(|&w| w >= 1 && w <= bits::MAX_WIDTH as u64)
+                            .ok_or_else(|| Diagnostic::new(e.span, "cast width out of range"))?
+                            as u32
+                    }
+                };
+                Ok(Expr {
+                    ty: IntType {
+                        signed: *signed,
+                        width: w,
+                    },
+                    kind: ExprKind::Cast {
+                        operand: Box::new(v),
+                    },
+                })
+            }
+            ast::ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let cond = self.check_expr(cond)?;
+                let t = self.check_expr(then_val)?;
+                let f = self.check_expr(else_val)?;
+                let ty = t.ty.common(f.ty);
+                Ok(Expr {
+                    ty,
+                    kind: ExprKind::Ternary {
+                        cond: Box::new(cond),
+                        then_val: Box::new(t),
+                        else_val: Box::new(f),
+                    },
+                })
+            }
+            ast::ExprKind::Call { callee, args } => {
+                let Some((ret, param_tys)) = self.sema.func_sigs.get(callee).cloned() else {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!("unknown function `{callee}`"),
+                    ));
+                };
+                if args.len() != param_tys.len() {
+                    return Err(Diagnostic::new(
+                        e.span,
+                        format!(
+                            "function `{callee}` expects {} arguments, got {}",
+                            param_tys.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let mut typed_args = Vec::new();
+                for (a, pt) in args.iter().zip(param_tys) {
+                    let v = self.check_expr(a)?;
+                    typed_args.push(self.coerce_assign(v, pt, a.span)?);
+                }
+                let ty = ret.ok_or_else(|| {
+                    Diagnostic::new(
+                        e.span,
+                        format!("void function `{callee}` used as a value"),
+                    )
+                });
+                match ty {
+                    Ok(ty) => Ok(Expr {
+                        ty,
+                        kind: ExprKind::Call {
+                            callee: callee.clone(),
+                            args: typed_args,
+                        },
+                    }),
+                    // Void calls are handled by `check_stmt`; reaching here
+                    // means a void call in expression position.
+                    Err(d) => Err(d),
+                }
+            }
+        }
+    }
+}
+
+/// Computes the static extent `hi - lo + 1` of a range whose bounds are
+/// constants or the same base expression with constant offsets (paper §2.4).
+fn range_extent(hi: &ast::Expr, lo: &ast::Expr) -> Option<u64> {
+    let (hb, ho) = split_offset(hi);
+    let (lb, lo_off) = split_offset(lo);
+    match (hb, lb) {
+        (None, None) => {
+            let ext = ho - lo_off + 1;
+            (ext >= 1).then_some(ext as u64)
+        }
+        (Some(a), Some(b)) if structurally_equal(a, b) => {
+            let ext = ho - lo_off + 1;
+            (ext >= 1).then_some(ext as u64)
+        }
+        _ => None,
+    }
+}
+
+/// Splits `base + constant` / `base - constant` / `constant` forms.
+fn split_offset(e: &ast::Expr) -> (Option<&ast::Expr>, i64) {
+    match &e.kind {
+        ast::ExprKind::Int { value, .. } => (None, value.try_to_u64().unwrap_or(0) as i64),
+        ast::ExprKind::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } => {
+            if let ast::ExprKind::Int { value, .. } = &rhs.kind {
+                let (b, o) = split_offset(lhs);
+                (b, o + value.try_to_u64().unwrap_or(0) as i64)
+            } else if let ast::ExprKind::Int { value, .. } = &lhs.kind {
+                let (b, o) = split_offset(rhs);
+                (b, o + value.try_to_u64().unwrap_or(0) as i64)
+            } else {
+                (Some(e), 0)
+            }
+        }
+        ast::ExprKind::Binary {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+        } => {
+            if let ast::ExprKind::Int { value, .. } = &rhs.kind {
+                let (b, o) = split_offset(lhs);
+                (b, o - value.try_to_u64().unwrap_or(0) as i64)
+            } else {
+                (Some(e), 0)
+            }
+        }
+        _ => (Some(e), 0),
+    }
+}
+
+/// Conservative structural equality on untyped expressions.
+fn structurally_equal(a: &ast::Expr, b: &ast::Expr) -> bool {
+    use ast::ExprKind as K;
+    match (&a.kind, &b.kind) {
+        (K::Int { value: va, .. }, K::Int { value: vb, .. }) => {
+            va.width() == vb.width() && va == vb
+        }
+        (K::Ident(na), K::Ident(nb)) => na == nb,
+        (
+            K::Binary {
+                op: oa,
+                lhs: la,
+                rhs: ra,
+            },
+            K::Binary {
+                op: ob,
+                lhs: lb,
+                rhs: rb,
+            },
+        ) => oa == ob && structurally_equal(la, lb) && structurally_equal(ra, rb),
+        (
+            K::Unary {
+                op: oa,
+                operand: pa,
+            },
+            K::Unary {
+                op: ob,
+                operand: pb,
+            },
+        ) => oa == ob && structurally_equal(pa, pb),
+        (
+            K::Index {
+                base: ba,
+                index: ia,
+            },
+            K::Index {
+                base: bb,
+                index: ib,
+            },
+        ) => structurally_equal(ba, bb) && structurally_equal(ia, ib),
+        _ => false,
+    }
+}

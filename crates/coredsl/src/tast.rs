@@ -1,0 +1,384 @@
+//! Typed AST: the output of semantic analysis and elaboration.
+//!
+//! A [`TypedModule`] is a fully elaborated, type-checked ISAX description —
+//! the analog of the paper's "decorated AST" handed from the CoreDSL
+//! frontend to the MLIR emission (Figure 5a → 5b boundary). Every expression
+//! carries its [`IntType`]; parameters have been folded to constants;
+//! inheritance has been flattened.
+
+use crate::ast::{BinOp, UnOp};
+use crate::types::IntType;
+use bits::ApInt;
+
+/// Identifies a register in the module's register table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub usize);
+
+/// Identifies a local variable within one behavior (or function) body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub usize);
+
+/// A fully elaborated, type-checked ISA module.
+#[derive(Debug, Clone, Default)]
+pub struct TypedModule {
+    /// Name of the elaborated instruction set or core.
+    pub name: String,
+    /// All architectural state, including inherited base-ISA state.
+    pub registers: Vec<Register>,
+    /// Resolved ISA parameters (name → value).
+    pub params: Vec<(String, IntType, ApInt)>,
+    /// Instructions to synthesize.
+    pub instructions: Vec<Instruction>,
+    /// `always`-blocks to synthesize.
+    pub always_blocks: Vec<AlwaysBlock>,
+    /// Helper functions (inlined during lowering).
+    pub functions: Vec<Function>,
+}
+
+impl TypedModule {
+    /// Looks up a register by name.
+    pub fn register(&self, name: &str) -> Option<(RegId, &Register)> {
+        self.registers
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name == name)
+            .map(|(i, r)| (RegId(i), r))
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Well-known base-ISA state elements that map onto dedicated SCAIE-V
+/// sub-interfaces rather than custom registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinReg {
+    /// The general-purpose register field `X` (RdRS1/RdRS2/WrRD).
+    Gpr,
+    /// The program counter `PC` (RdPC/WrPC).
+    Pc,
+    /// The byte-addressable main-memory address space `MEM` (RdMem/WrMem).
+    Mem,
+}
+
+/// Storage kind of a register declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterKind {
+    /// `register` storage (instantiated by the core or by SCAIE-V).
+    Register,
+    /// `extern` address space provided by the environment.
+    Extern,
+}
+
+/// One architectural-state element.
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Declared name.
+    pub name: String,
+    /// Element type.
+    pub ty: IntType,
+    /// Number of elements (1 for scalars).
+    pub elems: u64,
+    /// Storage kind.
+    pub kind: RegisterKind,
+    /// `const` registers (ROMs) — internalized into the ISAX module.
+    pub is_const: bool,
+    /// Initializer values (constant-folded), if any.
+    pub init: Option<Vec<ApInt>>,
+    /// Base-ISA role, if this is one of the well-known state elements.
+    pub builtin: Option<BuiltinReg>,
+    /// Name of the instruction set that declared this register.
+    pub origin: String,
+}
+
+impl Register {
+    /// True for ISAX-defined custom registers that SCAIE-V must instantiate
+    /// (paper §3.1): non-builtin, non-const `register` state.
+    pub fn is_custom(&self) -> bool {
+        self.builtin.is_none() && !self.is_const && self.kind == RegisterKind::Register
+    }
+
+    /// Address width `ceil(log2(elems))` used by custom-register
+    /// sub-interfaces (Table 1); 0 for single-element registers.
+    pub fn addr_width(&self) -> u32 {
+        if self.elems <= 1 {
+            0
+        } else {
+            64 - (self.elems - 1).leading_zeros()
+        }
+    }
+}
+
+/// A type-checked instruction definition.
+#[derive(Debug, Clone)]
+pub struct Instruction {
+    pub name: String,
+    pub encoding: Encoding,
+    pub behavior: Block,
+    /// Local-variable table for the behavior.
+    pub locals: Vec<Local>,
+}
+
+/// A type-checked `always`-block.
+#[derive(Debug, Clone)]
+pub struct AlwaysBlock {
+    pub name: String,
+    pub behavior: Block,
+    pub locals: Vec<Local>,
+}
+
+/// A type-checked helper function. Functions are pure: they compute only on
+/// their arguments and locals (checked by sema), enabling unconditional
+/// inlining during lowering.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// `None` for `void`.
+    pub ret: Option<IntType>,
+    /// Parameter locals are the first `params.len()` entries of `locals`.
+    pub params: Vec<LocalId>,
+    pub body: Block,
+    pub locals: Vec<Local>,
+}
+
+/// A local variable slot.
+#[derive(Debug, Clone)]
+pub struct Local {
+    pub name: String,
+    pub ty: IntType,
+}
+
+/// An instruction encoding: pieces listed MSB-first, summing to 32 bits.
+#[derive(Debug, Clone, Default)]
+pub struct Encoding {
+    pub pieces: Vec<EncodingPiece>,
+    /// Operand fields with their total widths, in first-appearance order.
+    pub fields: Vec<Field>,
+}
+
+/// An operand field of an encoding.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    /// Total field width: `max(hi) + 1` over all pieces naming this field.
+    pub width: u32,
+}
+
+/// One piece of an encoding.
+#[derive(Debug, Clone)]
+pub enum EncodingPiece {
+    /// Fixed bits.
+    Const(ApInt),
+    /// Bits `[hi:lo]` of the named operand field.
+    Field { name: String, hi: u32, lo: u32 },
+}
+
+impl Encoding {
+    /// Total encoded width (32 for RV32 instructions).
+    pub fn width(&self) -> u32 {
+        self.pieces
+            .iter()
+            .map(|p| match p {
+                EncodingPiece::Const(v) => v.width(),
+                EncodingPiece::Field { hi, lo, .. } => hi - lo + 1,
+            })
+            .sum()
+    }
+
+    /// Decode mask: bit set where the encoding fixes a value.
+    pub fn mask(&self) -> u32 {
+        let (mut mask, mut pos) = (0u32, self.width());
+        for p in &self.pieces {
+            match p {
+                EncodingPiece::Const(v) => {
+                    let w = v.width();
+                    pos -= w;
+                    let field_mask = if w >= 32 { u32::MAX } else { (1u32 << w) - 1 };
+                    mask |= field_mask << pos;
+                }
+                EncodingPiece::Field { hi, lo, .. } => pos -= hi - lo + 1,
+            }
+        }
+        mask
+    }
+
+    /// Decode match value (fixed bits in place, field bits zero).
+    pub fn match_value(&self) -> u32 {
+        let (mut value, mut pos) = (0u32, self.width());
+        for p in &self.pieces {
+            match p {
+                EncodingPiece::Const(v) => {
+                    let w = v.width();
+                    pos -= w;
+                    value |= (v.to_u64() as u32) << pos;
+                }
+                EncodingPiece::Field { hi, lo, .. } => pos -= hi - lo + 1,
+            }
+        }
+        value
+    }
+
+    /// Returns `(instr_bit_lo, field_bit_lo, len)` segments describing where
+    /// each slice of `field` sits in the instruction word, LSB-first.
+    pub fn field_segments(&self, field: &str) -> Vec<(u32, u32, u32)> {
+        let mut segs = Vec::new();
+        let mut pos = self.width();
+        for p in &self.pieces {
+            match p {
+                EncodingPiece::Const(v) => pos -= v.width(),
+                EncodingPiece::Field { name, hi, lo } => {
+                    let len = hi - lo + 1;
+                    pos -= len;
+                    if name == field {
+                        segs.push((pos, *lo, len));
+                    }
+                }
+            }
+        }
+        segs
+    }
+
+    /// Renders the decode pattern as a 32-character string of `0`/`1`/`-`,
+    /// MSB first — the format used in the paper's Figure 5c and Figure 8.
+    pub fn pattern_string(&self) -> String {
+        let w = self.width();
+        let mask = self.mask();
+        let val = self.match_value();
+        (0..w)
+            .rev()
+            .map(|i| {
+                if mask >> i & 1 == 1 {
+                    if val >> i & 1 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+}
+
+/// A block of typed statements.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// Typed statements. Compound assignments and `++`/`--` have been desugared
+/// into plain assignments with an implicit wrapping cast.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Local declaration, optionally initialized.
+    Decl { local: LocalId, init: Option<Expr> },
+    /// Assignment; `value.ty` is losslessly assignable to the target type
+    /// (sema inserts explicit casts for desugared compound forms).
+    Assign { target: LValue, value: Expr },
+    If {
+        cond: Expr,
+        then_block: Block,
+        else_block: Block,
+    },
+    /// A C-style for loop; loops must have compile-time-evaluable trip
+    /// counts, checked during lowering when they are unrolled.
+    For {
+        init: Vec<Stmt>,
+        cond: Expr,
+        step: Vec<Stmt>,
+        body: Block,
+    },
+    /// Decoupled continuation (paper §2.5).
+    Spawn { body: Block },
+    /// A call evaluated for nothing (void helper call). Pure functions make
+    /// this a no-op, but we keep it for faithful round-tripping.
+    Call { callee: String, args: Vec<Expr> },
+    /// Function return.
+    Return { value: Option<Expr> },
+}
+
+/// Assignable places.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    Local(LocalId),
+    /// Bit range `[offset + width - 1 : offset]` of a local.
+    LocalRange {
+        local: LocalId,
+        offset: Expr,
+        width: u32,
+    },
+    /// Scalar register or one element of a register array.
+    Reg { reg: RegId, index: Option<Expr> },
+    /// `elems` consecutive elements starting at `lo` (e.g.
+    /// `MEM[addr+3:addr] = v` is a 4-byte little-endian store).
+    RegRange { reg: RegId, lo: Expr, elems: u64 },
+}
+
+/// A typed expression.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub ty: IntType,
+    pub kind: ExprKind,
+}
+
+/// Typed expression payload.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Constant; the value width equals `ty.width`.
+    Const(ApInt),
+    Local(LocalId),
+    /// Encoding operand field (type `unsigned<field width>`).
+    Field(String),
+    /// Scalar register read or register-array element read.
+    ReadReg { reg: RegId, index: Option<Box<Expr>> },
+    /// Concatenated read of `elems` consecutive elements starting at `lo`
+    /// (e.g. `MEM[addr+3:addr]` is a 32-bit little-endian load).
+    ReadRegRange {
+        reg: RegId,
+        lo: Box<Expr>,
+        elems: u64,
+    },
+    /// Operands keep their natural types; evaluators/lowerings extend them
+    /// per the §2.3 rules to compute the stated result type.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Explicit cast to `ty`: resize using the *operand's* signedness, then
+    /// reinterpret.
+    Cast { operand: Box<Expr> },
+    /// Bit slice `[offset + width - 1 : offset]` of a scalar value.
+    Slice {
+        base: Box<Expr>,
+        offset: Box<Expr>,
+        width: u32,
+    },
+    /// `hi :: lo` concatenation.
+    Concat { hi: Box<Expr>, lo: Box<Expr> },
+    Ternary {
+        cond: Box<Expr>,
+        then_val: Box<Expr>,
+        else_val: Box<Expr>,
+    },
+    /// Pure helper-function call.
+    Call { callee: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Constant expression of the value's own width.
+    pub fn constant(value: ApInt, signed: bool) -> Self {
+        let ty = IntType {
+            signed,
+            width: value.width(),
+        };
+        Expr {
+            ty,
+            kind: ExprKind::Const(value),
+        }
+    }
+}

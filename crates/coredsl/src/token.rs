@@ -1,0 +1,220 @@
+//! Token definitions for the CoreDSL lexer.
+
+use crate::error::Span;
+use bits::ApInt;
+use std::fmt;
+
+/// A lexical token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Location of the first character.
+    pub span: Span,
+}
+
+/// The different kinds of CoreDSL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Keyword (see [`KEYWORDS`]).
+    Keyword(Keyword),
+    /// Integer literal. `width` is `Some` for Verilog-style sized literals
+    /// (`7'd0`), `None` for C-style literals whose type is the minimal-width
+    /// unsigned type.
+    Int {
+        /// Parsed value (stored with enough bits for the literal).
+        value: ApInt,
+        /// Explicit width for Verilog-style literals.
+        width: Option<u32>,
+    },
+    /// String literal (used by `import`).
+    Str(String),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    InstructionSet,
+    Core,
+    Extends,
+    Provides,
+    Import,
+    ArchitecturalState,
+    Instructions,
+    Always,
+    Functions,
+    Encoding,
+    Behavior,
+    Register,
+    Extern,
+    Const,
+    Signed,
+    Unsigned,
+    Bool,
+    Char,
+    Short,
+    Int,
+    Long,
+    Void,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Spawn,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Question,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Colon => ":",
+            Punct::ColonColon => "::",
+            Punct::Question => "?",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::PercentAssign => "%=",
+            Punct::AmpAssign => "&=",
+            Punct::PipeAssign => "|=",
+            Punct::CaretAssign => "^=",
+            Punct::ShlAssign => "<<=",
+            Punct::ShrAssign => ">>=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Bang => "!",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps reserved words to keywords.
+pub const KEYWORDS: &[(&str, Keyword)] = &[
+    ("InstructionSet", Keyword::InstructionSet),
+    ("Core", Keyword::Core),
+    ("extends", Keyword::Extends),
+    ("provides", Keyword::Provides),
+    ("import", Keyword::Import),
+    ("architectural_state", Keyword::ArchitecturalState),
+    ("instructions", Keyword::Instructions),
+    ("always", Keyword::Always),
+    ("functions", Keyword::Functions),
+    ("encoding", Keyword::Encoding),
+    ("behavior", Keyword::Behavior),
+    ("register", Keyword::Register),
+    ("extern", Keyword::Extern),
+    ("const", Keyword::Const),
+    ("signed", Keyword::Signed),
+    ("unsigned", Keyword::Unsigned),
+    ("bool", Keyword::Bool),
+    ("char", Keyword::Char),
+    ("short", Keyword::Short),
+    ("int", Keyword::Int),
+    ("long", Keyword::Long),
+    ("void", Keyword::Void),
+    ("if", Keyword::If),
+    ("else", Keyword::Else),
+    ("for", Keyword::For),
+    ("while", Keyword::While),
+    ("do", Keyword::Do),
+    ("return", Keyword::Return),
+    ("spawn", Keyword::Spawn),
+];
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Keyword(kw) => format!("keyword `{kw:?}`"),
+            TokenKind::Int { value, .. } => format!("integer literal `{value}`"),
+            TokenKind::Str(s) => format!("string literal {s:?}"),
+            TokenKind::Punct(p) => format!("`{p}`"),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The bitwidth-aware CoreDSL type system (paper §2.3).
+//!
+//! All values are signed or unsigned two's-complement integers of arbitrary
+//! width. The core rules:
+//!
+//! * **Lossless implicit assignment** — precision or sign information is
+//!   never lost implicitly. `unsigned<4> = unsigned<5>` and
+//!   `unsigned<4> = signed<4>` are rejected; narrowing requires an explicit
+//!   C-style cast.
+//! * **Bitwidth-aware operators** — operands of different types are allowed
+//!   and the result is wide enough to represent all possible values, e.g.
+//!   `unsigned<5> + signed<4>` yields `signed<7>`.
+
+use std::fmt;
+
+/// A CoreDSL integer type: `signed<w>` or `unsigned<w>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntType {
+    /// Signed (two's complement) or unsigned interpretation.
+    pub signed: bool,
+    /// Bitwidth (>= 1).
+    pub width: u32,
+}
+
+impl IntType {
+    /// `unsigned<width>`.
+    pub fn unsigned(width: u32) -> Self {
+        IntType {
+            signed: false,
+            width,
+        }
+    }
+
+    /// `signed<width>`.
+    pub fn signed(width: u32) -> Self {
+        IntType {
+            signed: true,
+            width,
+        }
+    }
+
+    /// The one-bit boolean type `unsigned<1>`.
+    pub fn bool_ty() -> Self {
+        Self::unsigned(1)
+    }
+
+    /// Width this type occupies when embedded in a signed type without
+    /// losing values: unsigned types need one extra (sign) bit.
+    fn width_in_signed(self) -> u32 {
+        if self.signed {
+            self.width
+        } else {
+            self.width + 1
+        }
+    }
+
+    /// True if every value of `source` is representable in `self` —
+    /// the condition for a legal *implicit* conversion on assignment.
+    pub fn can_losslessly_hold(self, source: IntType) -> bool {
+        match (self.signed, source.signed) {
+            (false, true) => false, // discarding sign information is forbidden
+            (true, _) => self.width >= source.width_in_signed(),
+            (false, false) => self.width >= source.width,
+        }
+    }
+
+    /// The smallest type that can hold all values of both operands
+    /// ("common type": used for bitwise operators, ternary arms, and
+    /// comparison operand extension).
+    pub fn common(self, other: IntType) -> IntType {
+        let signed = self.signed || other.signed;
+        let width = if signed {
+            self.width_in_signed().max(other.width_in_signed())
+        } else {
+            self.width.max(other.width)
+        };
+        IntType { signed, width }
+    }
+
+    /// Result type of `+` / `-`: one bit wider than the common type, so that
+    /// no over-/underflow can occur. `unsigned<5> + signed<4>` → `signed<7>`.
+    pub fn add_result(self, other: IntType) -> IntType {
+        let common = self.common(other);
+        IntType {
+            signed: common.signed,
+            width: common.width + 1,
+        }
+    }
+
+    /// Result type of binary `-`: always signed (a difference of unsigned
+    /// values can be negative), one bit wider than the common type.
+    pub fn sub_result(self, other: IntType) -> IntType {
+        let common = self.common(other);
+        IntType {
+            signed: true,
+            width: if common.signed {
+                common.width + 1
+            } else {
+                // unsigned - unsigned of width w spans [-(2^w - 1), 2^w - 1]
+                common.width + 1
+            },
+        }
+    }
+
+    /// Result type of `*`: the sum of operand widths; signed if either
+    /// operand is signed. `signed<8> * signed<8>` → `signed<16>`.
+    pub fn mul_result(self, other: IntType) -> IntType {
+        IntType {
+            signed: self.signed || other.signed,
+            width: self.width + other.width,
+        }
+    }
+
+    /// Result type of `/`: the dividend's width plus one if the divisor is
+    /// signed (|INT_MIN| / -1 overflow), signed if either operand is signed.
+    pub fn div_result(self, other: IntType) -> IntType {
+        let signed = self.signed || other.signed;
+        // The quotient can only exceed the dividend's range when negation
+        // is involved (|INT_MIN| / -1, or an unsigned dividend turning
+        // signed), which costs one extra bit.
+        let width = if other.signed || (signed && !self.signed) {
+            self.width + 1
+        } else {
+            self.width
+        };
+        IntType { signed, width }
+    }
+
+    /// Result type of `%`: no wider than either operand; takes the
+    /// dividend's signedness.
+    pub fn rem_result(self, other: IntType) -> IntType {
+        IntType {
+            signed: self.signed,
+            width: self.width.min(other.width.max(1)),
+        }
+    }
+
+    /// Result type of `<<` / `>>`: the (unchanged) left-operand type, per the
+    /// CoreDSL specification.
+    pub fn shift_result(self) -> IntType {
+        self
+    }
+
+    /// Result type of `&`, `|`, `^`: the common type of the operands.
+    pub fn bitwise_result(self, other: IntType) -> IntType {
+        self.common(other)
+    }
+
+    /// Result type of unary `-`: signed, one bit wider.
+    pub fn neg_result(self) -> IntType {
+        IntType {
+            signed: true,
+            width: self.width_in_signed().max(self.width + 1),
+        }
+    }
+
+    /// Result type of unary `~`: the operand type.
+    pub fn not_result(self) -> IntType {
+        self
+    }
+
+    /// Result type of `a :: b` (concatenation): unsigned, sum of widths.
+    pub fn concat_result(self, other: IntType) -> IntType {
+        IntType::unsigned(self.width + other.width)
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.signed {
+            write!(f, "signed<{}>", self.width)
+        } else {
+            write!(f, "unsigned<{}>", self.width)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        let u4 = IntType::unsigned(4);
+        let u5 = IntType::unsigned(5);
+        let s4 = IntType::signed(4);
+        // u4 = u5 (discarding MSB) and u4 = s4 (discarding sign) forbidden:
+        assert!(!u4.can_losslessly_hold(u5));
+        assert!(!u4.can_losslessly_hold(s4));
+        // u5 + s4 yields signed<7>:
+        assert_eq!(u5.add_result(s4), IntType::signed(7));
+        // legal implicit widenings:
+        assert!(u5.can_losslessly_hold(u4));
+        assert!(IntType::signed(5).can_losslessly_hold(u4));
+        assert!(IntType::signed(5).can_losslessly_hold(s4));
+        assert!(!IntType::signed(4).can_losslessly_hold(u4));
+    }
+
+    #[test]
+    fn dotprod_figure1_types() {
+        // signed<16> prod = (signed) X[rs1][i+7:i] * (signed) X[rs2][i+7:i];
+        let s8 = IntType::signed(8);
+        assert_eq!(s8.mul_result(s8), IntType::signed(16));
+        // res += prod with res: signed<32> — compound assign wraps to s32.
+        let s32 = IntType::signed(32);
+        assert_eq!(s32.add_result(IntType::signed(16)), IntType::signed(33));
+    }
+
+    #[test]
+    fn common_type_mixing() {
+        let u8t = IntType::unsigned(8);
+        let s8 = IntType::signed(8);
+        assert_eq!(u8t.common(s8), IntType::signed(9));
+        assert_eq!(u8t.common(u8t), u8t);
+        assert_eq!(s8.common(s8), s8);
+        assert_eq!(u8t.bitwise_result(s8), IntType::signed(9));
+    }
+
+    #[test]
+    fn sub_is_always_signed() {
+        let u8t = IntType::unsigned(8);
+        assert_eq!(u8t.sub_result(u8t), IntType::signed(9));
+        let s8 = IntType::signed(8);
+        assert_eq!(s8.sub_result(s8), IntType::signed(9));
+    }
+
+    #[test]
+    fn neg_and_shift() {
+        assert_eq!(IntType::unsigned(8).neg_result(), IntType::signed(9));
+        assert_eq!(IntType::signed(8).neg_result(), IntType::signed(9));
+        assert_eq!(IntType::unsigned(8).shift_result(), IntType::unsigned(8));
+    }
+
+    #[test]
+    fn concat_is_unsigned_sum() {
+        assert_eq!(
+            IntType::signed(12).concat_result(IntType::unsigned(5)),
+            IntType::unsigned(17)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IntType::signed(7).to_string(), "signed<7>");
+        assert_eq!(IntType::unsigned(1).to_string(), "unsigned<1>");
+    }
+}

@@ -1,0 +1,288 @@
+//! Language-level tests: diagnostics for ill-formed descriptions and
+//! acceptance of less common well-formed constructs.
+
+use coredsl::Frontend;
+
+fn compile(src: &str, unit: &str) -> Result<coredsl::TypedModule, String> {
+    Frontend::new()
+        .compile_str(src, unit)
+        .map_err(|e| e.to_string())
+}
+
+fn wrap_behavior(body: &str) -> String {
+    format!(
+        r#"
+import "RV32I.core_desc";
+InstructionSet t extends RV32I {{
+  instructions {{
+    i {{
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {{
+{body}
+      }}
+    }}
+  }}
+}}
+"#
+    )
+}
+
+fn expect_err(body: &str, needle: &str) {
+    let err = compile(&wrap_behavior(body), "t").unwrap_err();
+    assert!(
+        err.contains(needle),
+        "expected error containing `{needle}`, got: {err}"
+    );
+}
+
+fn expect_ok(body: &str) {
+    compile(&wrap_behavior(body), "t").unwrap_or_else(|e| panic!("{e}\nbody: {body}"));
+}
+
+// ---- type-system diagnostics (§2.3) ------------------------------------
+
+#[test]
+fn narrowing_assignments_are_rejected_with_clear_errors() {
+    expect_err(
+        "unsigned<8> a = 0; unsigned<9> b = 0; a = b;",
+        "lose information",
+    );
+    expect_err("unsigned<8> a = 0; signed<8> b = 0; a = b;", "lose information");
+    expect_err("signed<8> a = 0; unsigned<8> b = 0; a = b;", "lose information");
+    // Arithmetic widens: assigning a+b back needs a cast.
+    expect_err(
+        "unsigned<8> a = 0; unsigned<8> b = 0; a = a + b;",
+        "lose information",
+    );
+    // Literal too wide for the target.
+    expect_err("unsigned<4> a = 255;", "lose information");
+}
+
+#[test]
+fn lossless_assignments_are_accepted() {
+    expect_ok("unsigned<9> a = 0; unsigned<8> b = 0; a = b;");
+    expect_ok("signed<9> a = 0; unsigned<8> b = 0; a = b;");
+    expect_ok("signed<9> a = 0; signed<8> b = 0; a = b;");
+    expect_ok("unsigned<4> a = 15;");
+    // Compound assignment implicitly wraps.
+    expect_ok("unsigned<8> a = 0; unsigned<8> b = 200; a += b; a *= b; a <<= 3;");
+    expect_ok("unsigned<8> a = 0; a++; --a;");
+}
+
+#[test]
+fn unknown_names_are_reported() {
+    expect_err("X[rd] = frobnicate;", "unknown name");
+    expect_err("X[rd] = helper(1);", "unknown function");
+    expect_err("NOPE = 1;", "cannot assign");
+}
+
+#[test]
+fn shadowing_in_same_scope_is_rejected_but_nesting_is_fine() {
+    expect_err("unsigned<8> a = 0; unsigned<8> a = 1;", "already declared");
+    expect_ok("unsigned<8> a = 0; if (a == 0) { unsigned<8> a = 1; X[rd] = (unsigned<32>)a; }");
+}
+
+#[test]
+fn range_bounds_must_share_a_base() {
+    expect_err(
+        "unsigned<8> a = 1; unsigned<8> b = 2; unsigned<32> v = X[rs1]; X[rd] = (unsigned<32>)v[a:b];",
+        "constant",
+    );
+    expect_ok("unsigned<32> v = X[rs1]; X[rd] = (unsigned<32>)v[7:0];");
+}
+
+#[test]
+fn statement_restrictions() {
+    expect_err("return 1;", "return is only allowed inside functions");
+    expect_err("X[rs1] + 1;", "no effect");
+    expect_err(
+        "for (int i = 0; ; i += 1) { X[rd] = 1; }",
+        "condition",
+    );
+}
+
+#[test]
+fn encoding_must_be_exactly_32_bits() {
+    let src = r#"
+InstructionSet t {
+  instructions {
+    short_enc { encoding: 5'd0 :: 7'b0001011; behavior: { } }
+  }
+}
+"#;
+    let err = compile(src, "t").unwrap_err();
+    assert!(err.contains("12 bits"), "{err}");
+}
+
+#[test]
+fn spawn_restrictions() {
+    // spawn must be last in its block.
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet t extends RV32I {
+  instructions {
+    i {
+      encoding: 25'd0 :: 7'b0001011;
+      behavior: {
+        spawn { PC = (unsigned<32>)(PC + 8); }
+        unsigned<8> after = 1;
+      }
+    }
+  }
+}
+"#;
+    // Accepted by sema; rejected at lowering.
+    let module = compile(src, "t").unwrap();
+    let err = ir::lower_module(&module).unwrap_err();
+    assert!(err.message.contains("last statement"), "{err}");
+    // spawn is not allowed in always-blocks at all.
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet t extends RV32I {
+  always {
+    blk { spawn { PC = 0; } }
+  }
+}
+"#;
+    let err = compile(src, "t").unwrap_err();
+    assert!(err.contains("spawn"), "{err}");
+}
+
+// ---- elaboration: cores, parameters, inheritance -------------------------
+
+#[test]
+fn core_parameter_override_applies() {
+    let src = r#"
+InstructionSet base {
+  architectural_state {
+    unsigned int W = 8;
+    register unsigned<W> R;
+  }
+}
+Core Wide provides base {
+  architectural_state { unsigned int W = 16; }
+}
+"#;
+    let module = compile(src, "Wide").unwrap();
+    let (_, r) = module.register("R").unwrap();
+    assert_eq!(r.ty.width, 16);
+}
+
+#[test]
+fn parameters_usable_in_widths_and_extents() {
+    let src = r#"
+InstructionSet p {
+  architectural_state {
+    unsigned int N = 4;
+    register unsigned<N*8> BUF[N*2];
+  }
+}
+"#;
+    let module = compile(src, "p").unwrap();
+    let (_, buf) = module.register("BUF").unwrap();
+    assert_eq!(buf.ty.width, 32);
+    assert_eq!(buf.elems, 8);
+    assert_eq!(buf.addr_width(), 3);
+}
+
+#[test]
+fn diamond_imports_are_deduplicated() {
+    let mut fe = Frontend::new();
+    fe.add_source(
+        "mid.core_desc",
+        "import \"RV32I.core_desc\";\nInstructionSet mid extends RV32I { }",
+    );
+    let src = r#"
+import "RV32I.core_desc";
+import "mid.core_desc";
+InstructionSet top extends mid {
+  architectural_state { register unsigned<32> T; }
+}
+"#;
+    let module = fe.compile_str(src, "top").map_err(|e| e.to_string()).unwrap();
+    assert!(module.register("X").is_some());
+    assert!(module.register("T").is_some());
+    // X must appear exactly once despite the diamond.
+    assert_eq!(
+        module.registers.iter().filter(|r| r.name == "X").count(),
+        1
+    );
+}
+
+#[test]
+fn multi_segment_immediate_fields_reassemble() {
+    // S-type-style split immediate.
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet s extends RV32I {
+  instructions {
+    st {
+      encoding: imm[11:5] :: rs2[4:0] :: rs1[4:0] :: 3'd2 :: imm[4:0] :: 7'b0101011;
+      behavior: {
+        unsigned<32> a = (unsigned<32>)(X[rs1] + imm);
+        MEM[a+3:a] = X[rs2];
+      }
+    }
+  }
+}
+"#;
+    let module = compile(src, "s").unwrap();
+    let enc = &module.instructions[0].encoding;
+    let imm = enc.fields.iter().find(|f| f.name == "imm").unwrap();
+    assert_eq!(imm.width, 12);
+    let segs = enc.field_segments("imm");
+    assert_eq!(segs, vec![(25, 5, 7), (7, 0, 5)]);
+    // Decoding reassembles the value.
+    let word = ir::interp::decode_fields(enc, (0b1010101u32 << 25) | (0b11001 << 7) | (0b010 << 12) | 0b0101011)
+        .unwrap();
+    assert_eq!(word["imm"].to_u64(), (0b1010101 << 5) | 0b11001);
+}
+
+#[test]
+fn functions_can_call_functions() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet f extends RV32I {
+  functions {
+    unsigned<8> inc(unsigned<8> x) { return (unsigned<8>)(x + 1); }
+    unsigned<8> inc2(unsigned<8> x) { return inc(inc(x)); }
+  }
+  instructions {
+    i {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: { X[rd] = (unsigned<32>) inc2(X[rs1][7:0]); }
+    }
+  }
+}
+"#;
+    let module = compile(src, "f").unwrap();
+    let lil = ir::lower_module(&module).unwrap();
+    let g = lil.graph("i").unwrap();
+    let mut env = ir::eval::MapEnv {
+        word: (1 << 15) | (2 << 7) | 0b0001011,
+        rs1: 40,
+        ..Default::default()
+    };
+    let updates = ir::eval::eval_graph(g, &lil, &mut env);
+    assert_eq!(updates[0].value.to_u64(), 42);
+}
+
+#[test]
+fn verilog_literals_in_all_bases() {
+    expect_ok("unsigned<16> a = 16'hBEEF; unsigned<3> b = 3'o7; unsigned<4> c = 4'b1010; unsigned<7> d = 7'd99;");
+}
+
+#[test]
+fn ternary_and_logical_operators_type_correctly() {
+    expect_ok(
+        "unsigned<8> a = 1; signed<8> b = -1;
+         signed<9> c = a < 200 && b != 0 ? a : b;
+         X[rd] = (unsigned<32>) c;",
+    );
+}
+
+#[test]
+fn bare_signed_unsigned_default_to_32_bits() {
+    let src = wrap_behavior("unsigned u = 0; signed s = 0; X[rd] = (unsigned<32>)(u + (unsigned<32>)s);");
+    compile(&src, "t").unwrap();
+}

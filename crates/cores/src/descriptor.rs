@@ -1,0 +1,164 @@
+//! Microarchitectural descriptors of the four evaluation cores (paper §5.2).
+//!
+//! ORCA and VexRiscv are 5-stage pipelines, Piccolo is a 3-stage pipeline,
+//! and PicoRV32 is a non-pipelined core sequenced by an FSM. The cycle
+//! parameters model the cache-less evaluation configuration of the paper
+//! (§5.3: "the other cores are configured without any caches"), which is
+//! why memory accesses are expensive.
+
+/// Pipeline or FSM sequencing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoreKind {
+    /// An in-order, single-issue pipeline.
+    Pipeline {
+        /// Number of stages.
+        stages: u32,
+        /// Stage in which register operands are available.
+        operand_stage: u32,
+        /// Memory-access stage.
+        mem_stage: u32,
+        /// Write-back stage.
+        wb_stage: u32,
+        /// True if results forward from the last stage into execution
+        /// (lengthens the critical path for late ISAX writes — §5.4).
+        forwarding_from_wb: bool,
+    },
+    /// Multi-cycle FSM sequencing (PicoRV32).
+    Fsm {
+        /// Cycles for a plain ALU instruction.
+        alu_cycles: u64,
+        /// Cycles for loads/stores (on top of the memory wait).
+        mem_cycles: u64,
+        /// Cycles for taken control transfers.
+        branch_cycles: u64,
+    },
+}
+
+/// A host core's descriptor: structure plus cycle-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreDescriptor {
+    pub name: &'static str,
+    pub kind: CoreKind,
+    /// Extra cycles a data-memory access waits for the (cache-less) memory.
+    pub memory_wait: u64,
+    /// Pipeline flush cycles for a taken branch/jump (0 for FSM cores,
+    /// where `branch_cycles` covers it).
+    pub branch_penalty: u64,
+    /// Fixed startup cycles (reset / first fetch) counted by programs.
+    pub startup_cycles: u64,
+}
+
+impl CoreDescriptor {
+    /// Number of pipeline stages (1 for the FSM core).
+    pub fn stages(&self) -> u32 {
+        match self.kind {
+            CoreKind::Pipeline { stages, .. } => stages,
+            CoreKind::Fsm { .. } => 1,
+        }
+    }
+
+    /// Write-back stage (the stage an in-pipeline ISAX result is due in).
+    pub fn wb_stage(&self) -> u32 {
+        match self.kind {
+            CoreKind::Pipeline { wb_stage, .. } => wb_stage,
+            CoreKind::Fsm { .. } => 1,
+        }
+    }
+}
+
+/// Looks up one of the four evaluation cores.
+pub fn descriptor(name: &str) -> Option<CoreDescriptor> {
+    Some(match name {
+        "ORCA" => CoreDescriptor {
+            name: "ORCA",
+            kind: CoreKind::Pipeline {
+                stages: 5,
+                operand_stage: 3,
+                mem_stage: 3,
+                wb_stage: 4,
+                forwarding_from_wb: true,
+            },
+            memory_wait: 8,
+            branch_penalty: 3,
+            startup_cycles: 50,
+        },
+        "VexRiscv" => CoreDescriptor {
+            name: "VexRiscv",
+            kind: CoreKind::Pipeline {
+                stages: 5,
+                operand_stage: 2,
+                mem_stage: 3,
+                wb_stage: 4,
+                forwarding_from_wb: false,
+            },
+            memory_wait: 8,
+            branch_penalty: 3,
+            startup_cycles: 50,
+        },
+        "Piccolo" => CoreDescriptor {
+            name: "Piccolo",
+            kind: CoreKind::Pipeline {
+                stages: 3,
+                operand_stage: 1,
+                mem_stage: 1,
+                wb_stage: 2,
+                forwarding_from_wb: false,
+            },
+            memory_wait: 8,
+            branch_penalty: 2,
+            startup_cycles: 50,
+        },
+        "PicoRV32" => CoreDescriptor {
+            name: "PicoRV32",
+            kind: CoreKind::Fsm {
+                alu_cycles: 3,
+                mem_cycles: 5,
+                branch_cycles: 5,
+            },
+            memory_wait: 8,
+            branch_penalty: 0,
+            startup_cycles: 50,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_cores_exist() {
+        for name in ["ORCA", "Piccolo", "PicoRV32", "VexRiscv"] {
+            let d = descriptor(name).unwrap();
+            assert_eq!(d.name, name);
+        }
+        assert!(descriptor("CVA6").is_none());
+    }
+
+    #[test]
+    fn pipeline_shapes_match_the_paper() {
+        assert_eq!(descriptor("ORCA").unwrap().stages(), 5);
+        assert_eq!(descriptor("VexRiscv").unwrap().stages(), 5);
+        assert_eq!(descriptor("Piccolo").unwrap().stages(), 3);
+        assert_eq!(descriptor("PicoRV32").unwrap().stages(), 1);
+    }
+
+    #[test]
+    fn orca_reads_operands_late_and_forwards() {
+        let d = descriptor("ORCA").unwrap();
+        match d.kind {
+            CoreKind::Pipeline {
+                operand_stage,
+                wb_stage,
+                forwarding_from_wb,
+                ..
+            } => {
+                assert_eq!(operand_stage, 3);
+                assert_eq!(wb_stage, 4);
+                assert!(forwarding_from_wb);
+            }
+            _ => panic!("ORCA is pipelined"),
+        }
+    }
+}

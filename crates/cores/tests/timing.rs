@@ -1,0 +1,184 @@
+//! Cycle-model timing tests: the per-core instruction costs behave per the
+//! descriptor parameters (FSM vs pipeline, memory waits, branch penalties,
+//! tightly-coupled stalls, decoupled overlap).
+
+use cores::{descriptor, ExtendedCore};
+use longnail::driver::builtin_datasheet;
+use longnail::isax_lib;
+use longnail::Longnail;
+use riscv::asm::Assembler;
+
+fn bare_core(core: &str) -> ExtendedCore {
+    ExtendedCore::new(descriptor(core).unwrap(), Vec::new(), true)
+}
+
+fn run_cycles(core: &str, program: &str) -> u64 {
+    let words = riscv::assemble(program).unwrap();
+    let mut ec = bare_core(core);
+    ec.load_program(0, &words);
+    ec.run(1_000_000).unwrap();
+    ec.cycles - descriptor(core).unwrap().startup_cycles
+}
+
+#[test]
+fn pipelined_alu_instructions_cost_one_cycle() {
+    // 10 nops + ebreak on a pipelined core: 11 cycles.
+    let program = format!("{}ebreak\n", "nop\n".repeat(10));
+    for core in ["ORCA", "VexRiscv", "Piccolo"] {
+        assert_eq!(run_cycles(core, &program), 11, "{core}");
+    }
+}
+
+#[test]
+fn fsm_core_is_multicycle() {
+    let d = descriptor("PicoRV32").unwrap();
+    let cores::CoreKind::Fsm { alu_cycles, .. } = d.kind else {
+        panic!("PicoRV32 is FSM-sequenced");
+    };
+    let program = format!("{}ebreak\n", "nop\n".repeat(10));
+    let cycles = run_cycles("PicoRV32", &program);
+    // 10 ALU instructions at the FSM rate, plus the final ebreak.
+    assert_eq!(cycles, 10 * alu_cycles + 1);
+}
+
+#[test]
+fn loads_pay_the_memory_wait() {
+    let d = descriptor("VexRiscv").unwrap();
+    let base = run_cycles("VexRiscv", "nop\nebreak\n");
+    let with_load = run_cycles("VexRiscv", "lw t0, 0(zero)\nebreak\n");
+    assert_eq!(with_load - base, d.memory_wait);
+}
+
+#[test]
+fn taken_branches_pay_the_flush_penalty() {
+    let d = descriptor("VexRiscv").unwrap();
+    // Not-taken branch vs taken branch.
+    let not_taken = run_cycles(
+        "VexRiscv",
+        "li t0, 1\nbeqz t0, skip\nnop\nskip: ebreak\n",
+    );
+    let taken = run_cycles(
+        "VexRiscv",
+        "li t0, 0\nbeqz t0, skip\nnop\nskip: ebreak\n",
+    );
+    // The taken path also skips the nop (one fewer retired instruction).
+    assert_eq!(taken + 1, not_taken + d.branch_penalty);
+}
+
+fn with_isax(core: &str, name: &str) -> (ExtendedCore, Assembler) {
+    let mut ln = Longnail::new();
+    let ds = builtin_datasheet(core).unwrap();
+    let (unit, src) = isax_lib::isax_source(name).unwrap();
+    let module = ln
+        .frontend_mut()
+        .compile_str(&src, &unit)
+        .map_err(|e| e.to_string())
+        .unwrap();
+    let mut asm = Assembler::new();
+    isax_lib::register_mnemonics(&mut asm, &module).unwrap();
+    let compiled = ln.compile(&src, &unit, &ds).unwrap();
+    (
+        ExtendedCore::new(descriptor(core).unwrap(), vec![compiled], true),
+        asm,
+    )
+}
+
+#[test]
+fn tightly_coupled_sqrt_stalls_the_pipeline() {
+    // sqrt spans far beyond write-back: each execution must cost at least
+    // the extra stages, and two dependent sqrts serialize fully.
+    let (mut ec, asm) = with_isax("VexRiscv", "sqrt_tightly");
+    let words = asm
+        .assemble("li a1, 100\nsqrt a0, a1\nsqrt a2, a0\nebreak")
+        .unwrap();
+    ec.load_program(0, &words);
+    ec.run(10_000).unwrap();
+    let isax_stage_overhang = {
+        let d = descriptor("VexRiscv").unwrap();
+        // From the compiled artifact: max_stage - wb_stage extra cycles.
+        let _ = d;
+        0 // computed below from cycle arithmetic instead
+    };
+    let _ = isax_stage_overhang;
+    let cycles = ec.cycles - descriptor("VexRiscv").unwrap().startup_cycles;
+    // 4 instructions at >= 1 cycle plus two long stalls: well above 10.
+    assert!(cycles > 10, "tightly-coupled sqrt too cheap: {cycles}");
+    assert_eq!(ec.cpu.read_reg(10), 10 << 16);
+    // sqrt(sqrt(100) in 16.16) on the raw bit pattern.
+    let expected2 = {
+        let x = 10u64 << 16;
+        // integer sqrt of (x << 32)
+        let target = (x as u128) << 32;
+        let mut r = 0u128;
+        for b in (0..64).rev() {
+            let cand = r | 1 << b;
+            if cand * cand <= target {
+                r = cand;
+            }
+        }
+        r as u32
+    };
+    assert_eq!(ec.cpu.read_reg(12), expected2);
+}
+
+#[test]
+fn decoupled_sqrt_overlaps_with_independent_work() {
+    // Filling the shadow of a decoupled sqrt with independent instructions
+    // must be cheaper than executing them after a tightly-coupled one.
+    let program = "li a1, 100\nsqrt a0, a1\nnop\nnop\nnop\nnop\nnop\nnop\nmv a2, a0\nebreak";
+    let (mut tight, asm_t) = with_isax("VexRiscv", "sqrt_tightly");
+    tight.load_program(0, &asm_t.assemble(program).unwrap());
+    tight.run(10_000).unwrap();
+    let (mut dec, asm_d) = with_isax("VexRiscv", "sqrt_decoupled");
+    dec.load_program(0, &asm_d.assemble(program).unwrap());
+    dec.run(10_000).unwrap();
+    assert_eq!(tight.cpu.read_reg(12), dec.cpu.read_reg(12));
+    assert!(
+        dec.cycles < tight.cycles,
+        "decoupled {} should beat tightly {} with independent work in the shadow",
+        dec.cycles,
+        tight.cycles
+    );
+}
+
+#[test]
+fn in_pipeline_isax_costs_like_an_alu_op() {
+    let (mut ec, asm) = with_isax("VexRiscv", "dotprod");
+    let words = asm
+        .assemble("li a1, 5\nli a2, 7\ndotp a0, a1, a2\nebreak")
+        .unwrap();
+    ec.load_program(0, &words);
+    ec.run(10_000).unwrap();
+    let cycles = ec.cycles - descriptor("VexRiscv").unwrap().startup_cycles;
+    // 2 li (2 words each) + dotp + ebreak = 6 instructions, 1 cycle each.
+    assert_eq!(cycles, 6);
+    assert_eq!(ec.cpu.read_reg(10), 35);
+}
+
+#[test]
+fn isax_memory_access_pays_the_memory_wait() {
+    let d = descriptor("VexRiscv").unwrap();
+    let (mut ec, asm) = with_isax("VexRiscv", "autoinc");
+    let words = asm
+        .assemble("li a0, 0x40\nsetup_autoinc a0\nload_inc t0\nebreak")
+        .unwrap();
+    ec.load_program(0, &words);
+    ec.run(10_000).unwrap();
+    let cycles = ec.cycles - d.startup_cycles;
+    // 5 single-cycle instructions + memory wait for the ISAX load.
+    assert_eq!(cycles, 5 + d.memory_wait);
+}
+
+#[test]
+fn always_blocks_cost_zero_cycles() {
+    // A zol setup whose loop never activates: the always-block evaluates
+    // every instruction but adds no cycles.
+    let (mut ec, asm) = with_isax("VexRiscv", "zol");
+    let words = asm
+        .assemble("setup_zol 0, 4\nnop\nnop\nebreak")
+        .unwrap();
+    ec.load_program(0, &words);
+    ec.run(10_000).unwrap();
+    let cycles = ec.cycles - descriptor("VexRiscv").unwrap().startup_cycles;
+    assert_eq!(cycles, 4);
+}

@@ -1,0 +1,26 @@
+//! ASIC synthesis estimation — the stand-in for the paper's commercial
+//! 22 nm reference flow (§5.3–§5.4).
+//!
+//! The paper synthesizes each base core + ISAX + SCAIE-V interface logic
+//! with a commercial flow and reports area and fmax overheads (Table 4).
+//! Here, a calibrated standard-cell model maps the *actually generated*
+//! RTL netlists to area (µm²) and critical-path delay (ns):
+//!
+//! * [`tech`] — per-operator area/delay as functions of bitwidth,
+//!   calibrated to typical 22 nm standard-cell figures, plus per-core ASIC
+//!   profiles (base area/fmax from Table 4's base row — those are inputs to
+//!   our model, not results),
+//! * [`area`] — netlist → cell area, including SCAIE-V interface logic,
+//! * [`timing`] — per-stage combinational critical paths, the
+//!   synthesis-effort model (timing pressure inflates area, §5.4's
+//!   "the synthesis tool ... duplicating logic"), and the forwarding-path
+//!   coupling that reproduces the ORCA frequency regressions,
+//! * [`report`] — assembling Table 4-style rows.
+
+pub mod area;
+pub mod report;
+pub mod tech;
+pub mod timing;
+
+pub use report::{evaluate_integration, AsicReport};
+pub use tech::{CoreAsicProfile, TechLibrary};

@@ -1,0 +1,37 @@
+//! An exact integer linear programming solver.
+//!
+//! The paper schedules the *LongnailProblem* with the ILP of Figure 7,
+//! solved by Cbc via OR-Tools. This crate is the from-scratch replacement:
+//! a two-phase primal simplex over exact rational arithmetic
+//! ([`rational::Rational`]) with branch-and-bound for integrality
+//! ([`branch_bound`]).
+//!
+//! The scheduling ILPs are built from difference constraints and variable
+//! bounds, so their LP relaxations are integral (totally unimodular
+//! constraint matrices) and branch-and-bound rarely branches — but the
+//! solver is general and handles arbitrary models.
+//!
+//! # Examples
+//!
+//! ```
+//! use ilp::{Model, Sense};
+//!
+//! // minimize x + y  s.t.  x + 2y >= 4,  x >= 1,  x,y integer
+//! let mut m = Model::new(Sense::Minimize);
+//! let x = m.int_var("x");
+//! let y = m.int_var("y");
+//! m.obj(x, 1);
+//! m.obj(y, 1);
+//! m.constraint_ge(&[(x, 1), (y, 2)], 4);
+//! m.constraint_ge(&[(x, 1)], 1);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.value(x) + sol.value(y), 3);
+//! ```
+
+pub mod branch_bound;
+pub mod model;
+pub mod rational;
+pub mod simplex;
+
+pub use model::{Constraint, ConstraintOp, Model, Sense, Solution, SolveError, VarId};
+pub use rational::Rational;

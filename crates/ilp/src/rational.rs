@@ -1,0 +1,260 @@
+//! Exact rational arithmetic on `i128` numerator/denominator pairs.
+//!
+//! Values are kept reduced with a positive denominator. The scheduling
+//! models solved here involve small magnitudes, so `i128` never overflows
+//! in practice; arithmetic uses checked operations and panics with a clear
+//! message if a model ever exceeds the representable range.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Rational {
+    /// The value zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The value one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den` in reduced form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates the integer value `v`.
+    pub fn int(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+
+    /// Numerator (reduced, sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (reduced, always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Converts to `f64` (for reporting only; arithmetic stays exact).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn to_integer(&self) -> i128 {
+        assert!(self.is_integer(), "{self} is not an integer");
+        self.num
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>) -> Rational {
+        let num = num.expect("rational arithmetic overflow (model magnitudes too large)");
+        let den = den.expect("rational arithmetic overflow (model magnitudes too large)");
+        Rational::new(num, den)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce cross terms first to delay overflow.
+        let g = gcd(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        Rational::checked(
+            self.num
+                .checked_mul(db)
+                .and_then(|a| rhs.num.checked_mul(da).and_then(|b| a.checked_add(b))),
+            self.den.checked_mul(db),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+
+    fn mul(self, rhs: Rational) -> Rational {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        Rational::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        self * Rational::new(rhs.den, rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (*self - *other).num.cmp(&0)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::int(v as i128)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign() {
+        let r = Rational::new(-6, -4);
+        assert_eq!(r, Rational::new(3, 2));
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(Rational::new(6, -4), Rational::new(-3, 2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::int(5).floor(), 5);
+        assert_eq!(Rational::int(5).ceil(), 5);
+        assert_eq!(Rational::int(-5).floor(), -5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::int(2) > Rational::new(3, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

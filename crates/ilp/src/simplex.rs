@@ -1,0 +1,464 @@
+//! Two-phase primal simplex.
+//!
+//! The tableau works in `f64` with Dantzig pricing (falling back to Bland's
+//! rule under prolonged degeneracy) — the pivot counts and numerical ranges
+//! of the scheduling models keep this exact in practice. Solutions are
+//! snapped to integers when within tolerance and re-verified exactly by the
+//! branch-and-bound layer via [`crate::Model::is_feasible`].
+
+use crate::model::{ConstraintOp, Model, Sense, Solution, SolveError};
+use crate::rational::Rational;
+
+const EPS: f64 = 1e-7;
+/// After this many Dantzig pivots, switch to Bland's rule (anti-cycling).
+const DANTZIG_LIMIT: usize = 20_000;
+/// Absolute pivot-count safety bound.
+const MAX_PIVOTS: usize = 200_000;
+
+/// Solves the LP relaxation of `model`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
+///
+/// # Panics
+///
+/// Panics if the pivot-count safety bound is exceeded (indicates a
+/// pathological model far outside the intended problem class).
+pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+    let n = model.vars.len();
+    let lower: Vec<f64> = model.vars.iter().map(|v| v.lower.to_f64()).collect();
+
+    // Rows: (coeffs, op, rhs) over shifted variables (all >= 0).
+    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::new();
+    for c in &model.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut rhs = c.rhs.to_f64();
+        for &(v, coeff) in &c.terms {
+            coeffs[v.0] += coeff.to_f64();
+            rhs -= coeff.to_f64() * lower[v.0];
+        }
+        rows.push((coeffs, c.op, rhs));
+    }
+    for (i, v) in model.vars.iter().enumerate() {
+        if let Some(u) = v.upper {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push((coeffs, ConstraintOp::Le, u.to_f64() - lower[i]));
+        }
+    }
+
+    let flip = model.sense == Sense::Maximize;
+    let cost: Vec<f64> = model
+        .objective
+        .iter()
+        .map(|&c| if flip { -c.to_f64() } else { c.to_f64() })
+        .collect();
+
+    // Normalize rhs >= 0; assign slack/artificial columns.
+    let m = rows.len();
+    let mut num_cols = n;
+    let mut slack_col: Vec<Option<usize>> = vec![None; m];
+    for (i, row) in rows.iter_mut().enumerate() {
+        if row.2 < 0.0 {
+            for c in row.0.iter_mut() {
+                *c = -*c;
+            }
+            row.2 = -row.2;
+            row.1 = match row.1 {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        if row.1 != ConstraintOp::Eq {
+            slack_col[i] = Some(num_cols);
+            num_cols += 1;
+        }
+    }
+    let mut artificial_col: Vec<Option<usize>> = vec![None; m];
+    for (i, row) in rows.iter().enumerate() {
+        if row.1 != ConstraintOp::Le {
+            artificial_col[i] = Some(num_cols);
+            num_cols += 1;
+        }
+    }
+    let first_artificial = (0..m)
+        .filter_map(|i| artificial_col[i])
+        .min()
+        .unwrap_or(num_cols);
+
+    // Flat tableau: (m + 1) rows × (num_cols + 1) columns; the last row is
+    // the (reduced) objective, the last column the rhs.
+    let width = num_cols + 1;
+    let mut t = Tableau {
+        a: vec![0.0; (m + 1) * width],
+        width,
+        m,
+        num_cols,
+        basis: vec![usize::MAX; m],
+        banned_from: num_cols,
+    };
+    for (i, (coeffs, op, rhs)) in rows.iter().enumerate() {
+        for (j, &c) in coeffs.iter().enumerate() {
+            t.a[i * width + j] = c;
+        }
+        if let Some(s) = slack_col[i] {
+            t.a[i * width + s] = match op {
+                ConstraintOp::Le => 1.0,
+                ConstraintOp::Ge => -1.0,
+                ConstraintOp::Eq => unreachable!(),
+            };
+        }
+        if let Some(art) = artificial_col[i] {
+            t.a[i * width + art] = 1.0;
+        }
+        t.a[i * width + num_cols] = *rhs;
+        t.basis[i] = artificial_col[i].or(slack_col[i]).expect("basic column");
+    }
+
+    // Phase 1.
+    if first_artificial < num_cols {
+        // Objective: minimize sum of artificials. Reduced objective row:
+        // z_j = c_j - Σ_{rows with artificial basis} a[i][j].
+        for j in 0..num_cols {
+            let mut z = if j >= first_artificial { 1.0 } else { 0.0 };
+            for i in 0..m {
+                if t.basis[i] >= first_artificial {
+                    z -= t.a[i * width + j];
+                }
+            }
+            t.a[m * width + j] = z;
+        }
+        let mut obj = 0.0;
+        for i in 0..m {
+            if t.basis[i] >= first_artificial {
+                obj -= t.a[i * width + num_cols];
+            }
+        }
+        t.a[m * width + num_cols] = obj;
+        t.run()?;
+        if t.a[m * width + num_cols] < -1e-5 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if t.basis[i] >= first_artificial {
+                if let Some(j) = (0..first_artificial)
+                    .find(|&j| t.a[i * width + j].abs() > EPS)
+                {
+                    t.pivot(i, j);
+                }
+            }
+        }
+        t.banned_from = first_artificial;
+    }
+
+    // Phase 2 objective row.
+    for j in 0..num_cols {
+        let mut z = cost.get(j).copied().unwrap_or(0.0);
+        for i in 0..m {
+            let cb = cost.get(t.basis[i]).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                z -= cb * t.a[i * width + j];
+            }
+        }
+        t.a[m * width + j] = z;
+    }
+    let mut obj = 0.0;
+    for i in 0..m {
+        let cb = cost.get(t.basis[i]).copied().unwrap_or(0.0);
+        obj -= cb * t.a[i * width + num_cols];
+    }
+    t.a[m * width + num_cols] = obj;
+    t.run()?;
+
+    // Extract (and unshift) the solution.
+    let mut raw = vec![0.0f64; n];
+    for (i, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            raw[b] = t.a[i * width + num_cols];
+        }
+    }
+    let values: Vec<Rational> = raw
+        .iter()
+        .zip(&lower)
+        .map(|(&v, &lb)| snap(v + lb))
+        .collect();
+    let objective = model
+        .objective
+        .iter()
+        .enumerate()
+        .fold(Rational::ZERO, |acc, (i, &c)| acc + c * values[i]);
+    Ok(Solution { values, objective })
+}
+
+/// Converts an f64 to a rational: near-integers snap exactly, and
+/// fractional values are reconstructed by continued fractions so that LP
+/// vertex coordinates (small-denominator rationals like 5/3) come back
+/// exact rather than as lossy binary approximations.
+fn snap(v: f64) -> Rational {
+    let r = v.round();
+    if (v - r).abs() < 1e-6 {
+        return Rational::int(r as i128);
+    }
+    let negative = v < 0.0;
+    let target = v.abs();
+    let mut x = target;
+    let (mut p0, mut q0, mut p1, mut q1) = (0i128, 1i128, 1i128, 0i128);
+    for _ in 0..48 {
+        let a = x.floor();
+        let ai = a as i128;
+        let p2 = ai.saturating_mul(p1).saturating_add(p0);
+        let q2 = ai.saturating_mul(q1).saturating_add(q0);
+        if q2 > 1_000_000_000 || q2 <= 0 {
+            break;
+        }
+        (p0, q0, p1, q1) = (p1, q1, p2, q2);
+        if (p1 as f64 / q1 as f64 - target).abs() < 1e-12 * target.max(1.0) {
+            break;
+        }
+        let frac = x - a;
+        if frac < 1e-13 {
+            break;
+        }
+        x = 1.0 / frac;
+    }
+    if q1 <= 0 {
+        return Rational::new((v * 1_048_576.0).round() as i128, 1_048_576);
+    }
+    Rational::new(if negative { -p1 } else { p1 }, q1)
+}
+
+struct Tableau {
+    a: Vec<f64>,
+    width: usize,
+    m: usize,
+    num_cols: usize,
+    basis: Vec<usize>,
+    /// Columns at or beyond this index may not enter the basis
+    /// (frozen artificials in phase 2).
+    banned_from: usize,
+}
+
+impl Tableau {
+    fn run(&mut self) -> Result<(), SolveError> {
+        let width = self.width;
+        for iter in 0..MAX_PIVOTS {
+            // Entering column.
+            let obj_row = self.m * width;
+            let entering = if iter < DANTZIG_LIMIT {
+                // Dantzig: most negative reduced cost.
+                let mut best = None;
+                let mut best_z = -EPS;
+                for j in 0..self.banned_from.min(self.num_cols) {
+                    let z = self.a[obj_row + j];
+                    if z < best_z {
+                        best_z = z;
+                        best = Some(j);
+                    }
+                }
+                best
+            } else {
+                // Bland: smallest index with negative reduced cost.
+                (0..self.banned_from.min(self.num_cols))
+                    .find(|&j| self.a[obj_row + j] < -EPS)
+            };
+            let Some(j) = entering else {
+                return Ok(());
+            };
+            // Ratio test.
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..self.m {
+                let aij = self.a[i * width + j];
+                if aij > EPS {
+                    let ratio = self.a[i * width + self.num_cols] / aij;
+                    best = match best {
+                        None => Some((ratio, i)),
+                        Some((r, bi)) => {
+                            if ratio < r - EPS
+                                || (ratio < r + EPS && self.basis[i] < self.basis[bi])
+                            {
+                                Some((ratio, i))
+                            } else {
+                                Some((r, bi))
+                            }
+                        }
+                    };
+                }
+            }
+            let Some((_, i)) = best else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(i, j);
+        }
+        panic!("simplex exceeded {MAX_PIVOTS} pivots");
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.width;
+        let p = self.a[row * width + col];
+        debug_assert!(p.abs() > EPS);
+        let inv = 1.0 / p;
+        for j in 0..width {
+            self.a[row * width + j] *= inv;
+        }
+        self.a[row * width + col] = 1.0; // fight rounding drift
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i * width + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                self.a[i * width + j] -= factor * self.a[row * width + j];
+            }
+            self.a[i * width + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, Sense, SolveError};
+
+    #[test]
+    fn simple_minimization() {
+        // min x + y s.t. x + y >= 3, x <= 2
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.obj(x, 1);
+        m.obj(y, 1);
+        m.constraint_ge(&[(x, 1), (y, 1)], 3);
+        m.set_upper(x, 2);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.objective, 3.into());
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.obj(x, 3);
+        m.obj(y, 2);
+        m.constraint_le(&[(x, 1), (y, 1)], 4);
+        m.constraint_le(&[(x, 1), (y, 3)], 6);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.objective, 12.into());
+        assert_eq!(sol.value(x), 4);
+        assert_eq!(sol.value(y), 0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        m.obj(x, 1);
+        m.constraint_ge(&[(x, 1)], 5);
+        m.constraint_le(&[(x, 1)], 2);
+        assert_eq!(m.solve_relaxation().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x");
+        m.obj(x, 1);
+        assert_eq!(m.solve_relaxation().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + y s.t. x + y == 5, x - y == 1  → x=3, y=2
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.obj(x, 2);
+        m.obj(y, 1);
+        m.constraint_eq(&[(x, 1), (y, 1)], 5);
+        m.constraint_eq(&[(x, 1), (y, -1)], 1);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.value(x), 3);
+        assert_eq!(sol.value(y), 2);
+    }
+
+    #[test]
+    fn lower_bound_shift() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.set_lower(x, -3);
+        m.set_upper(y, 1);
+        m.obj(x, 1);
+        m.constraint_ge(&[(x, 1), (y, 1)], 0);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.value(x), -1);
+        assert_eq!(sol.value(y), 1);
+    }
+
+    #[test]
+    fn fractional_lp_solution() {
+        // max x s.t. 2x <= 3 → x = 3/2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x");
+        m.obj(x, 1);
+        m.constraint_le(&[(x, 2)], 3);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.rational_value(x), crate::Rational::new(3, 2));
+    }
+
+    #[test]
+    fn degenerate_problems_terminate() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.obj(x, 1);
+        m.obj(y, 1);
+        m.constraint_ge(&[(x, 1), (y, 1)], 2);
+        m.constraint_ge(&[(x, 2), (y, 2)], 4);
+        m.constraint_ge(&[(x, 3), (y, 3)], 6);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.objective, 2.into());
+    }
+
+    #[test]
+    fn negative_objective_coefficients() {
+        // min x - 2y s.t. y <= x, x <= 10 → x = y = 10 gives -10.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x");
+        let y = m.var("y");
+        m.obj(x, 1);
+        m.obj(y, -2);
+        m.constraint_le(&[(y, 1), (x, -1)], 0);
+        m.set_upper(x, 10);
+        let sol = m.solve_relaxation().unwrap();
+        assert_eq!(sol.objective, (-10).into());
+        assert_eq!(sol.value(x), 10);
+        assert_eq!(sol.value(y), 10);
+    }
+
+    #[test]
+    fn larger_difference_chain_is_fast() {
+        // A 200-op chain with fan-outs — must solve in well under a second.
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..200).map(|i| m.int_var(&format!("t{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            m.obj(v, if i % 3 == 0 { 2 } else { -1 });
+            m.set_upper(v, 400);
+        }
+        for w in vars.windows(2) {
+            m.constraint_le(&[(w[0], 1), (w[1], -1)], -1);
+        }
+        for i in (0..190).step_by(10) {
+            m.constraint_le(&[(vars[i], 1), (vars[i + 9], -1)], -5);
+        }
+        let sol = m.solve().unwrap();
+        assert!(m.is_feasible(&sol.values));
+    }
+}

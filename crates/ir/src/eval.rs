@@ -1,0 +1,229 @@
+//! Evaluator for LIL data-flow graphs.
+//!
+//! Executes a graph against a [`LilEnv`] providing the SCAIE-V read
+//! interfaces, and returns the requested state updates. Used for
+//! differential testing against the golden interpreter and by the
+//! integrated core simulation before RTL construction.
+
+use crate::lil::{Graph, LilModule, OpKind, ValueId};
+use bits::ApInt;
+use std::collections::HashMap;
+
+/// Supplies the values read through SCAIE-V sub-interfaces.
+pub trait LilEnv {
+    /// The 32-bit instruction word.
+    fn instr_word(&mut self) -> ApInt;
+    /// Value of the GPR selected by the `rs1` field.
+    fn read_rs1(&mut self) -> ApInt;
+    /// Value of the GPR selected by the `rs2` field.
+    fn read_rs2(&mut self) -> ApInt;
+    /// The program counter.
+    fn read_pc(&mut self) -> ApInt;
+    /// A 32-bit word load.
+    fn read_mem(&mut self, addr: &ApInt) -> ApInt;
+    /// A custom-register element.
+    fn read_cust_reg(&mut self, name: &str, index: &ApInt) -> ApInt;
+}
+
+/// One architectural-state update requested by a graph evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateUpdate {
+    pub kind: UpdateKind,
+    /// Address/index for memory and custom-register updates.
+    pub addr: Option<ApInt>,
+    pub value: ApInt,
+}
+
+/// Which interface an update targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// WrRD — destination GPR write.
+    Rd,
+    /// WrPC — program-counter write.
+    Pc,
+    /// WrMem — 32-bit store.
+    Mem,
+    /// WrCustReg — custom-register write.
+    Cust(String),
+}
+
+/// Evaluates `graph` against `env`, returning the state updates whose
+/// predicates held.
+///
+/// # Panics
+///
+/// Panics if the graph is structurally invalid (operand width mismatches);
+/// graphs produced by [`crate::lower`] are always valid.
+pub fn eval_graph(graph: &Graph, module: &LilModule, env: &mut dyn LilEnv) -> Vec<StateUpdate> {
+    let mut values: Vec<Option<ApInt>> = vec![None; graph.ops.len()];
+    let mut updates = Vec::new();
+    let val = |values: &Vec<Option<ApInt>>, v: ValueId| -> ApInt {
+        values[v.0].clone().expect("operand evaluated")
+    };
+    for (id, op) in graph.iter() {
+        let pred_ok = match op.pred {
+            None => true,
+            Some(p) => !val(&values, p).is_zero(),
+        };
+        let operands: Vec<ApInt> = op.operands.iter().map(|&v| val(&values, v)).collect();
+        let result = match &op.kind {
+            OpKind::InstrWord => Some(env.instr_word()),
+            OpKind::ReadRs1 => Some(env.read_rs1()),
+            OpKind::ReadRs2 => Some(env.read_rs2()),
+            OpKind::ReadPc => Some(env.read_pc()),
+            OpKind::ReadMem => Some(if pred_ok {
+                env.read_mem(&operands[0])
+            } else {
+                ApInt::zero(32)
+            }),
+            OpKind::ReadCustReg(name) => Some(env.read_cust_reg(name, &operands[0])),
+            OpKind::WriteRd => {
+                if pred_ok {
+                    updates.push(StateUpdate {
+                        kind: UpdateKind::Rd,
+                        addr: None,
+                        value: operands[0].clone(),
+                    });
+                }
+                None
+            }
+            OpKind::WritePc => {
+                if pred_ok {
+                    updates.push(StateUpdate {
+                        kind: UpdateKind::Pc,
+                        addr: None,
+                        value: operands[0].clone(),
+                    });
+                }
+                None
+            }
+            OpKind::WriteMem => {
+                if pred_ok {
+                    updates.push(StateUpdate {
+                        kind: UpdateKind::Mem,
+                        addr: Some(operands[0].clone()),
+                        value: operands[1].clone(),
+                    });
+                }
+                None
+            }
+            OpKind::WriteCustReg(name) => {
+                if pred_ok {
+                    updates.push(StateUpdate {
+                        kind: UpdateKind::Cust(name.clone()),
+                        addr: Some(operands[0].clone()),
+                        value: operands[1].clone(),
+                    });
+                }
+                None
+            }
+            OpKind::RomRead(name) => {
+                let rom = module.rom(name).expect("ROM exists");
+                let idx = operands[0].try_to_u64().unwrap_or(u64::MAX) as usize;
+                Some(
+                    rom.contents
+                        .get(idx)
+                        .cloned()
+                        .unwrap_or_else(|| ApInt::zero(rom.width)),
+                )
+            }
+            OpKind::Const(c) => Some(c.clone()),
+            OpKind::Add => Some(operands[0].add(&operands[1])),
+            OpKind::Sub => Some(operands[0].sub(&operands[1])),
+            OpKind::Mul => Some(operands[0].mul(&operands[1])),
+            OpKind::DivU => Some(operands[0].udiv(&operands[1])),
+            OpKind::DivS => Some(operands[0].sdiv(&operands[1])),
+            OpKind::RemU => Some(operands[0].urem(&operands[1])),
+            OpKind::RemS => Some(operands[0].srem(&operands[1])),
+            OpKind::And => Some(operands[0].and(&operands[1])),
+            OpKind::Or => Some(operands[0].or(&operands[1])),
+            OpKind::Xor => Some(operands[0].xor(&operands[1])),
+            OpKind::Not => Some(operands[0].not()),
+            OpKind::Shl => Some(operands[0].shl(&operands[1])),
+            OpKind::ShrU => Some(operands[0].lshr(&operands[1])),
+            OpKind::ShrS => Some(operands[0].ashr(&operands[1])),
+            OpKind::Eq => Some(ApInt::from_bool(operands[0] == operands[1])),
+            OpKind::Ne => Some(ApInt::from_bool(operands[0] != operands[1])),
+            OpKind::Ult => Some(ApInt::from_bool(operands[0].ult(&operands[1]))),
+            OpKind::Ule => Some(ApInt::from_bool(operands[0].ule(&operands[1]))),
+            OpKind::Slt => Some(ApInt::from_bool(operands[0].slt(&operands[1]))),
+            OpKind::Sle => Some(ApInt::from_bool(operands[0].sle(&operands[1]))),
+            OpKind::Mux => Some(if operands[0].is_zero() {
+                operands[2].clone()
+            } else {
+                operands[1].clone()
+            }),
+            OpKind::Concat => Some(operands[0].concat(&operands[1])),
+            OpKind::Replicate(n) => Some(operands[0].replicate(*n)),
+            OpKind::ExtractConst { lo } => {
+                let base = &operands[0];
+                let need = lo + op.width;
+                let padded = if base.width() < need {
+                    base.zext(need)
+                } else {
+                    base.clone()
+                };
+                Some(padded.extract(*lo, op.width))
+            }
+            OpKind::ExtractDyn => {
+                Some(operands[0].lshr(&operands[1]).zext_or_trunc(op.width))
+            }
+            OpKind::ZExt => Some(operands[0].zext(op.width)),
+            OpKind::SExt => Some(operands[0].sext(op.width)),
+            OpKind::Trunc => Some(operands[0].trunc(op.width)),
+            OpKind::Sink => None,
+        };
+        values[id.0] = result;
+    }
+    updates
+}
+
+/// A map-backed [`LilEnv`] for tests.
+#[derive(Debug, Clone, Default)]
+pub struct MapEnv {
+    /// Instruction word.
+    pub word: u32,
+    /// rs1 operand value.
+    pub rs1: u32,
+    /// rs2 operand value.
+    pub rs2: u32,
+    /// Program counter.
+    pub pc: u32,
+    /// Word-addressed test memory (keyed by byte address).
+    pub mem: HashMap<u32, u32>,
+    /// Custom register values: (name, index) → value.
+    pub cust: HashMap<(String, u64), ApInt>,
+    /// Widths for custom registers (defaults to 32).
+    pub cust_widths: HashMap<String, u32>,
+}
+
+impl LilEnv for MapEnv {
+    fn instr_word(&mut self) -> ApInt {
+        ApInt::from_u64(self.word as u64, 32)
+    }
+
+    fn read_rs1(&mut self) -> ApInt {
+        ApInt::from_u64(self.rs1 as u64, 32)
+    }
+
+    fn read_rs2(&mut self) -> ApInt {
+        ApInt::from_u64(self.rs2 as u64, 32)
+    }
+
+    fn read_pc(&mut self) -> ApInt {
+        ApInt::from_u64(self.pc as u64, 32)
+    }
+
+    fn read_mem(&mut self, addr: &ApInt) -> ApInt {
+        let a = addr.to_u64() as u32;
+        ApInt::from_u64(self.mem.get(&a).copied().unwrap_or(0) as u64, 32)
+    }
+
+    fn read_cust_reg(&mut self, name: &str, index: &ApInt) -> ApInt {
+        let width = self.cust_widths.get(name).copied().unwrap_or(32);
+        self.cust
+            .get(&(name.to_string(), index.to_u64()))
+            .cloned()
+            .unwrap_or_else(|| ApInt::zero(width))
+    }
+}

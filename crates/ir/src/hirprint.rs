@@ -1,0 +1,395 @@
+//! Renders a typed module in the MLIR-like concrete syntax of the paper's
+//! Figure 5b (`coredsl` + `hwarith` dialects).
+//!
+//! The output is for humans (documentation, the Figure 5 bench, `--emit=hir`
+//! style debugging); it is not parsed back.
+
+use coredsl::ast::{BinOp, UnOp};
+use coredsl::tast::{
+    Block, EncodingPiece, Expr, ExprKind, Instruction, LValue, Stmt, TypedModule,
+};
+use coredsl::types::IntType;
+use std::fmt::Write;
+
+/// Renders the whole module: registers, then instructions, then
+/// `always`-blocks.
+pub fn print_module(module: &TypedModule) -> String {
+    let mut out = String::new();
+    for reg in &module.registers {
+        let role = match reg.builtin {
+            Some(coredsl::tast::BuiltinReg::Gpr) => "core_x ",
+            Some(coredsl::tast::BuiltinReg::Pc) => "core_pc ",
+            Some(coredsl::tast::BuiltinReg::Mem) => "core_mem ",
+            None if reg.is_const => "const ",
+            None => "",
+        };
+        if reg.elems > 1 {
+            let _ = writeln!(
+                out,
+                "coredsl.register {role}@{}[{}] : {}",
+                reg.name,
+                reg.elems,
+                ty_str(reg.ty)
+            );
+        } else {
+            let _ = writeln!(out, "coredsl.register {role}@{} : {}", reg.name, ty_str(reg.ty));
+        }
+    }
+    for instr in &module.instructions {
+        out.push_str(&print_instruction(module, instr));
+    }
+    for always in &module.always_blocks {
+        let mut p = Printer::new(module);
+        let _ = writeln!(p.out, "coredsl.always @{} {{", always.name);
+        p.print_block(&always.behavior, 1);
+        let _ = writeln!(p.out, "  coredsl.end");
+        let _ = writeln!(p.out, "}}");
+        out.push_str(&p.out);
+    }
+    out
+}
+
+/// Renders one instruction in Figure 5b style.
+pub fn print_instruction(module: &TypedModule, instr: &Instruction) -> String {
+    let mut p = Printer::new(module);
+    let mut header = Vec::new();
+    for piece in &instr.encoding.pieces {
+        match piece {
+            EncodingPiece::Const(c) => header.push(format!("\"{c:b}\"")),
+            EncodingPiece::Field { name, hi, lo } => {
+                let width = hi - lo + 1;
+                header.push(format!("%{name} : ui{width}"));
+            }
+        }
+    }
+    let _ = writeln!(
+        p.out,
+        "coredsl.instruction @{}({}) {{",
+        instr.name,
+        header.join(", ")
+    );
+    p.print_block(&instr.behavior, 1);
+    let _ = writeln!(p.out, "  coredsl.end");
+    let _ = writeln!(p.out, "}}");
+    p.out
+}
+
+fn ty_str(ty: IntType) -> String {
+    if ty.signed {
+        format!("si{}", ty.width)
+    } else {
+        format!("ui{}", ty.width)
+    }
+}
+
+struct Printer<'a> {
+    module: &'a TypedModule,
+    out: String,
+    next: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn new(module: &'a TypedModule) -> Self {
+        Printer {
+            module,
+            out: String::new(),
+            next: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> String {
+        let name = format!("%{}", self.next);
+        self.next += 1;
+        name
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_block(&mut self, block: &Block, depth: usize) {
+        for stmt in &block.stmts {
+            self.print_stmt(stmt, depth);
+        }
+    }
+
+    fn print_stmt(&mut self, stmt: &Stmt, depth: usize) {
+        match stmt {
+            Stmt::Decl { local, init } => {
+                if let Some(e) = init {
+                    let v = self.print_expr(e, depth);
+                    self.indent(depth);
+                    let _ = writeln!(self.out, "coredsl.local @l{} = {v}", local.0);
+                }
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.print_expr(value, depth);
+                self.indent(depth);
+                match target {
+                    LValue::Local(id) => {
+                        let _ = writeln!(self.out, "coredsl.local @l{} = {v}", id.0);
+                    }
+                    LValue::LocalRange {
+                        local,
+                        offset,
+                        width,
+                    } => {
+                        let off = self.print_expr_inline(offset);
+                        let _ = writeln!(
+                            self.out,
+                            "coredsl.local @l{}[{off} +: {width}] = {v}",
+                            local.0
+                        );
+                    }
+                    LValue::Reg { reg, index } => {
+                        let name = &self.module.registers[reg.0].name;
+                        match index {
+                            Some(e) => {
+                                let i = self.print_expr_inline(e);
+                                let _ = writeln!(self.out, "coredsl.set @{name}[{i}] = {v}");
+                            }
+                            None => {
+                                let _ = writeln!(self.out, "coredsl.set @{name} = {v}");
+                            }
+                        }
+                    }
+                    LValue::RegRange { reg, lo, elems } => {
+                        let name = &self.module.registers[reg.0].name;
+                        let l = self.print_expr_inline(lo);
+                        let _ = writeln!(
+                            self.out,
+                            "coredsl.set @{name}[{l} +: {elems}] = {v}"
+                        );
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let c = self.print_expr(cond, depth);
+                self.indent(depth);
+                let _ = writeln!(self.out, "scf.if {c} {{");
+                self.print_block(then_block, depth + 1);
+                if !else_block.stmts.is_empty() {
+                    self.indent(depth);
+                    let _ = writeln!(self.out, "}} else {{");
+                    self.print_block(else_block, depth + 1);
+                }
+                self.indent(depth);
+                let _ = writeln!(self.out, "}}");
+            }
+            Stmt::For { body, .. } => {
+                self.indent(depth);
+                let _ = writeln!(self.out, "scf.for {{");
+                self.print_block(body, depth + 1);
+                self.indent(depth);
+                let _ = writeln!(self.out, "}}");
+            }
+            Stmt::Spawn { body } => {
+                self.indent(depth);
+                let _ = writeln!(self.out, "coredsl.spawn {{");
+                self.print_block(body, depth + 1);
+                self.indent(depth);
+                let _ = writeln!(self.out, "}}");
+            }
+            Stmt::Call { callee, args } => {
+                let vs: Vec<String> = args.iter().map(|a| self.print_expr_inline(a)).collect();
+                self.indent(depth);
+                let _ = writeln!(self.out, "func.call @{callee}({})", vs.join(", "));
+            }
+            Stmt::Return { value } => {
+                self.indent(depth);
+                match value {
+                    Some(e) => {
+                        let v = self.print_expr_inline(e);
+                        let _ = writeln!(self.out, "func.return {v}");
+                    }
+                    None => {
+                        let _ = writeln!(self.out, "func.return");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prints the SSA ops computing `e`, returning the value name.
+    fn print_expr(&mut self, e: &Expr, depth: usize) -> String {
+        match &e.kind {
+            ExprKind::Const(c) => {
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = hwarith.constant {} : {}",
+                    c.to_dec_string(),
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Local(id) => format!("@l{}", id.0),
+            ExprKind::Field(name) => format!("%{name}"),
+            ExprKind::ReadReg { reg, index } => {
+                let name = self.module.registers[reg.0].name.clone();
+                let v = self.fresh();
+                let idx = index
+                    .as_ref()
+                    .map(|i| self.print_expr_inline(i))
+                    .unwrap_or_default();
+                self.indent(depth);
+                if idx.is_empty() {
+                    let _ = writeln!(self.out, "{v} = coredsl.get @{name} : {}", ty_str(e.ty));
+                } else {
+                    let _ = writeln!(
+                        self.out,
+                        "{v} = coredsl.get @{name}[{idx}] : {}",
+                        ty_str(e.ty)
+                    );
+                }
+                v
+            }
+            ExprKind::ReadRegRange { reg, lo, elems } => {
+                let name = self.module.registers[reg.0].name.clone();
+                let v = self.fresh();
+                let l = self.print_expr_inline(lo);
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = coredsl.get @{name}[{l} +: {elems}] : {}",
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.print_expr(lhs, depth);
+                let r = self.print_expr(rhs, depth);
+                let v = self.fresh();
+                self.indent(depth);
+                let mnem = match op {
+                    BinOp::Add => "hwarith.add",
+                    BinOp::Sub => "hwarith.sub",
+                    BinOp::Mul => "hwarith.mul",
+                    BinOp::Div => "hwarith.div",
+                    BinOp::Rem => "hwarith.mod",
+                    BinOp::And => "hwarith.and",
+                    BinOp::Or => "hwarith.or",
+                    BinOp::Xor => "hwarith.xor",
+                    BinOp::Shl => "hwarith.shl",
+                    BinOp::Shr => "hwarith.shr",
+                    BinOp::Lt => "hwarith.icmp lt",
+                    BinOp::Le => "hwarith.icmp le",
+                    BinOp::Gt => "hwarith.icmp gt",
+                    BinOp::Ge => "hwarith.icmp ge",
+                    BinOp::Eq => "hwarith.icmp eq",
+                    BinOp::Ne => "hwarith.icmp ne",
+                    BinOp::LogAnd => "hwarith.logand",
+                    BinOp::LogOr => "hwarith.logor",
+                    BinOp::Concat => "coredsl.concat",
+                };
+                let _ = writeln!(
+                    self.out,
+                    "{v} = {mnem} {l}, {r} : ({}, {}) -> {}",
+                    ty_str(lhs.ty),
+                    ty_str(rhs.ty),
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Unary { op, operand } => {
+                let x = self.print_expr(operand, depth);
+                let v = self.fresh();
+                self.indent(depth);
+                let mnem = match op {
+                    UnOp::Neg => "hwarith.neg",
+                    UnOp::Not => "hwarith.not",
+                    UnOp::LogNot => "hwarith.lognot",
+                    UnOp::Plus => "hwarith.id",
+                };
+                let _ = writeln!(self.out, "{v} = {mnem} {x} : {}", ty_str(e.ty));
+                v
+            }
+            ExprKind::Cast { operand } => {
+                let x = self.print_expr(operand, depth);
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = coredsl.cast {x} : {} to {}",
+                    ty_str(operand.ty),
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Slice {
+                base,
+                offset,
+                width,
+            } => {
+                let b = self.print_expr(base, depth);
+                let off = self.print_expr_inline(offset);
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = coredsl.bits {b}[{off} +: {width}] : {}",
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Concat { hi, lo } => {
+                let h = self.print_expr(hi, depth);
+                let l = self.print_expr(lo, depth);
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = coredsl.concat {h}, {l} : {}",
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let c = self.print_expr(cond, depth);
+                let t = self.print_expr(then_val, depth);
+                let f = self.print_expr(else_val, depth);
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = hwarith.select {c}, {t}, {f} : {}",
+                    ty_str(e.ty)
+                );
+                v
+            }
+            ExprKind::Call { callee, args } => {
+                let vs: Vec<String> = args.iter().map(|a| self.print_expr_inline(a)).collect();
+                let v = self.fresh();
+                self.indent(depth);
+                let _ = writeln!(
+                    self.out,
+                    "{v} = func.call @{callee}({}) : {}",
+                    vs.join(", "),
+                    ty_str(e.ty)
+                );
+                v
+            }
+        }
+    }
+
+    /// Compact single-token rendering for index/offset positions.
+    fn print_expr_inline(&mut self, e: &Expr) -> String {
+        match &e.kind {
+            ExprKind::Const(c) => c.to_dec_string(),
+            ExprKind::Local(id) => format!("@l{}", id.0),
+            ExprKind::Field(name) => format!("%{name}"),
+            _ => self.print_expr(e, 2),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Intermediate representations and lowerings of the Longnail HLS flow.
+//!
+//! The paper lowers an ISAX through three in-compiler abstraction levels
+//! (Figure 5):
+//!
+//! 1. **High-level instruction description** — the `coredsl` + `hwarith`
+//!    MLIR dialects. Here, this level is the typed AST produced by the
+//!    `coredsl` crate; [`hirprint`] renders it in the dialect syntax of
+//!    Figure 5b and [`interp`] gives it an executable (golden-model)
+//!    semantics.
+//! 2. **Data-flow graph** — the `lil` ("Longnail Intermediate Language")
+//!    dialect: one flat graph per instruction or `always`-block in which the
+//!    SCAIE-V sub-interfaces are explicit operations subject to scheduling.
+//!    Implemented by [`lil`], produced by [`lower`], executed by [`eval`].
+//! 3. **Register-transfer level** — see the `rtl` crate.
+//!
+//! The lowering ([`lower`]) unrolls loops with compile-time trip counts,
+//! inlines (pure) helper functions, converts branches to predicated
+//! data-flow with multiplexers at merge points, flattens `spawn` regions
+//! while marking their operations, and merges state updates so that each
+//! SCAIE-V sub-interface is used at most once per instruction (paper §3.1).
+
+pub mod eval;
+pub mod hirprint;
+pub mod interp;
+pub mod lil;
+pub mod lower;
+
+pub use lil::{Graph, GraphKind, LilModule, Op, OpKind, ValueId};
+pub use lower::lower_module;

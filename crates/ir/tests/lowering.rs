@@ -1,0 +1,567 @@
+//! Lowering tests: typed AST → LIL graphs, plus differential tests of the
+//! golden interpreter against the LIL evaluator.
+
+use bits::ApInt;
+use coredsl::Frontend;
+use ir::eval::{eval_graph, MapEnv, StateUpdate, UpdateKind};
+use ir::interp::{Interp, SimpleState};
+use ir::lil::{GraphKind, OpKind};
+use ir::lower_module;
+use proptest::prelude::*;
+
+const DOTP: &str = r#"
+import "RV32I.core_desc";
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] * (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+      }
+    }
+  }
+}
+"#;
+
+const ZOL: &str = r#"
+import "RV32I.core_desc";
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC, END_PC, COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101 :: 5'b00000 :: 7'b0001011;
+      behavior: {
+        START_PC = (unsigned<32>)(PC + 4);
+        END_PC = (unsigned<32>)(PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+      }
+    }
+  }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+      }
+    }
+  }
+}
+"#;
+
+fn word_r(opcode_f3: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
+    (rs2 << 20) | (rs1 << 15) | (opcode_f3 << 12) | (rd << 7) | 0b0001011
+}
+
+fn dotp_reference(a: u32, b: u32) -> u32 {
+    let mut res: i32 = 0;
+    for i in (0..32).step_by(8) {
+        let x = ((a >> i) & 0xff) as i8 as i32;
+        let y = ((b >> i) & 0xff) as i8 as i32;
+        res = res.wrapping_add((x as i16).wrapping_mul(y as i16) as i32);
+    }
+    res as u32
+}
+
+#[test]
+fn dotprod_lowers_with_unrolled_loop() {
+    let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("dotp").unwrap();
+    g.validate().unwrap();
+    // Unrolled: 4 multiplies, interface reads deduplicated.
+    let muls = g.ops.iter().filter(|o| o.kind == OpKind::Mul).count();
+    assert_eq!(muls, 4);
+    let rs1 = g.ops.iter().filter(|o| o.kind == OpKind::ReadRs1).count();
+    assert_eq!(rs1, 1);
+    assert_eq!(
+        g.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::WriteRd)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn dotprod_differential_golden_vs_lil() {
+    let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("dotp").unwrap();
+    let interp = Interp::new(&module);
+    let word = word_r(0, 3, 1, 2);
+    for (a, b) in [
+        (0u32, 0u32),
+        (0x01020304, 0x05060708),
+        (0xff80807f, 0x7f808001),
+        (0xdeadbeef, 0xcafef00d),
+    ] {
+        // Golden model.
+        let mut st = SimpleState::new(&module);
+        st.set("X", 1, ApInt::from_u64(a as u64, 32));
+        st.set("X", 2, ApInt::from_u64(b as u64, 32));
+        interp.exec_instruction("dotp", word, &mut st).unwrap();
+        let golden = st.get("X", 3).to_u64() as u32;
+        assert_eq!(golden, dotp_reference(a, b), "golden vs rust reference");
+        // LIL evaluator.
+        let mut env = MapEnv {
+            word,
+            rs1: a,
+            rs2: b,
+            ..MapEnv::default()
+        };
+        let updates = eval_graph(g, &lil, &mut env);
+        assert_eq!(
+            updates,
+            vec![StateUpdate {
+                kind: UpdateKind::Rd,
+                addr: None,
+                value: ApInt::from_u64(golden as u64, 32),
+            }]
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn dotprod_differential_random(a: u32, b: u32) {
+        let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+        let lil = lower_module(&module).unwrap();
+        let g = lil.graph("dotp").unwrap();
+        let mut env = MapEnv { word: word_r(0, 3, 1, 2), rs1: a, rs2: b, ..MapEnv::default() };
+        let updates = eval_graph(g, &lil, &mut env);
+        prop_assert_eq!(updates[0].value.to_u64() as u32, dotp_reference(a, b));
+    }
+}
+
+#[test]
+fn zol_always_block_lowers_and_evaluates() {
+    let module = Frontend::new().compile_str(ZOL, "zol").unwrap();
+    let lil = lower_module(&module).unwrap();
+    assert_eq!(lil.custom_regs.len(), 3);
+    let g = lil.graph("zol").unwrap();
+    assert_eq!(g.kind, GraphKind::Always);
+    // Always-mode writes carry mandatory valid bits (predicates).
+    for op in &g.ops {
+        if op.kind.is_state_write() {
+            assert!(op.pred.is_some(), "{:?} lacks a valid bit", op.kind);
+        }
+    }
+    // Loop active: END_PC == PC and COUNT != 0 → PC reset, COUNT decrement.
+    let mut env = MapEnv {
+        pc: 0x100,
+        ..MapEnv::default()
+    };
+    env.cust
+        .insert(("COUNT".into(), 0), ApInt::from_u64(5, 32));
+    env.cust
+        .insert(("START_PC".into(), 0), ApInt::from_u64(0xf0, 32));
+    env.cust
+        .insert(("END_PC".into(), 0), ApInt::from_u64(0x100, 32));
+    let updates = eval_graph(g, &lil, &mut env);
+    assert_eq!(updates.len(), 2);
+    assert!(updates.iter().any(|u| u.kind == UpdateKind::Pc && u.value.to_u64() == 0xf0));
+    assert!(updates
+        .iter()
+        .any(|u| u.kind == UpdateKind::Cust("COUNT".into()) && u.value.to_u64() == 4));
+    // Loop inactive: no updates fire.
+    env.pc = 0x104;
+    let updates = eval_graph(g, &lil, &mut env);
+    assert!(updates.is_empty());
+}
+
+#[test]
+fn zol_setup_writes_three_custom_registers() {
+    let module = Frontend::new().compile_str(ZOL, "zol").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("setup_zol").unwrap();
+    let writes: Vec<_> = g
+        .ops
+        .iter()
+        .filter_map(|o| match &o.kind {
+            OpKind::WriteCustReg(name) => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(writes.len(), 3);
+    assert!(writes.contains(&"START_PC".to_string()));
+    // Evaluate: uimmS=3 → END_PC = PC + 6; uimmL=42 → COUNT=42.
+    let word = (42u32 << 20) | (3 << 15) | (0b101 << 12) | 0b0001011;
+    let mut env = MapEnv {
+        word,
+        pc: 0x200,
+        ..MapEnv::default()
+    };
+    let updates = eval_graph(g, &lil, &mut env);
+    let get = |name: &str| {
+        updates
+            .iter()
+            .find(|u| u.kind == UpdateKind::Cust(name.into()))
+            .map(|u| u.value.to_u64())
+            .unwrap()
+    };
+    assert_eq!(get("START_PC"), 0x204);
+    assert_eq!(get("END_PC"), 0x206);
+    assert_eq!(get("COUNT"), 42);
+}
+
+#[test]
+fn spawn_ops_are_marked() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet s extends RV32I {
+  instructions {
+    slow {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> x = X[rs1];
+        spawn {
+          X[rd] = (unsigned<32>)(x + x);
+        }
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "s").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("slow").unwrap();
+    let wr = g.ops.iter().find(|o| o.kind == OpKind::WriteRd).unwrap();
+    assert!(wr.in_spawn);
+    let rd = g.ops.iter().find(|o| o.kind == OpKind::ReadRs1).unwrap();
+    assert!(!rd.in_spawn);
+}
+
+#[test]
+fn memory_word_access_maps_to_rdmem_wrmem() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet m extends RV32I {
+  instructions {
+    copyw {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> a = X[rs1];
+        unsigned<32> v = MEM[a+3:a];
+        MEM[a+7:a+4] = v;
+        X[rd] = v;
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "m").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("copyw").unwrap();
+    assert_eq!(g.ops.iter().filter(|o| o.kind == OpKind::ReadMem).count(), 1);
+    assert_eq!(
+        g.ops.iter().filter(|o| o.kind == OpKind::WriteMem).count(),
+        1
+    );
+    let mut env = MapEnv {
+        word: (1 << 15) | (0b001 << 12) | (2 << 7) | 0b0001011,
+        rs1: 0x40,
+        ..MapEnv::default()
+    };
+    env.mem.insert(0x40, 0x12345678);
+    let updates = eval_graph(g, &lil, &mut env);
+    assert!(updates.iter().any(|u| matches!(&u.kind, UpdateKind::Mem)
+        && u.addr.as_ref().unwrap().to_u64() == 0x44
+        && u.value.to_u64() == 0x12345678));
+}
+
+#[test]
+fn byte_memory_access_is_rejected() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet m extends RV32I {
+  instructions {
+    lb {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> a = X[rs1];
+        X[rd] = (unsigned<32>) MEM[a];
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "m").unwrap();
+    let err = lower_module(&module).unwrap_err();
+    assert!(err.message.contains("4-byte"), "{err}");
+}
+
+#[test]
+fn gpr_read_requires_rs_field() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet g extends RV32I {
+  instructions {
+    weird {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = X[rd];
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "g").unwrap();
+    let err = lower_module(&module).unwrap_err();
+    assert!(err.message.contains("rs1"), "{err}");
+}
+
+#[test]
+fn nonconstant_loop_bound_is_rejected() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet l extends RV32I {
+  instructions {
+    dyn {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> n = X[rs1];
+        unsigned<32> acc = 0;
+        for (unsigned<32> i = 0; i < n; i += 1) {
+          acc += i;
+        }
+        X[rd] = acc;
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "l").unwrap();
+    let err = lower_module(&module).unwrap_err();
+    assert!(err.message.contains("compile-time"), "{err}");
+}
+
+#[test]
+fn conditional_writes_are_predicated_and_merged() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet c extends RV32I {
+  instructions {
+    sel {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd2 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        if (X[rs1] < X[rs2]) {
+          X[rd] = X[rs1];
+        } else {
+          X[rd] = X[rs2];
+        }
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "c").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("sel").unwrap();
+    // Merged to a single WrRD (sub-interface used once).
+    assert_eq!(g.ops.iter().filter(|o| o.kind == OpKind::WriteRd).count(), 1);
+    let mut env = MapEnv {
+        word: word_r(2, 3, 1, 2),
+        rs1: 10,
+        rs2: 20,
+        ..MapEnv::default()
+    };
+    let updates = eval_graph(g, &lil, &mut env);
+    assert_eq!(updates[0].value.to_u64(), 10);
+    env.rs1 = 30;
+    let updates = eval_graph(g, &lil, &mut env);
+    assert_eq!(updates[0].value.to_u64(), 20);
+}
+
+#[test]
+fn read_after_conditional_custom_write_sees_muxed_value() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet f extends RV32I {
+  architectural_state { register unsigned<32> ACC; }
+  instructions {
+    fwd {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd3 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        if (X[rs1] == 0) {
+          ACC = X[rs2];
+        }
+        X[rd] = ACC;
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "f").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("fwd").unwrap();
+    let mut env = MapEnv {
+        word: word_r(3, 3, 1, 2),
+        rs1: 0,
+        rs2: 77,
+        ..MapEnv::default()
+    };
+    env.cust.insert(("ACC".into(), 0), ApInt::from_u64(5, 32));
+    let updates = eval_graph(g, &lil, &mut env);
+    let rd = updates
+        .iter()
+        .find(|u| u.kind == UpdateKind::Rd)
+        .unwrap();
+    assert_eq!(rd.value.to_u64(), 77, "taken branch forwards new value");
+    env.rs1 = 1;
+    let updates = eval_graph(g, &lil, &mut env);
+    let rd = updates
+        .iter()
+        .find(|u| u.kind == UpdateKind::Rd)
+        .unwrap();
+    assert_eq!(rd.value.to_u64(), 5, "untaken branch reads old value");
+    // Golden model agrees.
+    let interp = Interp::new(&module);
+    let mut st = SimpleState::new(&module);
+    st.set("X", 1, ApInt::zero(32));
+    st.set("X", 2, ApInt::from_u64(77, 32));
+    st.set("ACC", 0, ApInt::from_u64(5, 32));
+    interp
+        .exec_instruction("fwd", word_r(3, 3, 1, 2), &mut st)
+        .unwrap();
+    assert_eq!(st.get("X", 3).to_u64(), 77);
+}
+
+#[test]
+fn helper_functions_are_inlined() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet h extends RV32I {
+  functions {
+    unsigned<32> rotl(unsigned<32> x, unsigned<5> n) {
+      return (unsigned<32>)((x << n) | (x >> (unsigned<5>)(32 - n)));
+    }
+  }
+  instructions {
+    rot8 {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd4 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = rotl(X[rs1], 8);
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "h").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let g = lil.graph("rot8").unwrap();
+    let mut env = MapEnv {
+        word: (1 << 15) | (0b100 << 12) | (2 << 7) | 0b0001011,
+        rs1: 0x12345678,
+        ..MapEnv::default()
+    };
+    let updates = eval_graph(g, &lil, &mut env);
+    assert_eq!(updates[0].value.to_u64() as u32, 0x12345678u32.rotate_left(8));
+}
+
+#[test]
+fn rom_lookup_with_dynamic_index() {
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet r extends RV32I {
+  architectural_state {
+    register const unsigned<8> TBL[4] = {0x63, 0x7c, 0x77, 0x7b};
+  }
+  instructions {
+    lut {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd5 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = (unsigned<32>) TBL[X[rs1][1:0]];
+      }
+    }
+  }
+}
+"#;
+    let module = Frontend::new().compile_str(src, "r").unwrap();
+    let lil = lower_module(&module).unwrap();
+    assert_eq!(lil.roms.len(), 1);
+    assert!(lil.custom_regs.is_empty());
+    let g = lil.graph("lut").unwrap();
+    for (i, expect) in [0x63u64, 0x7c, 0x77, 0x7b].iter().enumerate() {
+        let mut env = MapEnv {
+            word: (1 << 15) | (0b101 << 12) | (2 << 7) | 0b0001011,
+            rs1: i as u32,
+            ..MapEnv::default()
+        };
+        let updates = eval_graph(g, &lil, &mut env);
+        assert_eq!(updates[0].value.to_u64(), *expect);
+    }
+}
+
+#[test]
+fn hir_printer_produces_dialect_syntax() {
+    let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+    let text = ir::hirprint::print_module(&module);
+    assert!(text.contains("coredsl.register core_x @X[32] : ui32"));
+    assert!(text.contains("coredsl.instruction @dotp("));
+    assert!(text.contains("hwarith.mul"));
+    assert!(text.contains("coredsl.end"));
+}
+
+#[test]
+fn lil_printer_matches_figure5c_style() {
+    let module = Frontend::new().compile_str(DOTP, "X_DOTP").unwrap();
+    let lil = lower_module(&module).unwrap();
+    let text = lil.graph("dotp").unwrap().to_string();
+    assert!(text.starts_with("lil.graph \"dotp\" mask \"0000000----------000-----0001011\""));
+    assert!(text.contains("lil.read_rs1"));
+    assert!(text.contains("lil.write_rd"));
+    assert!(text.contains("lil.sink"));
+}
+#[test]
+fn while_and_do_while_loops_unroll() {
+    // while: sum constants 0..5; do-while: runs at least once.
+    let src = r#"
+import "RV32I.core_desc";
+InstructionSet w extends RV32I {
+  instructions {
+    wsum {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd7 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> acc = 0;
+        unsigned<8> i = 0;
+        while (i < 5) {
+          acc = (unsigned<32>)(acc + X[rs1]);
+          i = (unsigned<8>)(i + 1);
+        }
+        unsigned<8> n = 0;
+        do {
+          acc = (unsigned<32>)(acc + 1);
+          n = (unsigned<8>)(n + 1);
+        } while (n < 1);
+        X[rd] = acc;
+      }
+    }
+  }
+}
+"#;
+    let module = coredsl::Frontend::new().compile_str(src, "w").unwrap();
+    let lil = ir::lower_module(&module).unwrap();
+    let g = lil.graph("wsum").unwrap();
+    let mut env = ir::eval::MapEnv {
+        word: (1 << 15) | (0b111 << 12) | (2 << 7) | 0b0001011,
+        rs1: 10,
+        ..Default::default()
+    };
+    let updates = ir::eval::eval_graph(g, &lil, &mut env);
+    assert_eq!(updates[0].value.to_u64(), 51); // 5*10 + 1
+    // Golden interpreter agrees.
+    let interp = ir::interp::Interp::new(&module);
+    let mut st = ir::interp::SimpleState::new(&module);
+    st.set("X", 1, bits::ApInt::from_u64(10, 32));
+    interp
+        .exec_instruction("wsum", (1 << 15) | (0b111 << 12) | (2 << 7) | 0b0001011, &mut st)
+        .unwrap();
+    assert_eq!(st.get("X", 2).to_u64(), 51);
+}

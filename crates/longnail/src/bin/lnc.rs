@@ -1,0 +1,180 @@
+//! `lnc` — the Longnail command-line compiler.
+//!
+//! ```text
+//! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
+//!            [--unit <InstructionSet>] [--out <dir>]
+//!            [--emit hir|lil|sv|config|datasheet]
+//!
+//! Compiles the CoreDSL description for the selected host core. Without
+//! --emit, writes one SystemVerilog file per instruction/always-block plus
+//! the SCAIE-V configuration YAML into --out (default: the current
+//! directory) and prints a summary. With --emit, prints the requested
+//! representation to stdout instead.
+//! ```
+
+use longnail::driver::{builtin_datasheet, EVAL_CORES};
+use longnail::Longnail;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    input: PathBuf,
+    core: String,
+    unit: Option<String>,
+    out: PathBuf,
+    emit: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut core = None;
+    let mut unit = None;
+    let mut out = PathBuf::from(".");
+    let mut emit = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--core" => core = Some(args.next().ok_or("--core needs a value")?),
+            "--unit" => unit = Some(args.next().ok_or("--unit needs a value")?),
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--emit" => emit = Some(args.next().ok_or("--emit needs a value")?),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            other => {
+                if input.replace(PathBuf::from(other)).is_some() {
+                    return Err("more than one input file".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("missing input file")?,
+        core: core.ok_or_else(|| {
+            format!("missing --core (one of: {})", EVAL_CORES.join(", "))
+        })?,
+        unit,
+        out,
+        emit,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
+         [--out <dir>] [--emit hir|lil|sv|config|datasheet]",
+        EVAL_CORES.join("|")
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(datasheet) = builtin_datasheet(&args.core) else {
+        eprintln!(
+            "error: unknown core `{}` (known: {})",
+            args.core,
+            EVAL_CORES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let unit = args.unit.clone().unwrap_or_else(|| {
+        args.input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    });
+    let mut ln = Longnail::new();
+    // --emit hir needs the typed module before HLS.
+    if args.emit.as_deref() == Some("hir") {
+        return match ln.frontend_mut().compile_str(&src, &unit) {
+            Ok(module) => {
+                print!("{}", ir::hirprint::print_module(&module));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.emit.as_deref() == Some("datasheet") {
+        print!("{}", datasheet.to_yaml());
+        return ExitCode::SUCCESS;
+    }
+    let compiled = match ln.compile(&src, &unit, &datasheet) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.emit.as_deref() {
+        Some("lil") => {
+            for g in &compiled.graphs {
+                print!("{}", g.graph);
+            }
+        }
+        Some("sv") => {
+            for g in &compiled.graphs {
+                print!("{}", g.verilog);
+            }
+        }
+        Some("config") => print!("{}", compiled.config.to_yaml()),
+        Some(other) => {
+            eprintln!("error: unknown --emit `{other}`");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            if let Err(e) = std::fs::create_dir_all(&args.out) {
+                eprintln!("error: cannot create {}: {e}", args.out.display());
+                return ExitCode::FAILURE;
+            }
+            for g in &compiled.graphs {
+                let path = args
+                    .out
+                    .join(format!("{}_{}.sv", compiled.name, g.name));
+                if let Err(e) = std::fs::write(&path, &g.verilog) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {:<40} {:>6} stages, mode {}",
+                    path.display(),
+                    g.max_stage,
+                    g.mode
+                );
+            }
+            let config_path = args.out.join(format!("{}.scaiev.yaml", compiled.name));
+            if let Err(e) = std::fs::write(&config_path, compiled.config.to_yaml()) {
+                eprintln!("error: cannot write {}: {e}", config_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", config_path.display());
+            println!(
+                "\n{}: {} instruction(s), {} always-block(s) compiled for {}",
+                compiled.name,
+                compiled.instructions().count(),
+                compiled.always_blocks().count(),
+                args.core
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

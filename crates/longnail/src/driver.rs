@@ -1,0 +1,556 @@
+//! The Longnail HLS driver (paper §4).
+//!
+//! Compiles an ISAX through the full stack: frontend → LIL lowering →
+//! core-aware scheduling (the *LongnailProblem*, solved with the Figure 7
+//! ILP against the core's virtual datasheet) → execution-mode selection
+//! (§4.3) → hardware construction and SystemVerilog emission (§4.5) →
+//! SCAIE-V configuration file (§4.6).
+
+use coredsl::tast::TypedModule;
+use coredsl::Frontend;
+use ir::lil::{Graph, GraphKind, LilModule, OpKind};
+use ir::lower_module;
+use rtl::build::{build_graph_module, BuiltModule};
+use rtl::verilog::emit_verilog;
+use scaiev::config::{Functionality, IsaxConfig, RegisterRequest, ScheduleEntry};
+use scaiev::datasheet::{Timing, VirtualDatasheet};
+use scaiev::iface::SubInterfaceOp;
+use scaiev::modes::{select_mode, ExecutionMode};
+use sched::problem::{LongnailProblem, OperatorType, OperatorTypeId, Schedule};
+use sched::schedule_ilp;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Abstract combinational-delay unit assigned to every "real" logic level.
+///
+/// The paper "currently assume[s] uniform delays and area for logic and
+/// non-combinational sub-interface operations" (§4.2); a real technology
+/// library is future work there, and the calibrated 22 nm model lives in
+/// the `eda` crate here. Pure wiring (extracts, concats, extensions) costs
+/// nothing.
+pub const UNIFORM_DELAY: f64 = 1.0;
+
+/// Default chaining budget: how many uniform logic levels fit in one
+/// pipeline stage, used when the datasheet does not specify a target
+/// clock. Chosen so that the 32-iteration digit-recurrence square root
+/// spreads over ~10 stages, matching the paper's observation.
+pub const DEFAULT_CHAIN_DEPTH: f64 = 6.0;
+
+/// Physical duration of one uniform logic level (≈ a 32-bit adder in the
+/// 22 nm model). When the datasheet carries a target clock period, the
+/// per-stage chaining budget becomes `clock_ns / UNIT_NS`: fast cores chain
+/// fewer levels per stage and therefore pipeline ISAXes more deeply.
+pub const UNIT_NS: f64 = 0.22;
+
+/// Error from any stage of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowError {
+    /// Flow stage that failed (`frontend`, `lower`, `schedule`, ...).
+    pub stage: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// One compiled instruction or `always`-block.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    /// Instruction / always-block name.
+    pub name: String,
+    /// True for `always`-blocks.
+    pub is_always: bool,
+    /// Decode mask (instructions only).
+    pub mask: u32,
+    /// Decode match value (instructions only).
+    pub match_value: u32,
+    /// The scheduled LIL graph.
+    pub graph: Graph,
+    /// Per-LIL-operation start times and in-cycle times.
+    pub schedule: Schedule,
+    /// The constructed hardware module with port bindings.
+    pub built: BuiltModule,
+    /// Emitted SystemVerilog.
+    pub verilog: String,
+    /// Overall execution mode (worst interface variant, §3.2/§4.3).
+    pub mode: ExecutionMode,
+    /// Stage of the WrRD use, if the instruction writes `rd`.
+    pub result_stage: Option<u32>,
+    /// Earliest stage of any `spawn` operation (decoupled issue point).
+    pub spawn_stage: Option<u32>,
+    /// Highest active stage (total latency in stages).
+    pub max_stage: u32,
+}
+
+/// A fully compiled ISAX, ready for SCAIE-V integration into one core.
+#[derive(Debug, Clone)]
+pub struct CompiledIsax {
+    /// ISAX name.
+    pub name: String,
+    /// Core this compilation targeted.
+    pub core: String,
+    /// The elaborated, type-checked module (golden-model input).
+    pub module: TypedModule,
+    /// The lowered LIL module.
+    pub lil: LilModule,
+    /// One compiled artifact per instruction / always-block.
+    pub graphs: Vec<CompiledGraph>,
+    /// The SCAIE-V configuration file contents (Figure 8).
+    pub config: IsaxConfig,
+}
+
+impl CompiledIsax {
+    /// Finds a compiled graph by name.
+    pub fn graph(&self, name: &str) -> Option<&CompiledGraph> {
+        self.graphs.iter().find(|g| g.name == name)
+    }
+
+    /// Iterates over compiled instructions (not always-blocks).
+    pub fn instructions(&self) -> impl Iterator<Item = &CompiledGraph> {
+        self.graphs.iter().filter(|g| !g.is_always)
+    }
+
+    /// Iterates over compiled always-blocks.
+    pub fn always_blocks(&self) -> impl Iterator<Item = &CompiledGraph> {
+        self.graphs.iter().filter(|g| g.is_always)
+    }
+}
+
+/// The Longnail compiler.
+pub struct Longnail {
+    frontend: Frontend,
+    /// Chaining budget in uniform-delay units per stage.
+    pub chain_depth: f64,
+}
+
+impl Default for Longnail {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Longnail {
+    /// Creates a compiler with the built-in prelude and default chaining
+    /// budget.
+    pub fn new() -> Self {
+        Longnail {
+            frontend: Frontend::new(),
+            chain_depth: DEFAULT_CHAIN_DEPTH,
+        }
+    }
+
+    /// Access to the CoreDSL frontend (e.g. to register import sources).
+    pub fn frontend_mut(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// Compiles CoreDSL source text for the given target core.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failing flow stage.
+    pub fn compile(
+        &self,
+        src: &str,
+        unit: &str,
+        datasheet: &VirtualDatasheet,
+    ) -> Result<CompiledIsax, FlowError> {
+        let module = self
+            .frontend
+            .compile_str(src, unit)
+            .map_err(|e| FlowError {
+                stage: "frontend",
+                message: e.to_string(),
+            })?;
+        self.compile_module(module, datasheet)
+    }
+
+    /// Compiles an already type-checked module for the given target core.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failing flow stage.
+    pub fn compile_module(
+        &self,
+        module: TypedModule,
+        datasheet: &VirtualDatasheet,
+    ) -> Result<CompiledIsax, FlowError> {
+        let lil = lower_module(&module).map_err(|e| FlowError {
+            stage: "lower",
+            message: e.to_string(),
+        })?;
+        let mut graphs = Vec::new();
+        for graph in &lil.graphs {
+            graphs.push(self.compile_graph(graph, &lil, datasheet)?);
+        }
+        let config = build_config(&lil, &graphs);
+        Ok(CompiledIsax {
+            name: lil.name.clone(),
+            core: datasheet.core.clone(),
+            module,
+            lil,
+            graphs,
+            config,
+        })
+    }
+
+    fn compile_graph(
+        &self,
+        graph: &Graph,
+        lil: &LilModule,
+        datasheet: &VirtualDatasheet,
+    ) -> Result<CompiledGraph, FlowError> {
+        let is_always = graph.kind == GraphKind::Always;
+        let budget = if datasheet.clock_ns > 0.0 {
+            (datasheet.clock_ns / UNIT_NS).max(2.0)
+        } else {
+            self.chain_depth
+        };
+        let mut problem = LongnailProblem {
+            cycle_time: budget,
+            ..LongnailProblem::default()
+        };
+        let mut type_cache: HashMap<String, OperatorTypeId> = HashMap::new();
+        let mut op_ids = Vec::with_capacity(graph.len());
+        for (_, op) in graph.iter() {
+            let key = op.kind.mnemonic();
+            let cache_key = format!("{key}/{}", op.in_spawn);
+            let tid = match type_cache.get(&cache_key) {
+                Some(&t) => t,
+                None => {
+                    let ot = self.operator_type(&op.kind, is_always, datasheet)?;
+                    let t = problem.add_operator_type(ot);
+                    type_cache.insert(cache_key, t);
+                    t
+                }
+            };
+            op_ids.push(problem.add_operation(&key, tid));
+        }
+        for (v, op) in graph.iter() {
+            for &operand in op.operands.iter().chain(op.pred.iter()) {
+                problem.add_dependence(op_ids[operand.0], op_ids[v.0]);
+            }
+        }
+        let schedule = schedule_ilp(&mut problem).map_err(|e| FlowError {
+            stage: "schedule",
+            message: format!("graph `{}`: {e}", graph.name),
+        })?;
+        let start_time: Vec<u32> = (0..graph.len())
+            .map(|i| schedule.start_time[op_ids[i].0])
+            .collect();
+
+        let ds = datasheet.clone();
+        let read_latency = move |kind: &OpKind| -> u32 {
+            lil_iface_op(kind)
+                .and_then(|op| ds.timing(&op))
+                .map(|t| t.latency)
+                .unwrap_or(0)
+        };
+        let built = build_graph_module(graph, lil, &start_time, &read_latency);
+        let verilog = emit_verilog(&built.module);
+
+        // Per-write-interface mode selection (§4.3) and overall mode.
+        let mut mode = if is_always {
+            ExecutionMode::Always
+        } else {
+            ExecutionMode::InPipeline
+        };
+        let mut result_stage = None;
+        let mut spawn_stage: Option<u32> = None;
+        for (v, op) in graph.iter() {
+            let stage = start_time[v.0];
+            if op.in_spawn {
+                spawn_stage = Some(spawn_stage.map_or(stage, |s: u32| s.min(stage)));
+            }
+            if op.kind == OpKind::WriteRd {
+                result_stage = Some(stage);
+            }
+            if !is_always && mode_relevant(&op.kind) {
+                let iface = lil_iface_op(&op.kind).expect("interface op");
+                let timing = datasheet.timing(&iface).ok_or_else(|| FlowError {
+                    stage: "modes",
+                    message: format!("datasheet lacks {} timing", iface.key()),
+                })?;
+                let m = select_mode(
+                    stage,
+                    timing,
+                    datasheet.writeback_stage,
+                    op.in_spawn,
+                    false,
+                );
+                mode = worst_mode(mode, m);
+            }
+        }
+        let (mask, match_value) = match graph.kind {
+            GraphKind::Instruction { mask, match_value } => (mask, match_value),
+            GraphKind::Always => (0, 0),
+        };
+        let start_time_sched = Schedule {
+            start_time,
+            start_time_in_cycle: (0..graph.len())
+                .map(|i| schedule.start_time_in_cycle[op_ids[i].0])
+                .collect(),
+        };
+        Ok(CompiledGraph {
+            name: graph.name.clone(),
+            is_always,
+            mask,
+            match_value,
+            graph: graph.clone(),
+            schedule: start_time_sched,
+            max_stage: built.max_stage,
+            built,
+            verilog,
+            mode,
+            result_stage,
+            spawn_stage,
+        })
+    }
+
+    /// Builds the scheduling operator type for one LIL operation kind.
+    fn operator_type(
+        &self,
+        kind: &OpKind,
+        is_always: bool,
+        datasheet: &VirtualDatasheet,
+    ) -> Result<OperatorType, FlowError> {
+        let name = kind.mnemonic();
+        if let Some(iface) = lil_iface_op(kind) {
+            if is_always {
+                // §4.4: all interface constraints pinned to stage 0.
+                return Ok(OperatorType::combinational(&name, 0.0).with_window(0, Some(0)));
+            }
+            let timing = datasheet.timing(&iface).ok_or_else(|| FlowError {
+                stage: "schedule",
+                message: format!(
+                    "virtual datasheet of `{}` lacks an entry for {}",
+                    datasheet.core,
+                    iface.key()
+                ),
+            })?;
+            // §4.2: WrRD / RdMem / WrMem get latest = ∞ to unlock the
+            // tightly-coupled and decoupled variants.
+            let latest = match kind {
+                OpKind::WriteRd | OpKind::ReadMem | OpKind::WriteMem => None,
+                OpKind::WriteCustReg(_) => None,
+                _ => timing.latest,
+            };
+            let mut ot = OperatorType::sequential(&name, timing.latency, 0.0);
+            ot.earliest = timing.earliest;
+            ot.latest = latest;
+            return Ok(ot);
+        }
+        // Combinational logic: uniform delay, wiring is free (§4.2).
+        let delay = match kind {
+            OpKind::Const(_)
+            | OpKind::Sink
+            | OpKind::Concat
+            | OpKind::Replicate(_)
+            | OpKind::ExtractConst { .. }
+            | OpKind::ZExt
+            | OpKind::SExt
+            | OpKind::Trunc => 0.0,
+            OpKind::Mux | OpKind::Not => 0.2,
+            OpKind::RomRead(_) => UNIFORM_DELAY,
+            _ => UNIFORM_DELAY,
+        };
+        Ok(OperatorType::combinational(&name, delay))
+    }
+}
+
+/// Maps a LIL operation to its SCAIE-V sub-interface, if any.
+pub fn lil_iface_op(kind: &OpKind) -> Option<SubInterfaceOp> {
+    Some(match kind {
+        OpKind::InstrWord => SubInterfaceOp::RdInstr,
+        OpKind::ReadRs1 => SubInterfaceOp::RdRS1,
+        OpKind::ReadRs2 => SubInterfaceOp::RdRS2,
+        OpKind::ReadPc => SubInterfaceOp::RdPC,
+        OpKind::ReadMem => SubInterfaceOp::RdMem,
+        OpKind::WriteRd => SubInterfaceOp::WrRD,
+        OpKind::WritePc => SubInterfaceOp::WrPC,
+        OpKind::WriteMem => SubInterfaceOp::WrMem,
+        OpKind::ReadCustReg(reg) => SubInterfaceOp::RdCustReg { reg: reg.clone() },
+        OpKind::WriteCustReg(reg) => SubInterfaceOp::WrCustRegData { reg: reg.clone() },
+        _ => return None,
+    })
+}
+
+/// Interface kinds whose scheduled stage participates in mode selection.
+fn mode_relevant(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::WriteRd | OpKind::ReadMem | OpKind::WriteMem | OpKind::WriteCustReg(_)
+    )
+}
+
+/// Severity order for combining per-interface modes into an instruction
+/// mode.
+fn worst_mode(a: ExecutionMode, b: ExecutionMode) -> ExecutionMode {
+    let rank = |m: ExecutionMode| match m {
+        ExecutionMode::InPipeline => 0,
+        ExecutionMode::TightlyCoupled => 1,
+        ExecutionMode::Decoupled => 2,
+        ExecutionMode::Always => 3,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Builds the Figure 8 SCAIE-V configuration file contents.
+fn build_config(lil: &LilModule, graphs: &[CompiledGraph]) -> IsaxConfig {
+    let mut config = IsaxConfig {
+        name: lil.name.clone(),
+        ..IsaxConfig::default()
+    };
+    for reg in &lil.custom_regs {
+        config.registers.push(RegisterRequest {
+            name: reg.name.clone(),
+            width: reg.width,
+            elements: reg.elems,
+        });
+    }
+    for cg in graphs {
+        let mut schedule = Vec::new();
+        for (v, op) in cg.graph.iter() {
+            let Some(iface) = lil_iface_op(&op.kind) else {
+                continue;
+            };
+            let stage = cg.schedule.start_time[v.0];
+            let has_valid = op.pred.is_some();
+            let mode = if cg.is_always {
+                ExecutionMode::Always
+            } else if mode_relevant(&op.kind) {
+                cg.mode
+            } else {
+                ExecutionMode::InPipeline
+            };
+            if let OpKind::WriteCustReg(reg) = &op.kind {
+                // The .addr entry consistently provides the hazard-handling
+                // mechanism with stage information even for single-element
+                // registers (paper §4.6).
+                schedule.push(ScheduleEntry {
+                    interface: SubInterfaceOp::WrCustRegAddr { reg: reg.clone() }.key(),
+                    stage,
+                    has_valid: false,
+                    mode,
+                });
+            }
+            schedule.push(ScheduleEntry {
+                interface: iface.key(),
+                stage,
+                has_valid,
+                mode,
+            });
+        }
+        config.functionalities.push(Functionality {
+            name: cg.name.clone(),
+            encoding: (!cg.is_always).then(|| pattern_string(cg.mask, cg.match_value)),
+            schedule,
+        });
+    }
+    config
+}
+
+fn pattern_string(mask: u32, match_value: u32) -> String {
+    (0..32)
+        .rev()
+        .map(|i| {
+            if mask >> i & 1 == 1 {
+                if match_value >> i & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Builds the virtual datasheets used in the evaluation. The actual core
+/// descriptors (pipeline structure, base area/fmax) live in the `cores`
+/// crate; this function only captures the SCAIE-V timing abstraction so the
+/// compiler can be used without the core models.
+pub fn builtin_datasheet(core: &str) -> Option<VirtualDatasheet> {
+    let mut ds = match core {
+        // 5-stage in-order pipeline: IF ID EX MEM WB (stages 0..4).
+        "VexRiscv" | "ORCA" => {
+            let mut ds = VirtualDatasheet::new(core, 5, 4, 3);
+            let (rs_stage, wr_earliest) = if core == "ORCA" {
+                // ORCA: register operands available in stage 3, result
+                // write-back already expected in the following stage (§5.4).
+                (3, 3)
+            } else {
+                (2, 2)
+            };
+            ds.set(SubInterfaceOp::RdInstr, Timing::new(1, Some(4), 0))
+                .set(SubInterfaceOp::RdRS1, Timing::new(rs_stage, Some(4), 0))
+                .set(SubInterfaceOp::RdRS2, Timing::new(rs_stage, Some(4), 0))
+                .set(SubInterfaceOp::RdPC, Timing::new(1, Some(4), 0))
+                .set(SubInterfaceOp::RdMem, Timing::new(3, None, 1))
+                .set(SubInterfaceOp::WrRD, Timing::new(wr_earliest, None, 0))
+                .set(SubInterfaceOp::WrPC, Timing::new(1, Some(4), 0))
+                .set(SubInterfaceOp::WrMem, Timing::new(3, None, 0));
+            ds
+        }
+        // 3-stage pipeline: IF / EX / WB.
+        "Piccolo" => {
+            let mut ds = VirtualDatasheet::new(core, 3, 2, 1);
+            ds.set(SubInterfaceOp::RdInstr, Timing::new(1, Some(2), 0))
+                .set(SubInterfaceOp::RdRS1, Timing::new(1, Some(2), 0))
+                .set(SubInterfaceOp::RdRS2, Timing::new(1, Some(2), 0))
+                .set(SubInterfaceOp::RdPC, Timing::new(1, Some(2), 0))
+                .set(SubInterfaceOp::RdMem, Timing::new(1, None, 1))
+                .set(SubInterfaceOp::WrRD, Timing::new(1, None, 0))
+                .set(SubInterfaceOp::WrPC, Timing::new(1, Some(2), 0))
+                .set(SubInterfaceOp::WrMem, Timing::new(1, None, 0));
+            ds
+        }
+        // Non-pipelined FSM sequencing: everything available from step 1
+        // and the core waits for the ISAX (paper footnote 2).
+        "PicoRV32" => {
+            let mut ds = VirtualDatasheet::new(core, 1, 1, 1);
+            ds.set(SubInterfaceOp::RdInstr, Timing::new(0, None, 0))
+                .set(SubInterfaceOp::RdRS1, Timing::new(1, None, 0))
+                .set(SubInterfaceOp::RdRS2, Timing::new(1, None, 0))
+                .set(SubInterfaceOp::RdPC, Timing::new(0, None, 0))
+                .set(SubInterfaceOp::RdMem, Timing::new(1, None, 1))
+                .set(SubInterfaceOp::WrRD, Timing::new(1, None, 0))
+                .set(SubInterfaceOp::WrPC, Timing::new(1, None, 0))
+                .set(SubInterfaceOp::WrMem, Timing::new(1, None, 0));
+            ds
+        }
+        _ => return None,
+    };
+    // Target clock period from the base core's achievable frequency
+    // (Table 4 base row) — the scheduler's chaining budget derives from it.
+    ds.clock_ns = match core {
+        "ORCA" => 1000.0 / 996.0,
+        "Piccolo" => 1000.0 / 420.0,
+        "PicoRV32" => 1000.0 / 1278.0,
+        _ => 1000.0 / 701.0,
+    };
+    // Custom registers are accessed like the GPR file (§3.2): same window
+    // as RdRS1/WrRD, write window unbounded for late commits.
+    let rs = ds.entries["RdRS1"];
+    let wr = ds.entries["WrRD"];
+    ds.entries
+        .insert("RdCustReg".into(), Timing::new(rs.earliest, rs.latest, 0));
+    ds.entries
+        .insert("WrCustReg.addr".into(), Timing::new(wr.earliest, None, 0));
+    ds.entries
+        .insert("WrCustReg.data".into(), Timing::new(wr.earliest, None, 0));
+    Some(ds)
+}
+
+/// The four evaluation cores (Table 4).
+pub const EVAL_CORES: [&str; 4] = ["ORCA", "Piccolo", "PicoRV32", "VexRiscv"];

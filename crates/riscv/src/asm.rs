@@ -1,0 +1,540 @@
+//! A two-pass RV32I assembler for handwritten test programs (paper §5.3).
+//!
+//! Supports the RV32I base instructions, common pseudo-instructions
+//! (`li`, `mv`, `j`, `nop`, `ret`, `not`, `beqz`, `bnez`), labels,
+//! `.word` data, and caller-registered **custom mnemonics** for ISAX
+//! instructions.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = riscv::assemble(r#"
+//!     li   t0, 5
+//! loop:
+//!     addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#).unwrap();
+//! // `li` expands to lui+addi, so five words total.
+//! assert_eq!(program.len(), 5);
+//! ```
+
+use crate::encode::{b_type, i_type, j_type, opcode, r_type, s_type, u_type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+/// An operand of a custom mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A GPR index.
+    Reg(u32),
+    /// An immediate value.
+    Imm(i64),
+}
+
+/// Encoder callback for a custom mnemonic.
+pub type CustomEncoder = Box<dyn Fn(&[Operand]) -> std::result::Result<u32, String>>;
+
+/// Assembles a program with no custom mnemonics, starting at address 0.
+///
+/// # Errors
+///
+/// Returns the first syntax or range error.
+pub fn assemble(source: &str) -> Result<Vec<u32>> {
+    Assembler::new().assemble(source)
+}
+
+/// The assembler, optionally extended with ISAX mnemonics.
+#[derive(Default)]
+pub struct Assembler {
+    custom: HashMap<String, CustomEncoder>,
+    /// Base address of the first instruction.
+    pub base: u32,
+}
+
+impl Assembler {
+    /// Creates an assembler with the base ISA only.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Registers a custom mnemonic.
+    pub fn register_custom(
+        &mut self,
+        mnemonic: &str,
+        encoder: CustomEncoder,
+    ) -> &mut Self {
+        self.custom.insert(mnemonic.to_string(), encoder);
+        self
+    }
+
+    /// Assembles `source` into instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax, unknown-label, or range error.
+    pub fn assemble(&self, source: &str) -> Result<Vec<u32>> {
+        // Pass 1: compute label addresses.
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut addr = self.base;
+        let mut items: Vec<(usize, String)> = Vec::new(); // (line, stmt)
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = raw.split(&['#', ';']).next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut rest = line;
+            while let Some(colon) = rest.find(':') {
+                let (label, after) = rest.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+                    break;
+                }
+                labels.insert(label.to_string(), addr);
+                rest = after[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let words = self.statement_size(rest, lineno + 1)?;
+            items.push((lineno + 1, rest.to_string()));
+            addr += 4 * words;
+        }
+        // Pass 2: encode.
+        let mut out = Vec::new();
+        let mut addr = self.base;
+        for (lineno, stmt) in items {
+            let words = self.encode_statement(&stmt, addr, &labels, lineno)?;
+            addr += 4 * words.len() as u32;
+            out.extend(words);
+        }
+        Ok(out)
+    }
+
+    /// Number of words a statement occupies (needed for label layout).
+    fn statement_size(&self, stmt: &str, line: usize) -> Result<u32> {
+        let (mnemonic, _) = split_mnemonic(stmt);
+        Ok(match mnemonic {
+            "li" => 2, // worst case lui+addi; emitted as exactly two words
+            _ => 1,
+        })
+        .map_err(|m: String| AsmError { line, message: m })
+    }
+
+    fn encode_statement(
+        &self,
+        stmt: &str,
+        addr: u32,
+        labels: &HashMap<String, u32>,
+        line: usize,
+    ) -> Result<Vec<u32>> {
+        let err = |m: String| AsmError { line, message: m };
+        let (mnemonic, operand_str) = split_mnemonic(stmt);
+        let ops: Vec<&str> = operand_str
+            .split(',')
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .collect();
+
+        let reg = |s: &str| -> Result<u32> { parse_reg(s).ok_or_else(|| err(format!("unknown register `{s}`"))) };
+        let imm = |s: &str| -> Result<i64> {
+            parse_imm(s).ok_or_else(|| err(format!("invalid immediate `{s}`")))
+        };
+        let target = |s: &str| -> Result<i32> {
+            if let Some(&dest) = labels.get(s) {
+                Ok(dest.wrapping_sub(addr) as i32)
+            } else {
+                parse_imm(s)
+                    .map(|v| v as i32)
+                    .ok_or_else(|| err(format!("unknown label `{s}`")))
+            }
+        };
+        let need = |n: usize| -> Result<()> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "`{mnemonic}` expects {n} operands, got {}",
+                    ops.len()
+                )))
+            }
+        };
+        // `off(base)` memory operand.
+        let mem_operand = |s: &str| -> Result<(i32, u32)> {
+            let open = s.find('(').ok_or_else(|| err(format!("expected off(base), got `{s}`")))?;
+            let close = s.rfind(')').ok_or_else(|| err("missing `)`".into()))?;
+            let off = if s[..open].trim().is_empty() {
+                0
+            } else {
+                imm(s[..open].trim())? as i32
+            };
+            let base = reg(s[open + 1..close].trim())?;
+            Ok((off, base))
+        };
+
+        let w = match mnemonic {
+            ".word" => {
+                need(1)?;
+                vec![imm(ops[0])? as u32]
+            }
+            "lui" => {
+                need(2)?;
+                vec![u_type((imm(ops[1])? as u32) << 12, reg(ops[0])?, opcode::LUI)]
+            }
+            "auipc" => {
+                need(2)?;
+                vec![u_type((imm(ops[1])? as u32) << 12, reg(ops[0])?, opcode::AUIPC)]
+            }
+            "jal" => match ops.len() {
+                1 => vec![j_type(target(ops[0])?, 1, opcode::JAL)],
+                2 => vec![j_type(target(ops[1])?, reg(ops[0])?, opcode::JAL)],
+                n => return Err(err(format!("`jal` expects 1 or 2 operands, got {n}"))),
+            },
+            "j" => {
+                need(1)?;
+                vec![j_type(target(ops[0])?, 0, opcode::JAL)]
+            }
+            "jalr" => match ops.len() {
+                1 => vec![i_type(0, reg(ops[0])?, 0, 1, opcode::JALR)],
+                3 => vec![i_type(imm(ops[2])? as i32, reg(ops[1])?, 0, reg(ops[0])?, opcode::JALR)],
+                n => return Err(err(format!("`jalr` expects 1 or 3 operands, got {n}"))),
+            },
+            "ret" => {
+                need(0)?;
+                vec![i_type(0, 1, 0, 0, opcode::JALR)]
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let funct3 = match mnemonic {
+                    "beq" => 0,
+                    "bne" => 1,
+                    "blt" => 4,
+                    "bge" => 5,
+                    "bltu" => 6,
+                    _ => 7,
+                };
+                vec![b_type(target(ops[2])?, reg(ops[1])?, reg(ops[0])?, funct3, opcode::BRANCH)]
+            }
+            "beqz" | "bnez" => {
+                need(2)?;
+                let funct3 = if mnemonic == "beqz" { 0 } else { 1 };
+                vec![b_type(target(ops[1])?, 0, reg(ops[0])?, funct3, opcode::BRANCH)]
+            }
+            "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+                need(2)?;
+                let funct3 = match mnemonic {
+                    "lb" => 0,
+                    "lh" => 1,
+                    "lw" => 2,
+                    "lbu" => 4,
+                    _ => 5,
+                };
+                let (off, base) = mem_operand(ops[1])?;
+                vec![i_type(off, base, funct3, reg(ops[0])?, opcode::LOAD)]
+            }
+            "sb" | "sh" | "sw" => {
+                need(2)?;
+                let funct3 = match mnemonic {
+                    "sb" => 0,
+                    "sh" => 1,
+                    _ => 2,
+                };
+                let (off, base) = mem_operand(ops[1])?;
+                vec![s_type(off, reg(ops[0])?, base, funct3, opcode::STORE)]
+            }
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+                need(3)?;
+                let funct3 = match mnemonic {
+                    "addi" => 0,
+                    "slti" => 2,
+                    "sltiu" => 3,
+                    "xori" => 4,
+                    "ori" => 6,
+                    _ => 7,
+                };
+                let v = imm(ops[2])?;
+                if !(-2048..=2047).contains(&v) {
+                    return Err(err(format!("immediate {v} out of 12-bit range")));
+                }
+                vec![i_type(v as i32, reg(ops[1])?, funct3, reg(ops[0])?, opcode::OP_IMM)]
+            }
+            "slli" | "srli" | "srai" => {
+                need(3)?;
+                let (funct3, funct7) = match mnemonic {
+                    "slli" => (1, 0),
+                    "srli" => (5, 0),
+                    _ => (5, 0x20),
+                };
+                let sh = imm(ops[2])?;
+                if !(0..32).contains(&sh) {
+                    return Err(err(format!("shift amount {sh} out of range")));
+                }
+                vec![r_type(funct7, sh as u32, reg(ops[1])?, funct3, reg(ops[0])?, opcode::OP_IMM)]
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+                need(3)?;
+                let (funct3, funct7) = match mnemonic {
+                    "add" => (0, 0),
+                    "sub" => (0, 0x20),
+                    "sll" => (1, 0),
+                    "slt" => (2, 0),
+                    "sltu" => (3, 0),
+                    "xor" => (4, 0),
+                    "srl" => (5, 0),
+                    "sra" => (5, 0x20),
+                    "or" => (6, 0),
+                    _ => (7, 0),
+                };
+                vec![r_type(funct7, reg(ops[2])?, reg(ops[1])?, funct3, reg(ops[0])?, opcode::OP)]
+            }
+            "li" => {
+                need(2)?;
+                let rd = reg(ops[0])?;
+                // Absolute label addresses are accepted (`li t0, target`).
+                let v = match labels.get(ops[1]) {
+                    Some(&addr) => addr as i32,
+                    None => imm(ops[1])? as i32,
+                };
+                // Always two words so pass-1 sizing stays exact.
+                let hi = ((v as u32).wrapping_add(0x800)) & 0xfffff000;
+                let lo = v.wrapping_sub(hi as i32);
+                vec![
+                    u_type(hi, rd, opcode::LUI),
+                    i_type(lo, rd, 0, rd, opcode::OP_IMM),
+                ]
+            }
+            "mv" => {
+                need(2)?;
+                vec![i_type(0, reg(ops[1])?, 0, reg(ops[0])?, opcode::OP_IMM)]
+            }
+            "not" => {
+                need(2)?;
+                vec![i_type(-1, reg(ops[1])?, 4, reg(ops[0])?, opcode::OP_IMM)]
+            }
+            "nop" => {
+                need(0)?;
+                vec![i_type(0, 0, 0, 0, opcode::OP_IMM)]
+            }
+            "ecall" => {
+                need(0)?;
+                vec![0x0000_0073]
+            }
+            "ebreak" => {
+                need(0)?;
+                vec![0x0010_0073]
+            }
+            "fence" => vec![0x0ff0_000f],
+            _ => {
+                let Some(encoder) = self.custom.get(mnemonic) else {
+                    return Err(err(format!("unknown mnemonic `{mnemonic}`")));
+                };
+                let mut parsed = Vec::new();
+                for op in &ops {
+                    if let Some(r) = parse_reg(op) {
+                        parsed.push(Operand::Reg(r));
+                    } else if let Some(v) = parse_imm(op) {
+                        parsed.push(Operand::Imm(v));
+                    } else if let Some(&dest) = labels.get(*op) {
+                        parsed.push(Operand::Imm(dest as i64));
+                    } else {
+                        return Err(err(format!("invalid operand `{op}`")));
+                    }
+                }
+                vec![encoder(&parsed).map_err(err)?]
+            }
+        };
+        Ok(w)
+    }
+}
+
+fn split_mnemonic(stmt: &str) -> (&str, &str) {
+    match stmt.find(char::is_whitespace) {
+        Some(i) => (&stmt[..i], stmt[i..].trim()),
+        None => (stmt, ""),
+    }
+}
+
+/// Parses `x0`..`x31` and the standard ABI names.
+pub fn parse_reg(s: &str) -> Option<u32> {
+    if let Some(n) = s.strip_prefix('x') {
+        let i: u32 = n.parse().ok()?;
+        return (i < 32).then_some(i);
+    }
+    Some(match s {
+        "zero" => 0,
+        "ra" => 1,
+        "sp" => 2,
+        "gp" => 3,
+        "tp" => 4,
+        "t0" => 5,
+        "t1" => 6,
+        "t2" => 7,
+        "s0" | "fp" => 8,
+        "s1" => 9,
+        "a0" => 10,
+        "a1" => 11,
+        "a2" => 12,
+        "a3" => 13,
+        "a4" => 14,
+        "a5" => 15,
+        "a6" => 16,
+        "a7" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "s8" => 24,
+        "s9" => 25,
+        "s10" => 26,
+        "s11" => 27,
+        "t3" => 28,
+        "t4" => 29,
+        "t5" => 30,
+        "t6" => 31,
+        _ => return None,
+    })
+}
+
+/// Parses decimal / hex / binary immediates with optional sign.
+pub fn parse_imm(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(h) = body.strip_prefix("0x").or(body.strip_prefix("0X")) {
+        i64::from_str_radix(&h.replace('_', ""), 16).ok()?
+    } else if let Some(b) = body.strip_prefix("0b").or(body.strip_prefix("0B")) {
+        i64::from_str_radix(&b.replace('_', ""), 2).ok()?
+    } else {
+        body.replace('_', "").parse().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecodedInstr;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let program = assemble(
+            r#"
+            li   t0, 10
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        "#,
+        )
+        .unwrap();
+        // li expands to two words, so: lui, addi, addi(loop), bnez, ebreak.
+        assert_eq!(program.len(), 5);
+        // bnez is at address 12, targeting 8 => offset -4.
+        match crate::decode(program[3]) {
+            DecodedInstr::Branch { funct3: 1, imm: -4, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(program[4], 0x0010_0073);
+    }
+
+    #[test]
+    fn li_handles_large_values() {
+        let program = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(program.len(), 2);
+        match crate::decode(program[0]) {
+            DecodedInstr::Lui { rd: 10, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_handles_negative_low_part() {
+        // 0x12345FFF has a low part that sign-extends negative.
+        for v in [0x12345FFFi64, -1, -2048, 2047, 0x7fffffff, -0x80000000] {
+            let program = assemble(&format!("li a0, {v}")).unwrap();
+            // Execute the two instructions manually.
+            let mut x = match crate::decode(program[0]) {
+                DecodedInstr::Lui { imm, .. } => imm as i32 as i64,
+                other => panic!("{other:?}"),
+            };
+            match crate::decode(program[1]) {
+                DecodedInstr::OpImm { funct3: 0, imm, .. } => {
+                    x = (x as i32).wrapping_add(imm) as i64
+                }
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(x as i32, v as i32, "li {v}");
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let program = assemble("lw a0, 8(sp)\nsw a0, -4(s0)").unwrap();
+        match crate::decode(program[0]) {
+            DecodedInstr::Load { funct3: 2, rd: 10, rs1: 2, imm: 8 } => {}
+            other => panic!("{other:?}"),
+        }
+        match crate::decode(program[1]) {
+            DecodedInstr::Store { funct3: 2, rs2: 10, rs1: 8, imm: -4 } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_mnemonics() {
+        let mut asm = Assembler::new();
+        asm.register_custom(
+            "dotp",
+            Box::new(|ops| match ops {
+                [Operand::Reg(rd), Operand::Reg(rs1), Operand::Reg(rs2)] => {
+                    Ok((rs2 << 20) | (rs1 << 15) | (rd << 7) | 0b0001011)
+                }
+                _ => Err("dotp expects rd, rs1, rs2".into()),
+            }),
+        );
+        let program = asm.assemble("dotp a0, a1, a2").unwrap();
+        assert_eq!(program[0], (12 << 20) | (11 << 15) | (10 << 7) | 0b0001011);
+        assert!(asm.assemble("dotp a0, a1").is_err());
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = assemble("nop\nbogus x1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        assert!(assemble("addi t0, t0, 5000").is_err());
+        assert!(assemble("beq t0, t1, nowhere").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let program = assemble("# full line\nnop # trailing\nnop ; alt comment").unwrap();
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn word_directive() {
+        let program = assemble(".word 0xdeadbeef").unwrap();
+        assert_eq!(program[0], 0xdead_beef);
+    }
+}

@@ -1,0 +1,161 @@
+//! RV32I instruction decoder.
+
+use crate::encode::opcode;
+
+/// A decoded RV32I instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedInstr {
+    Lui { rd: u32, imm: u32 },
+    Auipc { rd: u32, imm: u32 },
+    Jal { rd: u32, imm: i32 },
+    Jalr { rd: u32, rs1: u32, imm: i32 },
+    Branch { funct3: u32, rs1: u32, rs2: u32, imm: i32 },
+    Load { funct3: u32, rd: u32, rs1: u32, imm: i32 },
+    Store { funct3: u32, rs1: u32, rs2: u32, imm: i32 },
+    OpImm { funct3: u32, funct7: u32, rd: u32, rs1: u32, imm: i32 },
+    Op { funct3: u32, funct7: u32, rd: u32, rs1: u32, rs2: u32 },
+    Fence,
+    Ecall,
+    Ebreak,
+    /// Not a base-ISA instruction (candidate custom/ISAX word).
+    Unknown(u32),
+}
+
+/// Field accessors on a raw word.
+pub mod fields {
+    /// Bits 11:7.
+    pub fn rd(w: u32) -> u32 {
+        w >> 7 & 31
+    }
+    /// Bits 19:15.
+    pub fn rs1(w: u32) -> u32 {
+        w >> 15 & 31
+    }
+    /// Bits 24:20.
+    pub fn rs2(w: u32) -> u32 {
+        w >> 20 & 31
+    }
+    /// Bits 14:12.
+    pub fn funct3(w: u32) -> u32 {
+        w >> 12 & 7
+    }
+    /// Bits 31:25.
+    pub fn funct7(w: u32) -> u32 {
+        w >> 25
+    }
+    /// Sign-extended I-immediate.
+    pub fn imm_i(w: u32) -> i32 {
+        (w as i32) >> 20
+    }
+    /// Sign-extended S-immediate.
+    pub fn imm_s(w: u32) -> i32 {
+        ((w as i32) >> 25 << 5) | (w >> 7 & 31) as i32
+    }
+    /// Sign-extended B-immediate (byte offset).
+    pub fn imm_b(w: u32) -> i32 {
+        (((w as i32) >> 31) << 12)
+            | ((w >> 7 & 1) << 11) as i32
+            | ((w >> 25 & 0x3f) << 5) as i32
+            | ((w >> 8 & 0xf) << 1) as i32
+    }
+    /// Sign-extended J-immediate (byte offset).
+    pub fn imm_j(w: u32) -> i32 {
+        (((w as i32) >> 31) << 20)
+            | ((w >> 12 & 0xff) << 12) as i32
+            | ((w >> 20 & 1) << 11) as i32
+            | ((w >> 21 & 0x3ff) << 1) as i32
+    }
+}
+
+/// Decodes a 32-bit word.
+pub fn decode(w: u32) -> DecodedInstr {
+    use fields::*;
+    match w & 0x7f {
+        opcode::LUI => DecodedInstr::Lui {
+            rd: rd(w),
+            imm: w & 0xfffff000,
+        },
+        opcode::AUIPC => DecodedInstr::Auipc {
+            rd: rd(w),
+            imm: w & 0xfffff000,
+        },
+        opcode::JAL => DecodedInstr::Jal {
+            rd: rd(w),
+            imm: imm_j(w),
+        },
+        opcode::JALR if funct3(w) == 0 => DecodedInstr::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            imm: imm_i(w),
+        },
+        opcode::BRANCH if funct3(w) != 2 && funct3(w) != 3 => DecodedInstr::Branch {
+            funct3: funct3(w),
+            rs1: rs1(w),
+            rs2: rs2(w),
+            imm: imm_b(w),
+        },
+        opcode::LOAD if matches!(funct3(w), 0 | 1 | 2 | 4 | 5) => DecodedInstr::Load {
+            funct3: funct3(w),
+            rd: rd(w),
+            rs1: rs1(w),
+            imm: imm_i(w),
+        },
+        opcode::STORE if funct3(w) <= 2 => DecodedInstr::Store {
+            funct3: funct3(w),
+            rs1: rs1(w),
+            rs2: rs2(w),
+            imm: imm_s(w),
+        },
+        opcode::OP_IMM => DecodedInstr::OpImm {
+            funct3: funct3(w),
+            funct7: funct7(w),
+            rd: rd(w),
+            rs1: rs1(w),
+            imm: imm_i(w),
+        },
+        opcode::OP if funct7(w) == 0 || funct7(w) == 0x20 => DecodedInstr::Op {
+            funct3: funct3(w),
+            funct7: funct7(w),
+            rd: rd(w),
+            rs1: rs1(w),
+            rs2: rs2(w),
+        },
+        opcode::MISC_MEM => DecodedInstr::Fence,
+        opcode::SYSTEM if w == 0x0000_0073 => DecodedInstr::Ecall,
+        opcode::SYSTEM if w == 0x0010_0073 => DecodedInstr::Ebreak,
+        _ => DecodedInstr::Unknown(w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::*;
+
+    #[test]
+    fn decodes_op_imm() {
+        match decode(i_type(42, 1, 0, 2, opcode::OP_IMM)) {
+            DecodedInstr::OpImm { funct3: 0, rd: 2, rs1: 1, imm: 42, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decodes_negative_store_offset() {
+        match decode(s_type(-4, 2, 1, 2, opcode::STORE)) {
+            DecodedInstr::Store { imm: -4, rs1: 1, rs2: 2, funct3: 2 } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom0_is_unknown() {
+        assert_eq!(decode(0b0001011), DecodedInstr::Unknown(0b0001011));
+    }
+
+    #[test]
+    fn system_words() {
+        assert_eq!(decode(0x0000_0073), DecodedInstr::Ecall);
+        assert_eq!(decode(0x0010_0073), DecodedInstr::Ebreak);
+    }
+}

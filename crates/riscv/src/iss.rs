@@ -1,0 +1,419 @@
+//! Golden-model instruction-set simulator for RV32I plus ISAX hooks.
+//!
+//! Architectural semantics only — cycle timing lives in the `cores` crate.
+//! Unknown opcodes are offered to a [`CustomExecutor`] (the Longnail driver
+//! plugs the CoreDSL behavior interpreter in there), so the same ISS serves
+//! as the golden model for every ISAX-extended core.
+
+use crate::decode::{decode, DecodedInstr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// ISS error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssError {
+    pub pc: u32,
+    pub message: String,
+}
+
+impl fmt::Display for IssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc={:#010x}: {}", self.pc, self.message)
+    }
+}
+
+impl std::error::Error for IssError {}
+
+/// What a single step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Instruction retired normally.
+    Retired,
+    /// `ebreak`/`ecall` — the program is done.
+    Halted,
+}
+
+/// Handles instruction words the base ISA cannot decode.
+pub trait CustomExecutor {
+    /// Executes `word` if it belongs to this extension. On a hit, must
+    /// update architectural state — including `cpu.pc` — and return
+    /// `Ok(true)`. Returning `Ok(false)` lets the ISS report an illegal
+    /// instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the word matched but execution failed.
+    fn execute(&mut self, word: u32, cpu: &mut Cpu) -> Result<bool, IssError>;
+}
+
+/// Architectural state: GPRs, PC, and a sparse byte-addressable memory.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// General-purpose registers; `regs[0]` is always zero.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Sparse memory.
+    mem: HashMap<u32, u8>,
+    /// Retired-instruction counter.
+    pub instret: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed state.
+    pub fn new() -> Self {
+        Cpu::default()
+    }
+
+    /// Writes a register (x0 writes are discarded).
+    pub fn write_reg(&mut self, rd: u32, value: u32) {
+        if rd != 0 {
+            self.regs[rd as usize] = value;
+        }
+    }
+
+    /// Reads a register.
+    pub fn read_reg(&self, rs: u32) -> u32 {
+        self.regs[rs as usize]
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        self.mem.insert(addr, value);
+    }
+
+    /// Reads a little-endian 32-bit word.
+    pub fn read_word(&self, addr: u32) -> u32 {
+        (0..4).fold(0u32, |acc, i| {
+            acc | (self.read_byte(addr.wrapping_add(i)) as u32) << (8 * i)
+        })
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        for i in 0..4 {
+            self.write_byte(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a little-endian 16-bit halfword.
+    pub fn read_half(&self, addr: u32) -> u16 {
+        self.read_byte(addr) as u16 | (self.read_byte(addr.wrapping_add(1)) as u16) << 8
+    }
+
+    /// Loads a program at `base` and sets the PC there.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_word(base.wrapping_add(4 * i as u32), w);
+        }
+        self.pc = base;
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for illegal instructions not claimed by `custom`.
+    pub fn step(&mut self, custom: Option<&mut dyn CustomExecutor>) -> Result<StepOutcome, IssError> {
+        let pc = self.pc;
+        let word = self.read_word(pc);
+        let next_pc = pc.wrapping_add(4);
+        self.pc = next_pc;
+        let outcome = match decode(word) {
+            DecodedInstr::Lui { rd, imm } => {
+                self.write_reg(rd, imm);
+                StepOutcome::Retired
+            }
+            DecodedInstr::Auipc { rd, imm } => {
+                self.write_reg(rd, pc.wrapping_add(imm));
+                StepOutcome::Retired
+            }
+            DecodedInstr::Jal { rd, imm } => {
+                self.write_reg(rd, next_pc);
+                self.pc = pc.wrapping_add(imm as u32);
+                StepOutcome::Retired
+            }
+            DecodedInstr::Jalr { rd, rs1, imm } => {
+                let dest = self.read_reg(rs1).wrapping_add(imm as u32) & !1;
+                self.write_reg(rd, next_pc);
+                self.pc = dest;
+                StepOutcome::Retired
+            }
+            DecodedInstr::Branch { funct3, rs1, rs2, imm } => {
+                let (a, b) = (self.read_reg(rs1), self.read_reg(rs2));
+                let taken = match funct3 {
+                    0 => a == b,
+                    1 => a != b,
+                    4 => (a as i32) < (b as i32),
+                    5 => (a as i32) >= (b as i32),
+                    6 => a < b,
+                    _ => a >= b,
+                };
+                if taken {
+                    self.pc = pc.wrapping_add(imm as u32);
+                }
+                StepOutcome::Retired
+            }
+            DecodedInstr::Load { funct3, rd, rs1, imm } => {
+                let addr = self.read_reg(rs1).wrapping_add(imm as u32);
+                let value = match funct3 {
+                    0 => self.read_byte(addr) as i8 as i32 as u32,
+                    1 => self.read_half(addr) as i16 as i32 as u32,
+                    2 => self.read_word(addr),
+                    4 => self.read_byte(addr) as u32,
+                    _ => self.read_half(addr) as u32,
+                };
+                self.write_reg(rd, value);
+                StepOutcome::Retired
+            }
+            DecodedInstr::Store { funct3, rs1, rs2, imm } => {
+                let addr = self.read_reg(rs1).wrapping_add(imm as u32);
+                let value = self.read_reg(rs2);
+                match funct3 {
+                    0 => self.write_byte(addr, value as u8),
+                    1 => {
+                        self.write_byte(addr, value as u8);
+                        self.write_byte(addr.wrapping_add(1), (value >> 8) as u8);
+                    }
+                    _ => self.write_word(addr, value),
+                }
+                StepOutcome::Retired
+            }
+            DecodedInstr::OpImm { funct3, funct7, rd, rs1, imm } => {
+                let a = self.read_reg(rs1);
+                let shamt = (imm as u32) & 31;
+                let value = match funct3 {
+                    0 => a.wrapping_add(imm as u32),
+                    1 => a << shamt,
+                    2 => ((a as i32) < imm) as u32,
+                    3 => (a < imm as u32) as u32,
+                    4 => a ^ imm as u32,
+                    5 if funct7 == 0x20 => ((a as i32) >> shamt) as u32,
+                    5 => a >> shamt,
+                    6 => a | imm as u32,
+                    _ => a & imm as u32,
+                };
+                self.write_reg(rd, value);
+                StepOutcome::Retired
+            }
+            DecodedInstr::Op { funct3, funct7, rd, rs1, rs2 } => {
+                let (a, b) = (self.read_reg(rs1), self.read_reg(rs2));
+                let value = match (funct3, funct7) {
+                    (0, 0) => a.wrapping_add(b),
+                    (0, _) => a.wrapping_sub(b),
+                    (1, _) => a << (b & 31),
+                    (2, _) => ((a as i32) < (b as i32)) as u32,
+                    (3, _) => (a < b) as u32,
+                    (4, _) => a ^ b,
+                    (5, 0) => a >> (b & 31),
+                    (5, _) => ((a as i32) >> (b & 31)) as u32,
+                    (6, _) => a | b,
+                    (_, _) => a & b,
+                };
+                self.write_reg(rd, value);
+                StepOutcome::Retired
+            }
+            DecodedInstr::Fence => StepOutcome::Retired,
+            DecodedInstr::Ecall | DecodedInstr::Ebreak => {
+                self.pc = pc;
+                StepOutcome::Halted
+            }
+            DecodedInstr::Unknown(word) => {
+                if let Some(exec) = custom {
+                    match exec.execute(word, self) {
+                        Ok(true) => StepOutcome::Retired,
+                        Ok(false) => {
+                            return Err(IssError {
+                                pc,
+                                message: format!("illegal instruction {word:#010x}"),
+                            })
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    return Err(IssError {
+                        pc,
+                        message: format!("illegal instruction {word:#010x}"),
+                    });
+                }
+            }
+        };
+        if outcome == StepOutcome::Retired {
+            self.instret += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Runs until a halt, an error, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors, or reports exhaustion of `max_steps`.
+    pub fn run(
+        &mut self,
+        mut custom: Option<&mut dyn CustomExecutor>,
+        max_steps: u64,
+    ) -> Result<(), IssError> {
+        for _ in 0..max_steps {
+            let hook: Option<&mut dyn CustomExecutor> = match custom {
+                Some(ref mut c) => Some(&mut **c),
+                None => None,
+            };
+            match self.step(hook)? {
+                StepOutcome::Retired => {}
+                StepOutcome::Halted => return Ok(()),
+            }
+        }
+        Err(IssError {
+            pc: self.pc,
+            message: format!("program did not halt within {max_steps} steps"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Cpu {
+        let program = assemble(src).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_program(0, &program);
+        cpu.run(None, 1_000_000).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let cpu = run(r#"
+            li   t0, 0      # sum
+            li   t1, 1      # i
+            li   t2, 11     # bound
+        loop:
+            add  t0, t0, t1
+            addi t1, t1, 1
+            bne  t1, t2, loop
+            ebreak
+        "#);
+        assert_eq!(cpu.read_reg(5), 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_array_sum() {
+        let cpu = run(r#"
+            li   a0, 0x100
+            li   t0, 7
+            sw   t0, 0(a0)
+            li   t0, 35
+            sw   t0, 4(a0)
+            lw   t1, 0(a0)
+            lw   t2, 4(a0)
+            add  a1, t1, t2
+            ebreak
+        "#);
+        assert_eq!(cpu.read_reg(11), 42);
+        assert_eq!(cpu.read_word(0x100), 7);
+    }
+
+    #[test]
+    fn signed_unsigned_ops() {
+        let cpu = run(r#"
+            li t0, -8
+            srai t1, t0, 1
+            srli t2, t0, 28
+            slti t3, t0, 0
+            sltiu t4, t0, 0
+            sub  t5, zero, t0
+            ebreak
+        "#);
+        assert_eq!(cpu.read_reg(6) as i32, -4);
+        assert_eq!(cpu.read_reg(7), 0xf);
+        assert_eq!(cpu.read_reg(28), 1);
+        assert_eq!(cpu.read_reg(29), 0);
+        assert_eq!(cpu.read_reg(30), 8);
+    }
+
+    #[test]
+    fn byte_and_half_memory() {
+        let cpu = run(r#"
+            li a0, 0x200
+            li t0, 0xfedcba98
+            sw t0, 0(a0)
+            lb t1, 0(a0)
+            lbu t2, 0(a0)
+            lh t3, 0(a0)
+            lhu t4, 2(a0)
+            sb t0, 8(a0)
+            lbu t5, 8(a0)
+            ebreak
+        "#);
+        assert_eq!(cpu.read_reg(6) as i32, -0x68); // 0x98 sign-extended
+        assert_eq!(cpu.read_reg(7), 0x98);
+        assert_eq!(cpu.read_reg(28) as i32, 0xba98u16 as i16 as i32);
+        assert_eq!(cpu.read_reg(29), 0xfedc);
+        assert_eq!(cpu.read_reg(30), 0x98);
+    }
+
+    #[test]
+    fn jal_and_jalr_function_call() {
+        let cpu = run(r#"
+            li   a0, 5
+            jal  ra, double
+            jal  ra, double
+            ebreak
+        double:
+            add  a0, a0, a0
+            ret
+        "#);
+        assert_eq!(cpu.read_reg(10), 20);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run("li t0, 7\nadd zero, t0, t0\nebreak");
+        assert_eq!(cpu.read_reg(0), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_reported() {
+        let program = assemble(".word 0x0000000b").unwrap(); // custom-0
+        let mut cpu = Cpu::new();
+        cpu.load_program(0, &program);
+        let err = cpu.run(None, 10).unwrap_err();
+        assert!(err.message.contains("illegal instruction"));
+    }
+
+    #[test]
+    fn custom_executor_hook() {
+        struct Doubler;
+        impl CustomExecutor for Doubler {
+            fn execute(&mut self, word: u32, cpu: &mut Cpu) -> Result<bool, IssError> {
+                if word & 0x7f != 0b0001011 {
+                    return Ok(false);
+                }
+                let rd = word >> 7 & 31;
+                let rs1 = word >> 15 & 31;
+                let v = cpu.read_reg(rs1);
+                cpu.write_reg(rd, v.wrapping_mul(2));
+                Ok(true)
+            }
+        }
+        let program = assemble(&format!("li a0, 21\n.word {:#x}\nebreak", (10u32 << 15) | (11 << 7) | 0b0001011)).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_program(0, &program);
+        cpu.run(Some(&mut Doubler), 100).unwrap();
+        assert_eq!(cpu.read_reg(11), 42);
+    }
+
+    #[test]
+    fn instret_counts_retired() {
+        let cpu = run("nop\nnop\nnop\nebreak");
+        assert_eq!(cpu.instret, 3);
+    }
+}

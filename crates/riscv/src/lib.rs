@@ -1,0 +1,19 @@
+//! RV32I substrate: instruction encoding/decoding, a two-pass assembler,
+//! and a golden-model instruction-set simulator (ISS).
+//!
+//! The paper verifies extended cores "by performing RTL simulation of the
+//! execution of handwritten assembler programs" (§5.3). This crate provides
+//! the assembler for those programs and the architectural golden model the
+//! cycle-level core simulations are differentially checked against. Custom
+//! (ISAX) instructions plug into both: the assembler accepts caller-defined
+//! mnemonics, and the ISS dispatches unknown opcodes to a
+//! [`iss::CustomExecutor`].
+
+pub mod asm;
+pub mod decode;
+pub mod encode;
+pub mod iss;
+
+pub use asm::{assemble, Assembler, AsmError};
+pub use decode::{decode, DecodedInstr};
+pub use iss::{Cpu, CustomExecutor, IssError, StepOutcome};

@@ -1,0 +1,510 @@
+//! Construction of a pipelined ISAX hardware module from a scheduled LIL
+//! graph (paper §4.5).
+//!
+//! Each LIL graph becomes one hardware module whose interface operations
+//! become input/output ports; the numerical suffix of a port name indicates
+//! the pipeline stage in which the interface is active (Figure 5d).
+//! Stallable pipeline registers are inserted wherever a value crosses a
+//! stage boundary. Longnail infers no controller: the SCAIE-V-generated
+//! logic tracks instruction progress and commits results at the right time.
+
+use crate::netlist::{CombOp, Driver, Module, NetId, PortDir, RomData};
+use bits::ApInt;
+use ir::lil::{Graph, LilModule, OpKind, ValueId};
+use std::collections::HashMap;
+
+/// Semantic role of a generated port, so that SCAIE-V / core adapters can
+/// wire the module without parsing names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IfaceSignal {
+    /// Input: the 32-bit instruction word.
+    InstrWord,
+    /// Input: rs1 operand value.
+    Rs1Data,
+    /// Input: rs2 operand value.
+    Rs2Data,
+    /// Input: current PC.
+    PcData,
+    /// Output: load address.
+    MemRdAddr,
+    /// Output: load predicate.
+    MemRdPred,
+    /// Input: load result.
+    MemRdData,
+    /// Output: store address.
+    MemWrAddr,
+    /// Output: store data.
+    MemWrData,
+    /// Output: store predicate.
+    MemWrPred,
+    /// Output: rd write-back data.
+    RdData,
+    /// Output: rd write-back predicate.
+    RdPred,
+    /// Output: new PC.
+    PcWrData,
+    /// Output: PC write predicate (valid bit).
+    PcWrPred,
+    /// Output: custom-register read index.
+    CustRdAddr(String),
+    /// Input: custom-register read data.
+    CustRdData(String),
+    /// Output: custom-register write index.
+    CustWrAddr(String),
+    /// Output: custom-register write data.
+    CustWrData(String),
+    /// Output: custom-register write predicate (valid bit).
+    CustWrPred(String),
+    /// Input: stall of the given stage (gates that stage's pipeline
+    /// registers).
+    StallIn,
+}
+
+impl IfaceSignal {
+    /// Canonical port-name stem.
+    pub fn stem(&self) -> String {
+        match self {
+            IfaceSignal::InstrWord => "instr_word".into(),
+            IfaceSignal::Rs1Data => "rs1".into(),
+            IfaceSignal::Rs2Data => "rs2".into(),
+            IfaceSignal::PcData => "pc".into(),
+            IfaceSignal::MemRdAddr => "rdmem_addr".into(),
+            IfaceSignal::MemRdPred => "rdmem_valid".into(),
+            IfaceSignal::MemRdData => "rdmem_data".into(),
+            IfaceSignal::MemWrAddr => "wrmem_addr".into(),
+            IfaceSignal::MemWrData => "wrmem_data".into(),
+            IfaceSignal::MemWrPred => "wrmem_valid".into(),
+            IfaceSignal::RdData => "wrrd_data".into(),
+            IfaceSignal::RdPred => "wrrd_valid".into(),
+            IfaceSignal::PcWrData => "wrpc_data".into(),
+            IfaceSignal::PcWrPred => "wrpc_valid".into(),
+            IfaceSignal::CustRdAddr(r) => format!("rd{}_addr", r.to_lowercase()),
+            IfaceSignal::CustRdData(r) => format!("rd{}_data", r.to_lowercase()),
+            IfaceSignal::CustWrAddr(r) => format!("wr{}_addr", r.to_lowercase()),
+            IfaceSignal::CustWrData(r) => format!("wr{}_data", r.to_lowercase()),
+            IfaceSignal::CustWrPred(r) => format!("wr{}_valid", r.to_lowercase()),
+            IfaceSignal::StallIn => "stall_in".into(),
+        }
+    }
+}
+
+/// A generated port with its semantic binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortBinding {
+    pub signal: IfaceSignal,
+    /// Pipeline stage the signal is active in.
+    pub stage: u32,
+    /// Port name in the module (`<stem>_<stage>`).
+    pub name: String,
+    pub dir: PortDir,
+    pub width: u32,
+    /// True if the driving/consuming LIL operation came from a
+    /// `spawn`-block (needed for decoupled-mode port classification).
+    pub in_spawn: bool,
+}
+
+/// The result of building: the module plus its port bindings.
+#[derive(Debug, Clone)]
+pub struct BuiltModule {
+    pub module: Module,
+    pub bindings: Vec<PortBinding>,
+    /// Highest stage any port is active in.
+    pub max_stage: u32,
+}
+
+impl BuiltModule {
+    /// Finds a binding by signal and stage.
+    pub fn binding(&self, signal: &IfaceSignal, stage: u32) -> Option<&PortBinding> {
+        self.bindings
+            .iter()
+            .find(|b| b.signal == *signal && b.stage == stage)
+    }
+
+    /// Finds the unique binding for a signal regardless of stage.
+    pub fn binding_any_stage(&self, signal: &IfaceSignal) -> Option<&PortBinding> {
+        self.bindings.iter().find(|b| b.signal == *signal)
+    }
+}
+
+/// Builds the hardware module for one scheduled graph.
+///
+/// `start_time[v]` is the scheduled cycle of LIL operation `v`;
+/// `read_latency(kind)` gives the result latency of interface reads (from
+/// the core's virtual datasheet).
+///
+/// # Panics
+///
+/// Panics if `start_time` does not cover the graph (callers always schedule
+/// first).
+pub fn build_graph_module(
+    graph: &Graph,
+    lil: &LilModule,
+    start_time: &[u32],
+    read_latency: &dyn Fn(&OpKind) -> u32,
+) -> BuiltModule {
+    assert_eq!(start_time.len(), graph.ops.len(), "schedule covers graph");
+    let mut b = Builder {
+        graph,
+        start_time,
+        read_latency,
+        module: Module::new(&format!("{}_{}", lil.name, graph.name)),
+        bindings: Vec::new(),
+        avail: HashMap::new(),
+        nets: HashMap::new(),
+        stall: HashMap::new(),
+        not_stall: HashMap::new(),
+        consts: HashMap::new(),
+        rom_ids: HashMap::new(),
+        max_stage: 0,
+    };
+    b.module.add_port("clk", PortDir::Input, 1);
+    b.module.add_port("rst", PortDir::Input, 1);
+    for (i, rom) in lil.roms.iter().enumerate() {
+        b.rom_ids.insert(rom.name.clone(), i);
+        b.module.roms.push(RomData {
+            name: rom.name.clone(),
+            width: rom.width,
+            contents: rom.contents.clone(),
+        });
+    }
+    b.run();
+    let max_stage = b.max_stage;
+    let module = b.module;
+    let bindings = b.bindings;
+    debug_assert!(module.validate().is_ok(), "{:?}", module.validate());
+    BuiltModule {
+        module,
+        bindings,
+        max_stage,
+    }
+}
+
+struct Builder<'a> {
+    graph: &'a Graph,
+    start_time: &'a [u32],
+    read_latency: &'a dyn Fn(&OpKind) -> u32,
+    module: Module,
+    bindings: Vec<PortBinding>,
+    /// Stage each LIL value first becomes available in.
+    avail: HashMap<usize, u32>,
+    /// (LIL value, stage) → net.
+    nets: HashMap<(usize, u32), NetId>,
+    /// stall_in net per stage.
+    stall: HashMap<u32, NetId>,
+    /// Cached inverted stall per stage (register clock enables).
+    not_stall: HashMap<u32, NetId>,
+    /// Interned constants (stage-independent).
+    consts: HashMap<usize, NetId>,
+    rom_ids: HashMap<String, usize>,
+    max_stage: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn input_port(
+        &mut self,
+        signal: IfaceSignal,
+        stage: u32,
+        width: u32,
+        in_spawn: bool,
+    ) -> NetId {
+        let name = format!("{}_{stage}", signal.stem());
+        let port = self.module.add_port(&name, PortDir::Input, width);
+        let net = self.module.add_net(Driver::Input { port }, width, &name);
+        self.bindings.push(PortBinding {
+            signal,
+            stage,
+            name,
+            dir: PortDir::Input,
+            width,
+            in_spawn,
+        });
+        self.max_stage = self.max_stage.max(stage);
+        net
+    }
+
+    fn output_port(
+        &mut self,
+        signal: IfaceSignal,
+        stage: u32,
+        net: NetId,
+        in_spawn: bool,
+    ) {
+        let width = self.module.nets[net.0].width;
+        let name = format!("{}_{stage}", signal.stem());
+        let port = self.module.add_port(&name, PortDir::Output, width);
+        self.module.connect_output(port, net);
+        self.bindings.push(PortBinding {
+            signal,
+            stage,
+            name,
+            dir: PortDir::Output,
+            width,
+            in_spawn,
+        });
+        self.max_stage = self.max_stage.max(stage);
+    }
+
+    fn stall_net(&mut self, stage: u32) -> NetId {
+        if let Some(&n) = self.stall.get(&stage) {
+            return n;
+        }
+        let n = self.input_port(IfaceSignal::StallIn, stage, 1, false);
+        self.stall.insert(stage, n);
+        n
+    }
+
+    fn not_stall_net(&mut self, stage: u32) -> NetId {
+        if let Some(&n) = self.not_stall.get(&stage) {
+            return n;
+        }
+        let stall = self.stall_net(stage);
+        let n = self.module.add_net(
+            Driver::Comb {
+                op: CombOp::Not,
+                args: vec![stall],
+                lo: 0,
+            },
+            1,
+            "",
+        );
+        self.not_stall.insert(stage, n);
+        n
+    }
+
+    fn const_net(&mut self, v: usize, c: &ApInt) -> NetId {
+        if let Some(&n) = self.consts.get(&v) {
+            return n;
+        }
+        let n = self
+            .module
+            .add_net(Driver::Const(c.clone()), c.width(), &format!("c{v}"));
+        self.consts.insert(v, n);
+        n
+    }
+
+    /// Returns the net carrying LIL value `v` in `stage`, inserting
+    /// stallable pipeline registers as needed.
+    fn value_in_stage(&mut self, v: ValueId, stage: u32) -> NetId {
+        if let OpKind::Const(c) = &self.graph.ops[v.0].kind {
+            let c = c.clone();
+            return self.const_net(v.0, &c);
+        }
+        let base = *self.avail.get(&v.0).expect("value availability known");
+        assert!(
+            stage >= base,
+            "value %{} needed in stage {stage} before it exists (stage {base})",
+            v.0
+        );
+        if let Some(&n) = self.nets.get(&(v.0, stage)) {
+            return n;
+        }
+        // Walk up from the last materialized stage.
+        let mut cur_stage = stage - 1;
+        while !self.nets.contains_key(&(v.0, cur_stage)) {
+            cur_stage -= 1;
+        }
+        let mut net = self.nets[&(v.0, cur_stage)];
+        let width = self.module.nets[net.0].width;
+        for s in cur_stage..stage {
+            let not_stall = self.not_stall_net(s);
+            net = self.module.add_net(
+                Driver::Reg {
+                    next: net,
+                    enable: Some(not_stall),
+                    init: ApInt::zero(width),
+                },
+                width,
+                &format!("pipe_{}_{}", v.0, s),
+            );
+            self.nets.insert((v.0, s + 1), net);
+        }
+        net
+    }
+
+    fn define(&mut self, v: ValueId, stage: u32, net: NetId) {
+        self.avail.insert(v.0, stage);
+        self.nets.insert((v.0, stage), net);
+        self.max_stage = self.max_stage.max(stage);
+    }
+
+    fn run(&mut self) {
+        for (v, op) in self.graph.iter() {
+            let stage = self.start_time[v.0];
+            let in_spawn = op.in_spawn;
+            let pred_net = op.pred.map(|p| self.value_in_stage(p, stage));
+            let operand_nets: Vec<NetId> = op
+                .operands
+                .iter()
+                .map(|&o| self.value_in_stage(o, stage))
+                .collect();
+            match &op.kind {
+                OpKind::Const(_) => { /* interned on demand */ }
+                OpKind::InstrWord => {
+                    let n = self.input_port(IfaceSignal::InstrWord, stage, 32, in_spawn);
+                    self.define(v, stage, n);
+                }
+                OpKind::ReadRs1 | OpKind::ReadRs2 | OpKind::ReadPc => {
+                    let sig = match op.kind {
+                        OpKind::ReadRs1 => IfaceSignal::Rs1Data,
+                        OpKind::ReadRs2 => IfaceSignal::Rs2Data,
+                        _ => IfaceSignal::PcData,
+                    };
+                    let lat = (self.read_latency)(&op.kind);
+                    let n = self.input_port(sig, stage + lat, 32, in_spawn);
+                    self.define(v, stage + lat, n);
+                }
+                OpKind::ReadMem => {
+                    self.output_port(IfaceSignal::MemRdAddr, stage, operand_nets[0], in_spawn);
+                    let pred = pred_net.unwrap_or_else(|| {
+                        self.module
+                            .add_net(Driver::Const(ApInt::one(1)), 1, "true")
+                    });
+                    self.output_port(IfaceSignal::MemRdPred, stage, pred, in_spawn);
+                    let lat = (self.read_latency)(&op.kind);
+                    let n = self.input_port(IfaceSignal::MemRdData, stage + lat, 32, in_spawn);
+                    self.define(v, stage + lat, n);
+                }
+                OpKind::ReadCustReg(name) => {
+                    self.output_port(
+                        IfaceSignal::CustRdAddr(name.clone()),
+                        stage,
+                        operand_nets[0],
+                        in_spawn,
+                    );
+                    let lat = (self.read_latency)(&op.kind);
+                    let n = self.input_port(
+                        IfaceSignal::CustRdData(name.clone()),
+                        stage + lat,
+                        op.width,
+                        in_spawn,
+                    );
+                    self.define(v, stage + lat, n);
+                }
+                OpKind::WriteRd => {
+                    self.emit_write(
+                        IfaceSignal::RdData,
+                        IfaceSignal::RdPred,
+                        stage,
+                        operand_nets[0],
+                        pred_net,
+                        in_spawn,
+                    );
+                }
+                OpKind::WritePc => {
+                    self.emit_write(
+                        IfaceSignal::PcWrData,
+                        IfaceSignal::PcWrPred,
+                        stage,
+                        operand_nets[0],
+                        pred_net,
+                        in_spawn,
+                    );
+                }
+                OpKind::WriteMem => {
+                    self.output_port(IfaceSignal::MemWrAddr, stage, operand_nets[0], in_spawn);
+                    self.emit_write(
+                        IfaceSignal::MemWrData,
+                        IfaceSignal::MemWrPred,
+                        stage,
+                        operand_nets[1],
+                        pred_net,
+                        in_spawn,
+                    );
+                }
+                OpKind::WriteCustReg(name) => {
+                    self.output_port(
+                        IfaceSignal::CustWrAddr(name.clone()),
+                        stage,
+                        operand_nets[0],
+                        in_spawn,
+                    );
+                    self.emit_write(
+                        IfaceSignal::CustWrData(name.clone()),
+                        IfaceSignal::CustWrPred(name.clone()),
+                        stage,
+                        operand_nets[1],
+                        pred_net,
+                        in_spawn,
+                    );
+                }
+                OpKind::RomRead(name) => {
+                    let rom = self.rom_ids[name];
+                    let n = self.module.add_net(
+                        Driver::Rom {
+                            rom,
+                            index: operand_nets[0],
+                        },
+                        op.width,
+                        &format!("rom_{name}"),
+                    );
+                    self.define(v, stage, n);
+                }
+                OpKind::Sink => {}
+                comb => {
+                    let (comb_op, lo) = comb_op_of(comb);
+                    let n = self.module.add_net(
+                        Driver::Comb {
+                            op: comb_op,
+                            args: operand_nets,
+                            lo,
+                        },
+                        op.width,
+                        "",
+                    );
+                    self.define(v, stage, n);
+                }
+            }
+        }
+    }
+
+    fn emit_write(
+        &mut self,
+        data_sig: IfaceSignal,
+        pred_sig: IfaceSignal,
+        stage: u32,
+        data: NetId,
+        pred: Option<NetId>,
+        in_spawn: bool,
+    ) {
+        self.output_port(data_sig, stage, data, in_spawn);
+        let pred = pred.unwrap_or_else(|| {
+            self.module
+                .add_net(Driver::Const(ApInt::one(1)), 1, "true")
+        });
+        self.output_port(pred_sig, stage, pred, in_spawn);
+    }
+}
+
+fn comb_op_of(kind: &OpKind) -> (CombOp, u32) {
+    match kind {
+        OpKind::Add => (CombOp::Add, 0),
+        OpKind::Sub => (CombOp::Sub, 0),
+        OpKind::Mul => (CombOp::Mul, 0),
+        OpKind::DivU => (CombOp::DivU, 0),
+        OpKind::DivS => (CombOp::DivS, 0),
+        OpKind::RemU => (CombOp::RemU, 0),
+        OpKind::RemS => (CombOp::RemS, 0),
+        OpKind::And => (CombOp::And, 0),
+        OpKind::Or => (CombOp::Or, 0),
+        OpKind::Xor => (CombOp::Xor, 0),
+        OpKind::Not => (CombOp::Not, 0),
+        OpKind::Shl => (CombOp::Shl, 0),
+        OpKind::ShrU => (CombOp::ShrU, 0),
+        OpKind::ShrS => (CombOp::ShrS, 0),
+        OpKind::Eq => (CombOp::Eq, 0),
+        OpKind::Ne => (CombOp::Ne, 0),
+        OpKind::Ult => (CombOp::Ult, 0),
+        OpKind::Ule => (CombOp::Ule, 0),
+        OpKind::Slt => (CombOp::Slt, 0),
+        OpKind::Sle => (CombOp::Sle, 0),
+        OpKind::Mux => (CombOp::Mux, 0),
+        OpKind::Concat => (CombOp::Concat, 0),
+        OpKind::Replicate(n) => (CombOp::Replicate, *n),
+        OpKind::ExtractConst { lo } => (CombOp::Extract, *lo),
+        OpKind::ExtractDyn => (CombOp::ExtractDyn, 0),
+        OpKind::ZExt => (CombOp::ZExt, 0),
+        OpKind::SExt => (CombOp::SExt, 0),
+        OpKind::Trunc => (CombOp::Trunc, 0),
+        other => unreachable!("not a combinational op: {other:?}"),
+    }
+}

@@ -1,0 +1,25 @@
+//! Register-transfer-level netlist IR, SystemVerilog export, and netlist
+//! simulation (paper §4.1d, §4.5).
+//!
+//! The analog of CIRCT's `hw`/`comb`/`seq`/`sv` dialect stack:
+//!
+//! * [`netlist`] — hardware modules with ports, combinational operators,
+//!   stallable registers, and internalized ROMs,
+//! * [`build`] — constructs a pipelined ISAX module from a scheduled LIL
+//!   graph, inserting stallable pipeline registers for intermediate results
+//!   where needed; interface operations become input/output ports whose
+//!   names carry the active-stage suffix (cf. Figure 5d's `instr_word_2`,
+//!   `res_3_data`),
+//! * [`verilog`] — emits the module as SystemVerilog,
+//! * [`interp`] — executes the netlist cycle by cycle, which is how the
+//!   "RTL simulation" verification of paper §5.3 is realized in this
+//!   reproduction.
+
+pub mod build;
+pub mod interp;
+pub mod netlist;
+pub mod verilog;
+
+pub use build::{build_graph_module, BuiltModule, IfaceSignal, PortBinding};
+pub use interp::Simulator;
+pub use netlist::{CombOp, Driver, Module, Net, NetId, Port, PortDir};

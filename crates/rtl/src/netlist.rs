@@ -1,0 +1,303 @@
+//! The netlist data structures: a flat, SSA-like module representation in
+//! which every net has exactly one driver.
+
+use bits::ApInt;
+
+/// Identifies a net within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    Input,
+    Output,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    pub name: String,
+    pub dir: PortDir,
+    pub width: u32,
+}
+
+/// Combinational operators (the `comb` dialect subset used by Longnail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombOp {
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    DivS,
+    RemU,
+    RemS,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    ShrU,
+    ShrS,
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+    /// args: cond, then, else.
+    Mux,
+    /// args: hi, lo.
+    Concat,
+    Replicate,
+    /// Static slice; `lo` carried in the driver.
+    Extract,
+    /// args: base, offset — `(base >> offset)[width-1:0]`.
+    ExtractDyn,
+    ZExt,
+    SExt,
+    Trunc,
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Driver {
+    /// Value of the input port with this index.
+    Input { port: usize },
+    /// Constant.
+    Const(ApInt),
+    /// Combinational operator. `lo` is the offset for [`CombOp::Extract`]
+    /// and the replication count for [`CombOp::Replicate`]; 0 otherwise.
+    Comb {
+        op: CombOp,
+        args: Vec<NetId>,
+        lo: u32,
+    },
+    /// Clocked register: latches `next` at the clock edge when `enable`
+    /// (default true) holds; resets to `init`.
+    Reg {
+        next: NetId,
+        enable: Option<NetId>,
+        init: ApInt,
+    },
+    /// Combinational read of the module-internal ROM `rom` at `index`
+    /// (out-of-range indices read zero).
+    Rom { rom: usize, index: NetId },
+}
+
+/// A net: a driver plus its bit width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    pub driver: Driver,
+    pub width: u32,
+    /// Debug name used by the Verilog emitter (may be empty).
+    pub name: String,
+}
+
+/// An internalized constant table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RomData {
+    pub name: String,
+    pub width: u32,
+    pub contents: Vec<ApInt>,
+}
+
+/// A hardware module.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    pub name: String,
+    pub ports: Vec<Port>,
+    pub nets: Vec<Net>,
+    /// Output port index → net driving it.
+    pub outputs: Vec<(usize, NetId)>,
+    pub roms: Vec<RomData>,
+}
+
+impl Module {
+    /// Creates an empty module (with no clock — add ports explicitly).
+    pub fn new(name: &str) -> Self {
+        Module {
+            name: name.to_string(),
+            ..Module::default()
+        }
+    }
+
+    /// Adds a port, returning its index.
+    pub fn add_port(&mut self, name: &str, dir: PortDir, width: u32) -> usize {
+        self.ports.push(Port {
+            name: name.to_string(),
+            dir,
+            width,
+        });
+        self.ports.len() - 1
+    }
+
+    /// Adds a net, returning its id.
+    pub fn add_net(&mut self, driver: Driver, width: u32, name: &str) -> NetId {
+        self.nets.push(Net {
+            driver,
+            width,
+            name: name.to_string(),
+        });
+        NetId(self.nets.len() - 1)
+    }
+
+    /// Connects an output port to its driving net.
+    pub fn connect_output(&mut self, port: usize, net: NetId) {
+        debug_assert_eq!(self.ports[port].dir, PortDir::Output);
+        self.outputs.push((port, net));
+    }
+
+    /// Port index by name.
+    pub fn port(&self, name: &str) -> Option<usize> {
+        self.ports.iter().position(|p| p.name == name)
+    }
+
+    /// Number of clocked register bits (used by the area model).
+    pub fn register_bits(&self) -> u64 {
+        self.nets
+            .iter()
+            .filter(|n| matches!(n.driver, Driver::Reg { .. }))
+            .map(|n| n.width as u64)
+            .sum()
+    }
+
+    /// Checks structural sanity: operand nets exist, output ports are
+    /// connected exactly once, register `next` references are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nets.len();
+        for (i, net) in self.nets.iter().enumerate() {
+            match &net.driver {
+                Driver::Input { port } => {
+                    if *port >= self.ports.len() || self.ports[*port].dir != PortDir::Input {
+                        return Err(format!("net {i} reads a non-input port"));
+                    }
+                    if self.ports[*port].width != net.width {
+                        return Err(format!("net {i} width differs from its port"));
+                    }
+                }
+                Driver::Const(c) => {
+                    if c.width() != net.width {
+                        return Err(format!("net {i} constant width mismatch"));
+                    }
+                }
+                Driver::Comb { args, .. } => {
+                    for a in args {
+                        if a.0 >= n {
+                            return Err(format!("net {i} references unknown net {}", a.0));
+                        }
+                        // Combinational operand must come earlier (no comb loops).
+                        if a.0 >= i {
+                            return Err(format!("net {i} has a combinational cycle"));
+                        }
+                    }
+                }
+                Driver::Reg { next, enable, .. } => {
+                    if next.0 >= n || enable.map(|e| e.0 >= n).unwrap_or(false) {
+                        return Err(format!("net {i} register references unknown net"));
+                    }
+                }
+                Driver::Rom { rom, index } => {
+                    if *rom >= self.roms.len() || index.0 >= i {
+                        return Err(format!("net {i} ROM reference invalid"));
+                    }
+                }
+            }
+        }
+        let mut seen = vec![false; self.ports.len()];
+        for (port, net) in &self.outputs {
+            if self.ports[*port].dir != PortDir::Output {
+                return Err(format!("output connection to non-output port {port}"));
+            }
+            if seen[*port] {
+                return Err(format!("output port {port} driven twice"));
+            }
+            seen[*port] = true;
+            if net.0 >= n {
+                return Err(format!("output port {port} driven by unknown net"));
+            }
+        }
+        for (i, p) in self.ports.iter().enumerate() {
+            if p.dir == PortDir::Output && !seen[i] {
+                return Err(format!("output port `{}` is undriven", p.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate_tiny_module() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 8);
+        let b = m.add_port("b", PortDir::Input, 8);
+        let o = m.add_port("o", PortDir::Output, 8);
+        let na = m.add_net(Driver::Input { port: a }, 8, "a");
+        let nb = m.add_net(Driver::Input { port: b }, 8, "b");
+        let sum = m.add_net(
+            Driver::Comb {
+                op: CombOp::Add,
+                args: vec![na, nb],
+                lo: 0,
+            },
+            8,
+            "sum",
+        );
+        m.connect_output(o, sum);
+        m.validate().unwrap();
+        assert_eq!(m.register_bits(), 0);
+    }
+
+    #[test]
+    fn undriven_output_is_rejected() {
+        let mut m = Module::new("t");
+        m.add_port("o", PortDir::Output, 1);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        let mut m = Module::new("t");
+        let o = m.add_port("o", PortDir::Output, 1);
+        // net 0 references itself.
+        let n = m.add_net(
+            Driver::Comb {
+                op: CombOp::Not,
+                args: vec![NetId(0)],
+                lo: 0,
+            },
+            1,
+            "loop",
+        );
+        m.connect_output(o, n);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn register_bits_counted() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 16);
+        let o = m.add_port("o", PortDir::Output, 16);
+        let na = m.add_net(Driver::Input { port: a }, 16, "a");
+        let r = m.add_net(
+            Driver::Reg {
+                next: na,
+                enable: None,
+                init: bits::ApInt::zero(16),
+            },
+            16,
+            "r",
+        );
+        m.connect_output(o, r);
+        m.validate().unwrap();
+        assert_eq!(m.register_bits(), 16);
+    }
+}

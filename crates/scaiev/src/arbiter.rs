@@ -1,0 +1,101 @@
+//! Static-priority arbitration between ISAXes (paper §3.3).
+//!
+//! Multiple HLS-generated instruction modules (and `always`-blocks) may
+//! request the same state update in the same clock cycle. SCAIE-V
+//! multiplexes the incoming payloads based on the current opcode in the
+//! pipeline, and where several requesters remain, applies a static priority
+//! that guarantees a deterministic order.
+
+/// One update request presented to the arbiter in a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request<T> {
+    /// Index of the requesting ISAX functionality — lower index = higher
+    /// static priority (registration order).
+    pub priority: usize,
+    /// The payload (e.g. a PC value or register write).
+    pub payload: T,
+}
+
+/// A static-priority arbiter for one state-update target.
+#[derive(Debug, Clone, Default)]
+pub struct StaticArbiter {
+    /// Names of the registered requesters, in priority order.
+    requesters: Vec<String>,
+}
+
+impl StaticArbiter {
+    /// Creates an empty arbiter.
+    pub fn new() -> Self {
+        StaticArbiter::default()
+    }
+
+    /// Registers a requester, returning its priority index. Registration
+    /// order determines the static priority (first registered wins ties).
+    pub fn register(&mut self, name: &str) -> usize {
+        self.requesters.push(name.to_string());
+        self.requesters.len() - 1
+    }
+
+    /// Number of registered requesters (sizing for the generated mux).
+    pub fn fan_in(&self) -> usize {
+        self.requesters.len()
+    }
+
+    /// Name of a registered requester.
+    pub fn requester(&self, priority: usize) -> Option<&str> {
+        self.requesters.get(priority).map(|s| s.as_str())
+    }
+
+    /// Grants the highest-priority (lowest index) request; deterministic
+    /// for any input order.
+    pub fn grant<T>(&self, mut requests: Vec<Request<T>>) -> Option<Request<T>> {
+        requests.sort_by_key(|r| r.priority);
+        requests.into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_index_wins() {
+        let mut arb = StaticArbiter::new();
+        let zol = arb.register("zol");
+        let autoinc = arb.register("autoinc");
+        assert_eq!(arb.fan_in(), 2);
+        let granted = arb
+            .grant(vec![
+                Request {
+                    priority: autoinc,
+                    payload: "b",
+                },
+                Request {
+                    priority: zol,
+                    payload: "a",
+                },
+            ])
+            .unwrap();
+        assert_eq!(granted.payload, "a");
+        assert_eq!(arb.requester(granted.priority), Some("zol"));
+    }
+
+    #[test]
+    fn empty_requests_grant_nothing() {
+        let arb = StaticArbiter::new();
+        assert!(arb.grant::<u32>(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn single_request_granted() {
+        let mut arb = StaticArbiter::new();
+        let p = arb.register("only");
+        let g = arb
+            .grant(vec![Request {
+                priority: p,
+                payload: 42u32,
+            }])
+            .unwrap();
+        assert_eq!(g.payload, 42);
+    }
+}

@@ -1,0 +1,29 @@
+//! Static scheduling infrastructure (paper §4.2–§4.4).
+//!
+//! Reimplements CIRCT's extensible scheduling problem model and the
+//! *LongnailProblem* defined on top of it (Table 2):
+//!
+//! * [`problem`] — operations, dependences, operator types, and the three
+//!   levels of solution constraints (*Problem* → *ChainingProblem* →
+//!   *LongnailProblem*),
+//! * [`chain`] — computation of chain-breaking dependences that split
+//!   overlong combinational chains against a cycle-time budget,
+//! * [`ilp_sched`] — the exact ILP formulation of Figure 7, solved with the
+//!   `ilp` crate,
+//! * [`list_sched`] — a fast ASAP list scheduler used as a baseline and for
+//!   ablation benchmarks,
+//! * [`stic`] — start-time-in-cycle propagation (the `ChainingProblem`
+//!   property computed after scheduling).
+
+pub mod chain;
+pub mod ilp_sched;
+pub mod list_sched;
+pub mod problem;
+pub mod stic;
+
+pub use ilp_sched::schedule_ilp;
+pub use list_sched::schedule_asap;
+pub use problem::{
+    Dependence, LongnailProblem, Operation, OperationId, OperatorType, OperatorTypeId, Schedule,
+    ScheduleError,
+};

@@ -1,0 +1,39 @@
+//! Quickstart: compile the Figure 1 dot-product ISAX for VexRiscv and look
+//! at everything the flow produces.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use longnail::driver::builtin_datasheet;
+use longnail::isax_lib;
+use longnail::Longnail;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The ISAX is described in CoreDSL (paper Figure 1).
+    let (unit, src) = isax_lib::isax_source("dotprod").expect("bundled ISAX");
+    println!("=== CoreDSL input ===\n{}", src.trim());
+
+    // 2. Pick a host core: its virtual datasheet tells the scheduler when
+    //    each SCAIE-V sub-interface is available.
+    let datasheet = builtin_datasheet("VexRiscv").expect("bundled core");
+    println!("\n=== Virtual datasheet ({}) ===", datasheet.core);
+    print!("{}", datasheet.to_yaml());
+
+    // 3. Compile: frontend -> LIL -> ILP schedule -> RTL + SCAIE-V config.
+    let ln = Longnail::new();
+    let compiled = ln.compile(&src, &unit, &datasheet)?;
+
+    let dotp = compiled.graph("dotp").expect("compiled instruction");
+    println!("\n=== LIL data-flow graph ===");
+    print!("{}", dotp.graph);
+    println!("\nschedule (start time per operation): {:?}", dotp.schedule.start_time);
+    println!("execution mode: {}", dotp.mode);
+
+    println!("\n=== Generated SystemVerilog ===");
+    print!("{}", dotp.verilog);
+
+    println!("\n=== SCAIE-V configuration file ===");
+    print!("{}", compiled.config.to_yaml());
+    Ok(())
+}

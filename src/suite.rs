@@ -1,0 +1,5 @@
+//! Umbrella crate for the Longnail reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the actual
+//! functionality lives in the `crates/` members (see `DESIGN.md`).
