@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 gate for longnail-rs. Run from the repo root.
+#
+#   ./ci.sh            build + tests (+ clippy when available)
+#
+# Every step is deterministic and offline; the workspace has no external
+# crate dependencies (rand/proptest/criterion are local stubs in crates/).
+set -eu
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping lint step"
+fi
+
+echo "== ci.sh: all checks passed"

@@ -13,7 +13,7 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse(src: &str) -> Result<Description> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0 }.description()
+    Parser { tokens, pos: 0, depth: 0 }.description()
 }
 
 /// Parses a single expression (used by tests and the REPL-style tooling).
@@ -23,15 +23,24 @@ pub fn parse(src: &str) -> Result<Description> {
 /// Returns an error if `src` is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Maximum combined nesting depth of expressions and statements. The
+/// parser is recursive-descent; unbounded nesting in hostile input would
+/// overflow the stack (an abort `catch_unwind` cannot contain), so depth
+/// is bounded well below any stack limit and over-deep input gets a
+/// regular diagnostic. Real ISAX
+/// descriptions nest a handful of levels.
+const MAX_NESTING: u32 = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -522,6 +531,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt> {
         let span = self.span();
         match self.peek() {
             TokenKind::Punct(Punct::LBrace) => {
@@ -842,7 +858,24 @@ impl Parser {
         self.shift()
     }
 
+    /// Bounds recursion depth (see [`MAX_NESTING`]); every expression and
+    /// statement recursion cycle passes through a guarded entry point.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(Diagnostic::new(self.span(), "nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn unary(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr> {
         let span = self.span();
         let op = match self.peek() {
             TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),

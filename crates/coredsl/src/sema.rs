@@ -143,6 +143,25 @@ impl Sema {
                     })?
                 }
             };
+            // Non-extern state is physically materialized (ROM contents,
+            // custom register files); bound its total size so a hostile
+            // extent fails here with a diagnostic instead of aborting in an
+            // allocation downstream. Extern spaces (e.g. the 4 GiB `MEM`)
+            // are provided by the environment and exempt.
+            const MAX_STATE_BITS: u64 = 1 << 26;
+            if decl.storage != StorageClass::Extern
+                && (ty.width as u64)
+                    .checked_mul(elems)
+                    .is_none_or(|bits| bits > MAX_STATE_BITS)
+            {
+                return Err(Diagnostic::new(
+                    decl.span,
+                    format!(
+                        "register `{}` would occupy more than {} bits of storage",
+                        decl.name, MAX_STATE_BITS
+                    ),
+                ));
+            }
             let init = match &decl.init {
                 None => None,
                 Some(ast::Initializer::Single(e)) => {
@@ -337,6 +356,7 @@ impl Sema {
             encoding,
             behavior,
             locals: ctx.locals,
+            span: i.span,
         })
     }
 
@@ -354,6 +374,7 @@ impl Sema {
             name: a.name.clone(),
             behavior,
             locals: ctx.locals,
+            span: a.span,
         })
     }
 

@@ -7,6 +7,7 @@
 //! inheritance has been flattened.
 
 use crate::ast::{BinOp, UnOp};
+use crate::error::Span;
 use crate::types::IntType;
 use bits::ApInt;
 
@@ -119,6 +120,9 @@ pub struct Instruction {
     pub behavior: Block,
     /// Local-variable table for the behavior.
     pub locals: Vec<Local>,
+    /// Location of the instruction definition, for diagnostics raised by
+    /// later flow stages (lowering, scheduling, netlist construction).
+    pub span: Span,
 }
 
 /// A type-checked `always`-block.
@@ -127,6 +131,8 @@ pub struct AlwaysBlock {
     pub name: String,
     pub behavior: Block,
     pub locals: Vec<Local>,
+    /// Location of the `always`-block definition, for diagnostics.
+    pub span: Span,
 }
 
 /// A type-checked helper function. Functions are pure: they compute only on

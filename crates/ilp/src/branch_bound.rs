@@ -1,25 +1,24 @@
 //! Branch-and-bound over the simplex LP relaxation.
 
+use crate::budget::{Budget, WorkKind};
 use crate::model::{Model, Sense, Solution, SolveError};
 use crate::rational::Rational;
 use crate::simplex;
 
-/// Node-count safety limit; scheduling models are totally unimodular and
-/// essentially never branch, so hitting this indicates a pathological model.
-pub const MAX_NODES: usize = 100_000;
-
-/// Solves `model` to integer optimality.
+/// Solves `model` to integer optimality, charging one [`WorkKind::Node`]
+/// per explored search node (plus the pivots of each node's LP re-solve)
+/// against `budget`.
+///
+/// Scheduling models are totally unimodular and essentially never branch,
+/// so budget exhaustion here indicates a pathological model.
 ///
 /// # Errors
 ///
 /// Returns [`SolveError::Infeasible`] if no integer point satisfies the
-/// constraints, or [`SolveError::Unbounded`] if the relaxation is unbounded.
-///
-/// # Panics
-///
-/// Panics if the search exceeds [`MAX_NODES`] nodes.
-pub fn solve(model: &Model) -> Result<Solution, SolveError> {
-    let root = simplex::solve_lp(model)?;
+/// constraints, [`SolveError::Unbounded`] if the relaxation is unbounded,
+/// or [`SolveError::Exhausted`] when the budget runs out mid-search.
+pub fn solve(model: &Model, budget: &Budget) -> Result<Solution, SolveError> {
+    let root = simplex::solve_lp(model, budget)?;
     if let Some(sol) = integral(model, &root) {
         return Ok(sol);
     }
@@ -29,14 +28,9 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
     let mut incumbent: Option<Solution> = None;
     let mut stack: Vec<Model> = Vec::new();
     branch(model, &root, &mut stack);
-    let mut nodes = 0usize;
     while let Some(node) = stack.pop() {
-        nodes += 1;
-        assert!(
-            nodes <= MAX_NODES,
-            "branch-and-bound exceeded {MAX_NODES} nodes"
-        );
-        let relaxed = match simplex::solve_lp(&node) {
+        budget.charge(WorkKind::Node).map_err(SolveError::Exhausted)?;
+        let relaxed = match simplex::solve_lp(&node, budget) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
@@ -186,6 +180,23 @@ mod tests {
         assert_eq!(sol.value(t[2]), 0);
         assert_eq!(sol.value(t[3]), 2);
         assert_eq!(sol.value(t[4]), 3);
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion() {
+        // Needs at least one pivot; a zero budget must fail with a typed
+        // error, never a panic.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x");
+        m.obj(x, 1);
+        m.constraint_ge(&[(x, 1)], 3);
+        let budget = crate::Budget::new(0);
+        match m.solve_with_budget(&budget) {
+            Err(SolveError::Exhausted(e)) => assert_eq!(e.limit, 0),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // The same model solves fine under the default budget.
+        assert_eq!(m.solve().unwrap().value(x), 3);
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //! ```
 
 pub mod branch_bound;
+pub mod budget;
 pub mod model;
 pub mod rational;
 pub mod simplex;
 
+pub use budget::{Budget, Exhausted, WorkKind};
 pub use model::{Constraint, ConstraintOp, Model, Sense, Solution, SolveError, VarId};
 pub use rational::Rational;

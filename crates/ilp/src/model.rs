@@ -1,6 +1,7 @@
 //! Model-building API for (integer) linear programs.
 
 use crate::branch_bound;
+use crate::budget::{Budget, Exhausted};
 use crate::rational::Rational;
 use std::fmt;
 
@@ -50,6 +51,9 @@ pub enum SolveError {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// The work budget ran out before the search finished. The model may
+    /// still be feasible; callers should fall back to a cheaper algorithm.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for SolveError {
@@ -57,6 +61,7 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Infeasible => f.write_str("model is infeasible"),
             SolveError::Unbounded => f.write_str("objective is unbounded"),
+            SolveError::Exhausted(e) => e.fmt(f),
         }
     }
 }
@@ -192,22 +197,49 @@ impl Model {
     }
 
     /// Solves the model: LP relaxation by two-phase simplex, then
-    /// branch-and-bound on fractional integer variables.
+    /// branch-and-bound on fractional integer variables. Runs under a
+    /// fresh [`Budget::default`]; exceeding it returns
+    /// [`SolveError::Exhausted`] rather than panicking.
     ///
     /// # Errors
     ///
-    /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::Exhausted`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        branch_bound::solve(self)
+        branch_bound::solve(self, &Budget::default())
     }
 
-    /// Solves only the LP relaxation (integrality dropped).
+    /// Like [`Model::solve`], but charging work against a caller-supplied
+    /// budget (shared across re-solves of related models).
     ///
     /// # Errors
     ///
-    /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::Exhausted`].
+    pub fn solve_with_budget(&self, budget: &Budget) -> Result<Solution, SolveError> {
+        branch_bound::solve(self, budget)
+    }
+
+    /// Solves only the LP relaxation (integrality dropped), under a fresh
+    /// default budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::Exhausted`].
     pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
-        crate::simplex::solve_lp(self)
+        crate::simplex::solve_lp(self, &Budget::default())
+    }
+
+    /// Like [`Model::solve_relaxation`], but against a caller-supplied
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::Exhausted`].
+    pub fn solve_relaxation_with_budget(&self, budget: &Budget) -> Result<Solution, SolveError> {
+        crate::simplex::solve_lp(self, budget)
     }
 
     /// Checks a candidate assignment against all constraints and bounds

@@ -6,26 +6,24 @@
 //! snapped to integers when within tolerance and re-verified exactly by the
 //! branch-and-bound layer via [`crate::Model::is_feasible`].
 
+use crate::budget::{Budget, WorkKind};
 use crate::model::{ConstraintOp, Model, Sense, Solution, SolveError};
 use crate::rational::Rational;
 
 const EPS: f64 = 1e-7;
 /// After this many Dantzig pivots, switch to Bland's rule (anti-cycling).
 const DANTZIG_LIMIT: usize = 20_000;
-/// Absolute pivot-count safety bound.
-const MAX_PIVOTS: usize = 200_000;
 
-/// Solves the LP relaxation of `model`.
+/// Solves the LP relaxation of `model`, charging one
+/// [`WorkKind::Pivot`] per tableau pivot against `budget`.
 ///
 /// # Errors
 ///
-/// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
-///
-/// # Panics
-///
-/// Panics if the pivot-count safety bound is exceeded (indicates a
-/// pathological model far outside the intended problem class).
-pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+/// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+/// [`SolveError::Exhausted`] when the budget runs out mid-search (which for
+/// well-formed scheduling models indicates a pathological input, not a
+/// solver defect).
+pub fn solve_lp(model: &Model, budget: &Budget) -> Result<Solution, SolveError> {
     let n = model.vars.len();
     let lower: Vec<f64> = model.vars.iter().map(|v| v.lower.to_f64()).collect();
 
@@ -137,7 +135,7 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
             }
         }
         t.a[m * width + num_cols] = obj;
-        t.run()?;
+        t.run(budget)?;
         if t.a[m * width + num_cols] < -1e-5 {
             return Err(SolveError::Infeasible);
         }
@@ -171,7 +169,7 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
         obj -= cb * t.a[i * width + num_cols];
     }
     t.a[m * width + num_cols] = obj;
-    t.run()?;
+    t.run(budget)?;
 
     // Extract (and unshift) the solution.
     let mut raw = vec![0.0f64; n];
@@ -242,9 +240,9 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn run(&mut self) -> Result<(), SolveError> {
+    fn run(&mut self, budget: &Budget) -> Result<(), SolveError> {
         let width = self.width;
-        for iter in 0..MAX_PIVOTS {
+        for iter in 0.. {
             // Entering column.
             let obj_row = self.m * width;
             let entering = if iter < DANTZIG_LIMIT {
@@ -290,9 +288,12 @@ impl Tableau {
             let Some((_, i)) = best else {
                 return Err(SolveError::Unbounded);
             };
+            budget
+                .charge(WorkKind::Pivot)
+                .map_err(SolveError::Exhausted)?;
             self.pivot(i, j);
         }
-        panic!("simplex exceeded {MAX_PIVOTS} pivots");
+        unreachable!("unbounded loop exits via return")
     }
 
     fn pivot(&mut self, row: usize, col: usize) {

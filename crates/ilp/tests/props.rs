@@ -123,9 +123,10 @@ proptest! {
             (Err(e), Some(best)) => {
                 prop_assert!(false, "solver said {} but brute force found optimum {}", e, best);
             }
-            (Err(SolveError::Unbounded), None) => {
-                // All variables are bounded, so unbounded cannot happen.
-                prop_assert!(false, "bounded model reported as unbounded");
+            (Err(e), None) => {
+                // All variables are bounded and the models are tiny, so
+                // neither unboundedness nor budget exhaustion can happen.
+                prop_assert!(false, "infeasible model reported as {}", e);
             }
         }
     }

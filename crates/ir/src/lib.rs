@@ -25,6 +25,8 @@ pub mod hirprint;
 pub mod interp;
 pub mod lil;
 pub mod lower;
+pub mod verify;
 
 pub use lil::{Graph, GraphKind, LilModule, Op, OpKind, ValueId};
-pub use lower::lower_module;
+pub use lower::{lower_always, lower_instruction, lower_module, lower_state};
+pub use verify::{verify_graph, verify_module, VerifyError};

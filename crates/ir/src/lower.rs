@@ -57,6 +57,22 @@ type Result<T> = std::result::Result<T, LowerError>;
 /// loops without compile-time trip counts, GPR reads not indexed by an
 /// `rs1`/`rs2` encoding field, or double use of a sub-interface.
 pub fn lower_module(module: &TypedModule) -> Result<LilModule> {
+    let mut lil = lower_state(module);
+    for instr in &module.instructions {
+        lil.graphs.push(lower_instruction(module, instr)?);
+    }
+    for always in &module.always_blocks {
+        lil.graphs.push(lower_always(module, always)?);
+    }
+    Ok(lil)
+}
+
+/// Lowers only the architectural state (ROMs and custom registers),
+/// producing a module with no graphs. Drivers that lower instructions
+/// individually — so one failing instruction does not abort the others —
+/// start from this and append graphs from [`lower_instruction`] /
+/// [`lower_always`] themselves.
+pub fn lower_state(module: &TypedModule) -> LilModule {
     let mut lil = LilModule {
         name: module.name.clone(),
         ..LilModule::default()
@@ -79,13 +95,7 @@ pub fn lower_module(module: &TypedModule) -> Result<LilModule> {
             });
         }
     }
-    for instr in &module.instructions {
-        lil.graphs.push(lower_instruction(module, instr)?);
-    }
-    for always in &module.always_blocks {
-        lil.graphs.push(lower_always(module, always)?);
-    }
-    Ok(lil)
+    lil
 }
 
 /// Lowers a single instruction.

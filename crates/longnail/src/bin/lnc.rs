@@ -3,17 +3,26 @@
 //! ```text
 //! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
 //!            [--unit <InstructionSet>] [--out <dir>]
-//!            [--emit hir|lil|sv|config|datasheet]
+//!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
 //! the SCAIE-V configuration YAML into --out (default: the current
 //! directory) and prints a summary. With --emit, prints the requested
 //! representation to stdout instead.
+//!
+//! --budget bounds the deterministic solver work per instruction; when the
+//! exact scheduler exhausts it, the instruction degrades to the verified
+//! ASAP fallback and a warning is reported.
+//!
+//! Diagnostics go to stderr. Exit codes: 0 — clean or warnings only;
+//! 1 — at least one unit failed to compile (artifacts for the remaining
+//! units are still written); 2 — an internal compiler fault (verifier,
+//! netlist lint, or a contained panic).
 //! ```
 
 use longnail::driver::{builtin_datasheet, EVAL_CORES};
-use longnail::Longnail;
+use longnail::{Longnail, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,6 +32,7 @@ struct Args {
     unit: Option<String>,
     out: PathBuf,
     emit: Option<String>,
+    budget: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut unit = None;
     let mut out = PathBuf::from(".");
     let mut emit = None;
+    let mut budget = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +49,13 @@ fn parse_args() -> Result<Args, String> {
             "--unit" => unit = Some(args.next().ok_or("--unit needs a value")?),
             "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
             "--emit" => emit = Some(args.next().ok_or("--emit needs a value")?),
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a value")?;
+                budget = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--budget: `{v}` is not a work-unit count"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"))
@@ -57,15 +75,25 @@ fn parse_args() -> Result<Args, String> {
         unit,
         out,
         emit,
+        budget,
     })
 }
 
 fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
-         [--out <dir>] [--emit hir|lil|sv|config|datasheet]",
+         [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>]",
         EVAL_CORES.join("|")
     );
+}
+
+/// Maps the accumulated diagnostics to the process exit code.
+fn exit_for(compiled: &longnail::CompiledIsax) -> ExitCode {
+    match compiled.diagnostics.worst() {
+        Some(Severity::Fault) => ExitCode::from(2),
+        Some(Severity::Error) => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
 }
 
 fn main() -> ExitCode {
@@ -101,6 +129,9 @@ fn main() -> ExitCode {
             .unwrap_or_default()
     });
     let mut ln = Longnail::new();
+    if let Some(b) = args.budget {
+        ln.work_limit = b;
+    }
     // --emit hir needs the typed module before HLS.
     if args.emit.as_deref() == Some("hir") {
         return match ln.frontend_mut().compile_str(&src, &unit) {
@@ -118,13 +149,29 @@ fn main() -> ExitCode {
         print!("{}", datasheet.to_yaml());
         return ExitCode::SUCCESS;
     }
-    let compiled = match ln.compile(&src, &unit, &datasheet) {
-        Ok(c) => c,
-        Err(e) => {
+    // A panic anywhere in the flow is an internal fault (exit 2), not a
+    // crash: report it like any other diagnostic.
+    let compiled = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ln.compile(&src, &unit, &datasheet)
+    })) {
+        Ok(Ok(c)) => c,
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            eprintln!("internal fault: compiler panicked: {msg}");
+            return ExitCode::from(2);
+        }
     };
+    if !compiled.diagnostics.is_empty() {
+        eprint!("{}", compiled.diagnostics.render());
+    }
     match args.emit.as_deref() {
         Some("lil") => {
             for g in &compiled.graphs {
@@ -176,5 +223,5 @@ fn main() -> ExitCode {
             );
         }
     }
-    ExitCode::SUCCESS
+    exit_for(&compiled)
 }

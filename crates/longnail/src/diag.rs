@@ -1,0 +1,198 @@
+//! Structured compilation diagnostics.
+//!
+//! The driver accumulates warnings, degradation notices, and per-unit
+//! errors in a [`Diagnostics`] sink instead of aborting on the first
+//! problem: one broken instruction costs that instruction, not the ISAX.
+//! Every event carries the flow stage that raised it, the instruction or
+//! `always`-block it refers to (when unit-local), and — where the frontend
+//! provided one — the source [`Span`] of the offending definition.
+
+use coredsl::error::Span;
+use std::fmt;
+
+/// How bad a diagnostic event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Compilation succeeded but with a caveat (e.g. a scheduler
+    /// degradation). Exit code 0.
+    Warning,
+    /// A unit failed to compile; the rest of the ISAX is unaffected.
+    /// Exit code 1.
+    Error,
+    /// An internal invariant was violated (IR verifier, netlist lint, or a
+    /// contained panic) — a compiler bug, not a user error. Exit code 2.
+    Fault,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::Fault => "internal fault",
+        })
+    }
+}
+
+/// One diagnostic event with stage and source provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagEvent {
+    pub severity: Severity,
+    /// Flow stage that raised the event (`frontend`, `lower`, `verify`,
+    /// `schedule`, `netlist`, ...).
+    pub stage: &'static str,
+    /// Instruction / always-block name, when unit-local.
+    pub unit: Option<String>,
+    /// Source location of the offending definition, when known.
+    pub span: Option<Span>,
+    pub message: String,
+}
+
+impl fmt::Display for DiagEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.stage)?;
+        if let Some(unit) = &self.unit {
+            write!(f, " `{unit}`")?;
+        }
+        if let Some(span) = &self.span {
+            write!(f, " at {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Accumulating diagnostics sink for one compilation.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// All events, in the order they were raised.
+    pub events: Vec<DiagEvent>,
+}
+
+impl Diagnostics {
+    /// Records an event.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        stage: &'static str,
+        unit: Option<&str>,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) {
+        self.events.push(DiagEvent {
+            severity,
+            stage,
+            unit: unit.map(str::to_owned),
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning.
+    pub fn warn(
+        &mut self,
+        stage: &'static str,
+        unit: Option<&str>,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) {
+        self.push(Severity::Warning, stage, unit, span, message);
+    }
+
+    /// Records a unit-level error.
+    pub fn error(
+        &mut self,
+        stage: &'static str,
+        unit: Option<&str>,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) {
+        self.push(Severity::Error, stage, unit, span, message);
+    }
+
+    /// Records an internal fault.
+    pub fn fault(
+        &mut self,
+        stage: &'static str,
+        unit: Option<&str>,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) {
+        self.push(Severity::Fault, stage, unit, span, message);
+    }
+
+    /// Worst severity recorded, if any event exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.events.iter().map(|e| e.severity).max()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.worst() >= Some(Severity::Error)
+    }
+
+    pub fn has_faults(&self) -> bool {
+        self.worst() == Some(Severity::Fault)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one severity.
+    pub fn of(&self, severity: Severity) -> impl Iterator<Item = &DiagEvent> {
+        self.events.iter().filter(move |e| e.severity == severity)
+    }
+
+    /// Renders the full report, one event per line, with a trailing
+    /// summary when anything was recorded.
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        if !self.events.is_empty() {
+            let counts = [Severity::Fault, Severity::Error, Severity::Warning]
+                .iter()
+                .filter_map(|&s| {
+                    let n = self.of(s).count();
+                    (n > 0).then(|| format!("{n} {s}{}", if n == 1 { "" } else { "(s)" }))
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "{counts}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_drives_worst() {
+        let mut d = Diagnostics::default();
+        assert_eq!(d.worst(), None);
+        assert!(!d.has_errors());
+        d.warn("schedule", Some("sqrt"), None, "degraded to ASAP");
+        assert_eq!(d.worst(), Some(Severity::Warning));
+        assert!(!d.has_errors());
+        d.error("lower", Some("bad"), Some(Span::new(3, 1)), "dynamic loop");
+        assert_eq!(d.worst(), Some(Severity::Error));
+        assert!(d.has_errors());
+        assert!(!d.has_faults());
+        d.fault("verify", None, None, "operand width mismatch");
+        assert!(d.has_faults());
+    }
+
+    #[test]
+    fn rendering_includes_provenance() {
+        let mut d = Diagnostics::default();
+        d.error("lower", Some("bad"), Some(Span::new(3, 7)), "dynamic loop");
+        let report = d.render();
+        assert!(report.contains("error[lower]"), "{report}");
+        assert!(report.contains("`bad`"), "{report}");
+        assert!(report.contains("3:7"), "{report}");
+        assert!(report.contains("1 error"), "{report}");
+    }
+}

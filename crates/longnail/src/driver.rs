@@ -6,18 +6,21 @@
 //! (§4.3) → hardware construction and SystemVerilog emission (§4.5) →
 //! SCAIE-V configuration file (§4.6).
 
+use crate::diag::Diagnostics;
+use coredsl::error::Span;
 use coredsl::tast::TypedModule;
 use coredsl::Frontend;
 use ir::lil::{Graph, GraphKind, LilModule, OpKind};
-use ir::lower_module;
+use ir::{lower_always, lower_instruction, lower_state, verify_graph};
 use rtl::build::{build_graph_module, BuiltModule};
+use rtl::lint::lint_module;
 use rtl::verilog::emit_verilog;
 use scaiev::config::{Functionality, IsaxConfig, RegisterRequest, ScheduleEntry};
 use scaiev::datasheet::{Timing, VirtualDatasheet};
 use scaiev::iface::SubInterfaceOp;
 use scaiev::modes::{select_mode, ExecutionMode};
 use sched::problem::{LongnailProblem, OperatorType, OperatorTypeId, Schedule};
-use sched::schedule_ilp;
+use sched::{schedule_resilient, Budget};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -99,9 +102,16 @@ pub struct CompiledIsax {
     /// The lowered LIL module.
     pub lil: LilModule,
     /// One compiled artifact per instruction / always-block.
+    ///
+    /// Units that failed to compile are missing here and reported in
+    /// [`CompiledIsax::diagnostics`] instead — one broken instruction does
+    /// not abort the ISAX.
     pub graphs: Vec<CompiledGraph>,
     /// The SCAIE-V configuration file contents (Figure 8).
     pub config: IsaxConfig,
+    /// Warnings, degradation notices, and per-unit errors accumulated
+    /// across the flow.
+    pub diagnostics: Diagnostics,
 }
 
 impl CompiledIsax {
@@ -126,6 +136,11 @@ pub struct Longnail {
     frontend: Frontend,
     /// Chaining budget in uniform-delay units per stage.
     pub chain_depth: f64,
+    /// Deterministic solver work budget granted to each graph's scheduling
+    /// problem (see [`Budget`]). When the exact ILP exhausts it, the
+    /// flow degrades to the verified ASAP fallback scheduler and records a
+    /// warning instead of failing.
+    pub work_limit: u64,
 }
 
 impl Default for Longnail {
@@ -141,6 +156,7 @@ impl Longnail {
         Longnail {
             frontend: Frontend::new(),
             chain_depth: DEFAULT_CHAIN_DEPTH,
+            work_limit: Budget::DEFAULT_LIMIT,
         }
     }
 
@@ -172,21 +188,76 @@ impl Longnail {
 
     /// Compiles an already type-checked module for the given target core.
     ///
+    /// Units are compiled independently: a unit that fails in lowering,
+    /// verification, scheduling, or netlist construction is dropped and
+    /// recorded in [`CompiledIsax::diagnostics`] while the remaining units
+    /// compile normally. Callers decide what an acceptable outcome is via
+    /// [`Diagnostics::has_errors`] / [`Diagnostics::has_faults`].
+    ///
     /// # Errors
     ///
-    /// Returns a [`FlowError`] naming the failing flow stage.
+    /// Reserved for module-wide failures; per-unit failures surface as
+    /// diagnostics instead.
     pub fn compile_module(
         &self,
         module: TypedModule,
         datasheet: &VirtualDatasheet,
     ) -> Result<CompiledIsax, FlowError> {
-        let lil = lower_module(&module).map_err(|e| FlowError {
-            stage: "lower",
-            message: e.to_string(),
-        })?;
+        let mut diagnostics = Diagnostics::default();
+        let mut lil = lower_state(&module);
+        let spans: HashMap<String, Span> = module
+            .instructions
+            .iter()
+            .map(|i| (i.name.clone(), i.span))
+            .chain(module.always_blocks.iter().map(|a| (a.name.clone(), a.span)))
+            .collect();
+        let lowered = module
+            .instructions
+            .iter()
+            .map(|i| lower_instruction(&module, i))
+            .chain(module.always_blocks.iter().map(|a| lower_always(&module, a)));
+        for result in lowered {
+            let graph = match result {
+                Ok(g) => g,
+                Err(e) => {
+                    diagnostics.error(
+                        "lower",
+                        Some(&e.unit),
+                        spans.get(&e.unit).copied(),
+                        e.message,
+                    );
+                    continue;
+                }
+            };
+            // Stage verifier: a graph the lowering itself produced must be
+            // well-formed; a violation is a compiler bug, contained to this
+            // unit.
+            if let Err(errs) = verify_graph(&graph, &lil) {
+                let msg = errs
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                diagnostics.fault("verify", Some(&graph.name), spans.get(&graph.name).copied(), msg);
+                continue;
+            }
+            lil.graphs.push(graph);
+        }
         let mut graphs = Vec::new();
         for graph in &lil.graphs {
-            graphs.push(self.compile_graph(graph, &lil, datasheet)?);
+            match self.compile_graph(graph, &lil, datasheet, &mut diagnostics) {
+                Ok(cg) => graphs.push(cg),
+                Err(e) => {
+                    let span = spans.get(&graph.name).copied();
+                    // The netlist lint guards compiler-constructed hardware;
+                    // its findings are internal faults, not user errors.
+                    if e.stage == "netlist" {
+                        diagnostics.fault(e.stage, Some(&graph.name), span, e.message);
+                    } else {
+                        diagnostics.error(e.stage, Some(&graph.name), span, e.message);
+                    }
+                }
+            }
         }
         let config = build_config(&lil, &graphs);
         Ok(CompiledIsax {
@@ -196,6 +267,7 @@ impl Longnail {
             lil,
             graphs,
             config,
+            diagnostics,
         })
     }
 
@@ -204,6 +276,7 @@ impl Longnail {
         graph: &Graph,
         lil: &LilModule,
         datasheet: &VirtualDatasheet,
+        diagnostics: &mut Diagnostics,
     ) -> Result<CompiledGraph, FlowError> {
         let is_always = graph.kind == GraphKind::Always;
         let budget = if datasheet.clock_ns > 0.0 {
@@ -236,10 +309,15 @@ impl Longnail {
                 problem.add_dependence(op_ids[operand.0], op_ids[v.0]);
             }
         }
-        let schedule = schedule_ilp(&mut problem).map_err(|e| FlowError {
+        let budget = Budget::new(self.work_limit);
+        let outcome = schedule_resilient(&mut problem, &budget).map_err(|e| FlowError {
             stage: "schedule",
-            message: format!("graph `{}`: {e}", graph.name),
+            message: e.to_string(),
         })?;
+        if let Some(deg) = &outcome.degradation {
+            diagnostics.warn("schedule", Some(&graph.name), None, deg.to_string());
+        }
+        let schedule = outcome.schedule;
         let start_time: Vec<u32> = (0..graph.len())
             .map(|i| schedule.start_time[op_ids[i].0])
             .collect();
@@ -252,6 +330,17 @@ impl Longnail {
                 .unwrap_or(0)
         };
         let built = build_graph_module(graph, lil, &start_time, &read_latency);
+        // Netlist lint: last gate before SystemVerilog leaves the compiler.
+        if let Err(issues) = lint_module(&built.module) {
+            return Err(FlowError {
+                stage: "netlist",
+                message: issues
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
+        }
         let verilog = emit_verilog(&built.module);
 
         // Per-write-interface mode selection (§4.3) and overall mode.

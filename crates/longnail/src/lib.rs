@@ -19,8 +19,10 @@
 //!   the `riscv` ISS via the CoreDSL behavior interpreter (the reference
 //!   for §5.3-style verification).
 
+pub mod diag;
 pub mod driver;
 pub mod golden;
 pub mod isax_lib;
 
+pub use diag::{DiagEvent, Diagnostics, Severity};
 pub use driver::{CompiledGraph, CompiledIsax, FlowError, Longnail};

@@ -1,0 +1,63 @@
+//! Degradation acceptance: every Table 3 ISAX compiles on all four
+//! evaluation cores even under a solver budget of zero — the exact ILP
+//! gives way to the verified ASAP fallback, reported as a warning, and no
+//! unit is lost.
+
+use longnail::driver::{builtin_datasheet, EVAL_CORES};
+use longnail::isax_lib::all_isaxes;
+use longnail::{Longnail, Severity};
+
+#[test]
+fn zero_budget_compiles_every_isax_on_every_core() {
+    for (name, unit, source) in all_isaxes() {
+        for core in EVAL_CORES {
+            let ds = builtin_datasheet(core).unwrap();
+            let exact = Longnail::new()
+                .compile(&source, &unit, &ds)
+                .unwrap_or_else(|e| panic!("{name} on {core} (default budget): {e}"));
+            let mut ln = Longnail::new();
+            ln.work_limit = 0;
+            let degraded = ln
+                .compile(&source, &unit, &ds)
+                .unwrap_or_else(|e| panic!("{name} on {core} (zero budget): {e}"));
+
+            // The default budget compiles cleanly — no degradations, no
+            // errors — so the happy path is unchanged.
+            assert!(
+                exact.diagnostics.is_empty(),
+                "{name} on {core}: unexpected diagnostics with default budget:\n{}",
+                exact.diagnostics.render()
+            );
+            // Zero budget loses no units: every instruction/always-block
+            // still produces hardware, via the fallback scheduler.
+            assert_eq!(
+                degraded.graphs.len(),
+                exact.graphs.len(),
+                "{name} on {core}: zero budget dropped units:\n{}",
+                degraded.diagnostics.render()
+            );
+            assert!(
+                !degraded.diagnostics.has_errors(),
+                "{name} on {core}: zero budget produced errors:\n{}",
+                degraded.diagnostics.render()
+            );
+            // The switch to the fallback is reported, per scheduled graph.
+            assert_eq!(
+                degraded.diagnostics.of(Severity::Warning).count(),
+                degraded.graphs.len(),
+                "{name} on {core}: expected one degradation warning per unit:\n{}",
+                degraded.diagnostics.render()
+            );
+            assert!(degraded
+                .diagnostics
+                .of(Severity::Warning)
+                .all(|w| w.message.contains("ASAP fallback")));
+            // Degraded hardware is still complete: SystemVerilog and a
+            // schedule exist for every unit.
+            for g in &degraded.graphs {
+                assert!(!g.verilog.is_empty(), "{name}/{} on {core}: empty SV", g.name);
+                assert_eq!(g.schedule.start_time.len(), g.graph.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Frontend/flow robustness fuzzing: mutated and truncated CoreDSL sources
+//! must produce structured diagnostics, never panics.
+//!
+//! Every benchmark ISAX source is run through a deterministic mutator
+//! (byte flips, truncations, deletions, duplications, digit inflation,
+//! bracket noise) and compiled end to end inside `catch_unwind`. Any panic
+//! is a bug: the compiler's contract is that arbitrary input yields
+//! `Err(...)` or a diagnostics report. A set of handcrafted adversarial
+//! sources covers known panic classes (huge widths, reversed bit ranges,
+//! oversized literals, deep nesting).
+
+use longnail::driver::builtin_datasheet;
+use longnail::isax_lib::STATIC_ISAXES;
+use longnail::Longnail;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic SplitMix64 so failures reproduce across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Produces one mutant of `src`.
+fn mutate(src: &str, rng: &mut Rng) -> String {
+    let bytes = src.as_bytes();
+    match rng.below(6) {
+        // Truncate at a random point.
+        0 => String::from_utf8_lossy(&bytes[..rng.below(bytes.len())]).into_owned(),
+        // Flip one byte to a random printable character.
+        1 => {
+            let mut b = bytes.to_vec();
+            let i = rng.below(b.len());
+            b[i] = 0x20 + (rng.next() % 95) as u8;
+            String::from_utf8_lossy(&b).into_owned()
+        }
+        // Delete a random slice.
+        2 => {
+            let i = rng.below(bytes.len());
+            let j = (i + rng.below(40)).min(bytes.len());
+            let mut b = bytes[..i].to_vec();
+            b.extend_from_slice(&bytes[j..]);
+            String::from_utf8_lossy(&b).into_owned()
+        }
+        // Duplicate a random slice in place.
+        3 => {
+            let i = rng.below(bytes.len());
+            let j = (i + rng.below(40)).min(bytes.len());
+            let mut b = bytes[..j].to_vec();
+            b.extend_from_slice(&bytes[i..j]);
+            b.extend_from_slice(&bytes[j..]);
+            String::from_utf8_lossy(&b).into_owned()
+        }
+        // Inflate every digit run at one position (huge widths/indices).
+        4 => {
+            let mut s = String::with_capacity(src.len() + 16);
+            let target = rng.below(8);
+            let mut seen = 0usize;
+            for c in src.chars() {
+                s.push(c);
+                if c.is_ascii_digit() {
+                    if seen == target {
+                        s.push_str("4294967295");
+                    }
+                    seen += 1;
+                }
+            }
+            s
+        }
+        // Splice structural noise at a random point.
+        _ => {
+            let noise = ["[", "]", "<", ">", "'", "::", "{", "}", "(", ")", ":", ";"];
+            let i = rng.below(bytes.len());
+            // Splice on a char boundary (sources are ASCII, but stay safe).
+            let mut i = i;
+            while !src.is_char_boundary(i) {
+                i -= 1;
+            }
+            let mut s = src[..i].to_string();
+            s.push_str(noise[rng.below(noise.len())]);
+            s.push_str(&src[i..]);
+            s
+        }
+    }
+}
+
+/// Compiles `src` end to end, returning whether the compiler panicked.
+fn panics(src: &str, unit: &str) -> bool {
+    let ds = builtin_datasheet("VexRiscv").unwrap();
+    catch_unwind(AssertUnwindSafe(|| {
+        let ln = Longnail::new();
+        let _ = ln.compile(src, unit, &ds);
+    }))
+    .is_err()
+}
+
+#[test]
+fn mutated_sources_never_panic() {
+    // Silence the default panic-to-stderr printer for the duration: a
+    // caught panic would otherwise spam the test output. Restored below so
+    // real failures elsewhere still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failures = Vec::new();
+    for isax in &STATIC_ISAXES {
+        let mut rng = Rng(0x5EED ^ isax.name.len() as u64);
+        for round in 0..200 {
+            let mutant = mutate(isax.source, &mut rng);
+            if panics(&mutant, isax.unit) {
+                failures.push((isax.name, round, mutant));
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+    assert!(
+        failures.is_empty(),
+        "{} mutant(s) panicked; first: isax {} round {}:\n{}",
+        failures.len(),
+        failures[0].0,
+        failures[0].1,
+        failures[0].2
+    );
+}
+
+#[test]
+fn adversarial_sources_never_panic() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cases: &[&str] = &[
+        "",
+        "InstructionSet",
+        "import \"RV32I.core_desc\";",
+        // Huge declared width.
+        "InstructionSet A { architectural_state { register unsigned<4294967295> R; } }",
+        // Width from an overflowing constant expression.
+        "InstructionSet A { architectural_state { register unsigned<4000000000+4000000000> R; } }",
+        // Huge array extent.
+        "InstructionSet A { architectural_state { register unsigned<8> R[4294967295]; } }",
+        // Reversed bit range.
+        "import \"RV32I.core_desc\";
+         InstructionSet A extends RV32I { instructions { i {
+           encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+           behavior: { X[rd] = (unsigned<32>) X[rs1][0:31]; } } } }",
+        // Oversized sized literal.
+        "import \"RV32I.core_desc\";
+         InstructionSet A extends RV32I { instructions { i {
+           encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+           behavior: { X[rd] = 2'd999999999999999999; } } } }",
+        // Shift far beyond the operand width.
+        "import \"RV32I.core_desc\";
+         InstructionSet A extends RV32I { instructions { i {
+           encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+           behavior: { X[rd] = (unsigned<32>)(X[rs1] << 4294967295); } } } }",
+        // Zero-width slice arithmetic.
+        "import \"RV32I.core_desc\";
+         InstructionSet A extends RV32I { instructions { i {
+           encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+           behavior: { X[rd] = (unsigned<32>) X[rs1][4294967295:0]; } } } }",
+        // Deeply nested parentheses.
+        &format!(
+            "import \"RV32I.core_desc\";
+             InstructionSet A extends RV32I {{ instructions {{ i {{
+               encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+               behavior: {{ X[rd] = {}1{}; }} }} }} }}",
+            "(".repeat(300),
+            ")".repeat(300)
+        ),
+        // Self-extending instruction set.
+        "InstructionSet A extends A { }",
+        // Unterminated everything.
+        "InstructionSet A { instructions { i { encoding: 7'd0",
+        // Stray NUL-adjacent control characters.
+        "InstructionSet \u{1} A {}",
+    ];
+    let mut panicked = Vec::new();
+    for (i, src) in cases.iter().enumerate() {
+        if panics(src, "A") {
+            panicked.push(i);
+        }
+    }
+    std::panic::set_hook(default_hook);
+    assert!(panicked.is_empty(), "adversarial case(s) {panicked:?} panicked");
+}

@@ -1,0 +1,27 @@
+//! Strategies for `Option` values.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Some` with a fixed probability.
+pub struct WeightedOption<S> {
+    probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for WeightedOption<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.probability {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Generates `Some(value)` with probability `probability`, `None`
+/// otherwise.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> WeightedOption<S> {
+    WeightedOption { probability, inner }
+}

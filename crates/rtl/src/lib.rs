@@ -17,9 +17,11 @@
 
 pub mod build;
 pub mod interp;
+pub mod lint;
 pub mod netlist;
 pub mod verilog;
 
 pub use build::{build_graph_module, BuiltModule, IfaceSignal, PortBinding};
 pub use interp::Simulator;
+pub use lint::{lint_module, LintIssue};
 pub use netlist::{CombOp, Driver, Module, Net, NetId, Port, PortDir};

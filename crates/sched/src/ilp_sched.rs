@@ -17,17 +17,37 @@
 use crate::chain::compute_chain_breakers;
 use crate::problem::{LongnailProblem, Schedule, ScheduleError};
 use crate::stic::compute_stic;
-use ilp::{Model, Sense, SolveError};
+use ilp::{Budget, Model, Sense, SolveError, WorkKind};
 
-/// Schedules `problem` with the Figure 7 ILP, including chain-breaker
-/// computation and STIC back-annotation. Verifies the solution against all
-/// constraint levels before returning it.
+/// Schedules `problem` with the Figure 7 ILP under a fresh default
+/// [`Budget`]. See [`schedule_ilp_with_budget`].
 ///
 /// # Errors
 ///
 /// Returns [`ScheduleError::InvalidProblem`] for malformed inputs and
 /// [`ScheduleError::Infeasible`] when the interface windows cannot be met.
 pub fn schedule_ilp(problem: &mut LongnailProblem) -> Result<Schedule, ScheduleError> {
+    schedule_ilp_with_budget(problem, &Budget::default())
+}
+
+/// Schedules `problem` with the Figure 7 ILP, including chain-breaker
+/// computation and STIC back-annotation. Verifies the solution against all
+/// constraint levels before returning it.
+///
+/// All solver work — simplex pivots, branch-and-bound nodes, and one
+/// [`WorkKind::Round`] per lazy-constraint repair round — is charged
+/// against `budget`, so a single budget bounds the whole scheduling
+/// attempt deterministically.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InvalidProblem`] for malformed inputs,
+/// [`ScheduleError::Infeasible`] when the interface windows cannot be met,
+/// and [`ScheduleError::Exhausted`] when the budget runs out first.
+pub fn schedule_ilp_with_budget(
+    problem: &mut LongnailProblem,
+    budget: &Budget,
+) -> Result<Schedule, ScheduleError> {
     problem.check()?;
     compute_chain_breakers(problem)?;
     // Lazy-constraint loop: solve, and if the solution violates the
@@ -35,7 +55,10 @@ pub fn schedule_ilp(problem: &mut LongnailProblem) -> Result<Schedule, ScheduleE
     // on the offending edges and re-solve. Each round adds at least one
     // new breaker edge, so this terminates.
     for _ in 0..problem.dependences.len() + 1 {
-        let schedule = solve_once(problem)?;
+        budget
+            .charge(WorkKind::Round)
+            .map_err(ScheduleError::Exhausted)?;
+        let schedule = solve_once(problem, budget)?;
         let extra = crate::chain::repair_breakers(problem, &schedule);
         if extra.is_empty() {
             problem.verify(&schedule)?;
@@ -48,7 +71,7 @@ pub fn schedule_ilp(problem: &mut LongnailProblem) -> Result<Schedule, ScheduleE
     ))
 }
 
-fn solve_once(problem: &mut LongnailProblem) -> Result<Schedule, ScheduleError> {
+fn solve_once(problem: &mut LongnailProblem, budget: &Budget) -> Result<Schedule, ScheduleError> {
     let mut model = Model::new(Sense::Minimize);
 
     // Because every latency is non-negative, C1 forces t_j >= t_i on every
@@ -94,13 +117,14 @@ fn solve_once(problem: &mut LongnailProblem) -> Result<Schedule, ScheduleError> 
         model.constraint_le(&[(t[d.from.0], 1), (t[d.to.0], -1)], -(latency + 1));
     }
 
-    let solution = model.solve().map_err(|e| match e {
+    let solution = model.solve_with_budget(budget).map_err(|e| match e {
         SolveError::Infeasible => ScheduleError::Infeasible(
             "no schedule satisfies the interface windows and precedence constraints".into(),
         ),
         SolveError::Unbounded => {
             ScheduleError::InvalidProblem("scheduling objective is unbounded".into())
         }
+        SolveError::Exhausted(e) => ScheduleError::Exhausted(e),
     })?;
 
     let start_time: Vec<u32> = t.iter().map(|&v| solution.value(v) as u32).collect();

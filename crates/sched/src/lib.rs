@@ -12,6 +12,9 @@
 //!   `ilp` crate,
 //! * [`list_sched`] — a fast ASAP list scheduler used as a baseline and for
 //!   ablation benchmarks,
+//! * [`resilient`] — the budgeted facade over both schedulers: exact ILP
+//!   under a deterministic work [`Budget`], degrading to the verified ASAP
+//!   fallback instead of failing,
 //! * [`stic`] — start-time-in-cycle propagation (the `ChainingProblem`
 //!   property computed after scheduling).
 
@@ -19,10 +22,13 @@ pub mod chain;
 pub mod ilp_sched;
 pub mod list_sched;
 pub mod problem;
+pub mod resilient;
 pub mod stic;
 
-pub use ilp_sched::schedule_ilp;
+pub use ilp::Budget;
+pub use ilp_sched::{schedule_ilp, schedule_ilp_with_budget};
 pub use list_sched::schedule_asap;
+pub use resilient::{schedule_resilient, Degradation, DegradationReason, SchedOutcome};
 pub use problem::{
     Dependence, LongnailProblem, Operation, OperationId, OperatorType, OperatorTypeId, Schedule,
     ScheduleError,

@@ -135,6 +135,11 @@ pub enum ScheduleError {
     Infeasible(String),
     /// A computed solution violates a constraint.
     Violation(String),
+    /// The solver work budget ran out before a schedule was found. The
+    /// problem may still be feasible; see
+    /// [`resilient::schedule_resilient`](crate::resilient::schedule_resilient)
+    /// for the degradation path.
+    Exhausted(ilp::Exhausted),
 }
 
 impl fmt::Display for ScheduleError {
@@ -143,6 +148,7 @@ impl fmt::Display for ScheduleError {
             ScheduleError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
             ScheduleError::Infeasible(m) => write!(f, "infeasible: {m}"),
             ScheduleError::Violation(m) => write!(f, "constraint violated: {m}"),
+            ScheduleError::Exhausted(e) => e.fmt(f),
         }
     }
 }

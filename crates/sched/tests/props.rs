@@ -150,3 +150,66 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Resilience: an arbitrarily tiny work budget never panics. The
+    /// outcome either verifies against every Table 2 constraint level
+    /// (exact or degraded), or the problem is genuinely infeasible — in
+    /// which case the ASAP fallback on a fresh copy fails too.
+    #[test]
+    fn tiny_budget_never_panics_and_fallback_verifies(
+        rp in random_problem(),
+        limit in 0u64..300,
+    ) {
+        let mut p = build(&rp);
+        match sched::schedule_resilient(&mut p, &sched::Budget::new(limit)) {
+            Ok(out) => {
+                p.verify(&out.schedule).unwrap();
+                if let Some(d) = &out.degradation {
+                    prop_assert!(d.work_used <= d.work_limit);
+                }
+            }
+            Err(_) => {
+                let mut fresh = build(&rp);
+                let fallback = schedule_asap(&mut fresh)
+                    .and_then(|s| fresh.verify(&s).map(|_| s));
+                prop_assert!(
+                    fallback.is_err(),
+                    "resilient errored on a problem the fallback solves"
+                );
+            }
+        }
+    }
+
+    /// No happy-path change: with the default budget the resilient facade
+    /// takes the exact path and returns the identical schedule to the
+    /// plain ILP entry point.
+    #[test]
+    fn default_budget_matches_exact_schedule(rp in random_problem()) {
+        let mut p_exact = build(&rp);
+        let mut p_res = build(&rp);
+        let exact = schedule_ilp(&mut p_exact);
+        let resilient = sched::schedule_resilient(&mut p_res, &sched::Budget::default());
+        match (exact, resilient) {
+            (Ok(a), Ok(out)) => {
+                prop_assert!(out.is_exact());
+                prop_assert_eq!(&a.start_time, &out.schedule.start_time);
+                prop_assert_eq!(
+                    &a.start_time_in_cycle,
+                    &out.schedule.start_time_in_cycle
+                );
+            }
+            // The ILP can be infeasible (breaker over-constraint) where the
+            // fallback still finds a valid schedule; that is a degradation.
+            (Err(_), Ok(out)) => prop_assert!(!out.is_exact()),
+            (Ok(_), Err(e)) => prop_assert!(
+                false,
+                "resilient failed where exact succeeded: {}",
+                e
+            ),
+            (Err(_), Err(_)) => {}
+        }
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scheduler-df417d03bfd3d812.d: crates/bench/benches/ablation_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scheduler-df417d03bfd3d812.rmeta: crates/bench/benches/ablation_scheduler.rs Cargo.toml
+
+crates/bench/benches/ablation_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

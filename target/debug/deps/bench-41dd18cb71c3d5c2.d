@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-41dd18cb71c3d5c2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-41dd18cb71c3d5c2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-41dd18cb71c3d5c2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

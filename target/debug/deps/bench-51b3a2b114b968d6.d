@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-51b3a2b114b968d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-51b3a2b114b968d6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

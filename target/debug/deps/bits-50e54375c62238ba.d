@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bits-50e54375c62238ba.d: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbits-50e54375c62238ba.rmeta: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs Cargo.toml
+
+crates/bits/src/lib.rs:
+crates/bits/src/apint.rs:
+crates/bits/src/convert.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

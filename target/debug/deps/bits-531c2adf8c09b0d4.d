@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bits-531c2adf8c09b0d4.d: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs crates/bits/src/tests.rs
+
+/root/repo/target/debug/deps/bits-531c2adf8c09b0d4: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs crates/bits/src/tests.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/apint.rs:
+crates/bits/src/convert.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/parse.rs:
+crates/bits/src/tests.rs:

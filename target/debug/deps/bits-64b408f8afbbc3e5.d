@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bits-64b408f8afbbc3e5.d: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs crates/bits/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbits-64b408f8afbbc3e5.rmeta: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs crates/bits/src/tests.rs Cargo.toml
+
+crates/bits/src/lib.rs:
+crates/bits/src/apint.rs:
+crates/bits/src/convert.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/parse.rs:
+crates/bits/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bits-d3668329efd7ab71.d: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+/root/repo/target/debug/deps/libbits-d3668329efd7ab71.rlib: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+/root/repo/target/debug/deps/libbits-d3668329efd7ab71.rmeta: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/apint.rs:
+crates/bits/src/convert.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/parse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coredsl-8faef11d6ff1b2d4.d: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+/root/repo/target/debug/deps/coredsl-8faef11d6ff1b2d4: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+crates/coredsl/src/lib.rs:
+crates/coredsl/src/ast.rs:
+crates/coredsl/src/elab.rs:
+crates/coredsl/src/error.rs:
+crates/coredsl/src/lexer.rs:
+crates/coredsl/src/parser.rs:
+crates/coredsl/src/prelude_src.rs:
+crates/coredsl/src/sema.rs:
+crates/coredsl/src/tast.rs:
+crates/coredsl/src/token.rs:
+crates/coredsl/src/types.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/coredsl-d101ab46972048da.d: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoredsl-d101ab46972048da.rmeta: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs Cargo.toml
+
+crates/coredsl/src/lib.rs:
+crates/coredsl/src/ast.rs:
+crates/coredsl/src/elab.rs:
+crates/coredsl/src/error.rs:
+crates/coredsl/src/lexer.rs:
+crates/coredsl/src/parser.rs:
+crates/coredsl/src/prelude_src.rs:
+crates/coredsl/src/sema.rs:
+crates/coredsl/src/tast.rs:
+crates/coredsl/src/token.rs:
+crates/coredsl/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coredsl-ff3a6bd1cbfae3f2.d: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+/root/repo/target/debug/deps/libcoredsl-ff3a6bd1cbfae3f2.rlib: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+/root/repo/target/debug/deps/libcoredsl-ff3a6bd1cbfae3f2.rmeta: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+crates/coredsl/src/lib.rs:
+crates/coredsl/src/ast.rs:
+crates/coredsl/src/elab.rs:
+crates/coredsl/src/error.rs:
+crates/coredsl/src/lexer.rs:
+crates/coredsl/src/parser.rs:
+crates/coredsl/src/prelude_src.rs:
+crates/coredsl/src/sema.rs:
+crates/coredsl/src/tast.rs:
+crates/coredsl/src/token.rs:
+crates/coredsl/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cores-1905ae55f1dab453.d: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+/root/repo/target/debug/deps/libcores-1905ae55f1dab453.rlib: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+/root/repo/target/debug/deps/libcores-1905ae55f1dab453.rmeta: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+crates/cores/src/lib.rs:
+crates/cores/src/descriptor.rs:
+crates/cores/src/exec.rs:

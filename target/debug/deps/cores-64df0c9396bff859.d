@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cores-64df0c9396bff859.d: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+/root/repo/target/debug/deps/cores-64df0c9396bff859: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+crates/cores/src/lib.rs:
+crates/cores/src/descriptor.rs:
+crates/cores/src/exec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cores-ecdc1693a8cdedf6.d: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcores-ecdc1693a8cdedf6.rmeta: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs Cargo.toml
+
+crates/cores/src/lib.rs:
+crates/cores/src/descriptor.rs:
+crates/cores/src/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degradation-78ea124854203203.d: crates/longnail/tests/degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegradation-78ea124854203203.rmeta: crates/longnail/tests/degradation.rs Cargo.toml
+
+crates/longnail/tests/degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-7f5de3790bffc988.d: crates/longnail/tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-7f5de3790bffc988: crates/longnail/tests/degradation.rs
+
+crates/longnail/tests/degradation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_fuzz-6b36c3f0c01e598c.d: tests/differential_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_fuzz-6b36c3f0c01e598c.rmeta: tests/differential_fuzz.rs Cargo.toml
+
+tests/differential_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

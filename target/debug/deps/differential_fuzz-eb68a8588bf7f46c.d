@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_fuzz-eb68a8588bf7f46c.d: tests/differential_fuzz.rs
+
+/root/repo/target/debug/deps/differential_fuzz-eb68a8588bf7f46c: tests/differential_fuzz.rs
+
+tests/differential_fuzz.rs:

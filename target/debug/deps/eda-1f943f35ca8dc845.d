@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eda-1f943f35ca8dc845.d: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeda-1f943f35ca8dc845.rmeta: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs Cargo.toml
+
+crates/eda/src/lib.rs:
+crates/eda/src/area.rs:
+crates/eda/src/report.rs:
+crates/eda/src/tech.rs:
+crates/eda/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eda-ce2f81245898b30c.d: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeda-ce2f81245898b30c.rmeta: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs Cargo.toml
+
+crates/eda/src/lib.rs:
+crates/eda/src/area.rs:
+crates/eda/src/report.rs:
+crates/eda/src/tech.rs:
+crates/eda/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

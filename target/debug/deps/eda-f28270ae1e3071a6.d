@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eda-f28270ae1e3071a6.d: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+/root/repo/target/debug/deps/libeda-f28270ae1e3071a6.rlib: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+/root/repo/target/debug/deps/libeda-f28270ae1e3071a6.rmeta: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+crates/eda/src/lib.rs:
+crates/eda/src/area.rs:
+crates/eda/src/report.rs:
+crates/eda/src/tech.rs:
+crates/eda/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eda-fb5239b003b745aa.d: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+/root/repo/target/debug/deps/eda-fb5239b003b745aa: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+crates/eda/src/lib.rs:
+crates/eda/src/area.rs:
+crates/eda/src/report.rs:
+crates/eda/src/tech.rs:
+crates/eda/src/timing.rs:

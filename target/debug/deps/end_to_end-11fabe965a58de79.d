@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-11fabe965a58de79.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-11fabe965a58de79: tests/end_to_end.rs
+
+tests/end_to_end.rs:

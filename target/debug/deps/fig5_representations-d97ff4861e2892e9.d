@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_representations-d97ff4861e2892e9.d: crates/bench/benches/fig5_representations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_representations-d97ff4861e2892e9.rmeta: crates/bench/benches/fig5_representations.rs Cargo.toml
+
+crates/bench/benches/fig5_representations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_schedule-a55825c1a7968df6.d: crates/bench/benches/fig6_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_schedule-a55825c1a7968df6.rmeta: crates/bench/benches/fig6_schedule.rs Cargo.toml
+
+crates/bench/benches/fig6_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

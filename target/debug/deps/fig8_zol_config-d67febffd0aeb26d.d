@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_zol_config-d67febffd0aeb26d.d: crates/bench/benches/fig8_zol_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_zol_config-d67febffd0aeb26d.rmeta: crates/bench/benches/fig8_zol_config.rs Cargo.toml
+
+crates/bench/benches/fig8_zol_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_datasheet-5ef2d9a97de002e0.d: crates/bench/benches/fig9_datasheet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_datasheet-5ef2d9a97de002e0.rmeta: crates/bench/benches/fig9_datasheet.rs Cargo.toml
+
+crates/bench/benches/fig9_datasheet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

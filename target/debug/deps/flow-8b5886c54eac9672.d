@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow-8b5886c54eac9672.d: crates/longnail/tests/flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow-8b5886c54eac9672.rmeta: crates/longnail/tests/flow.rs Cargo.toml
+
+crates/longnail/tests/flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

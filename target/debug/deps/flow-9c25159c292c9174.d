@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow-9c25159c292c9174.d: crates/longnail/tests/flow.rs
+
+/root/repo/target/debug/deps/flow-9c25159c292c9174: crates/longnail/tests/flow.rs
+
+crates/longnail/tests/flow.rs:

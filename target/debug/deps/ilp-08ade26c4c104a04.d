@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ilp-08ade26c4c104a04.d: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/ilp-08ade26c4c104a04: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch_bound.rs:
+crates/ilp/src/budget.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:

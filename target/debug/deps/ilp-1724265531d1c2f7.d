@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ilp-1724265531d1c2f7.d: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libilp-1724265531d1c2f7.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libilp-1724265531d1c2f7.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch_bound.rs:
+crates/ilp/src/budget.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ilp-89d1c9eabb417d7a.d: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libilp-89d1c9eabb417d7a.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs Cargo.toml
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch_bound.rs:
+crates/ilp/src/budget.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

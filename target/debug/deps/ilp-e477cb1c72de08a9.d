@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ilp-e477cb1c72de08a9.d: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libilp-e477cb1c72de08a9.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs Cargo.toml
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch_bound.rs:
+crates/ilp/src/budget.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

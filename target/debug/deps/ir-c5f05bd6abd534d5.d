@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ir-c5f05bd6abd534d5.d: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libir-c5f05bd6abd534d5.rlib: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libir-c5f05bd6abd534d5.rmeta: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/hirprint.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lil.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ir-cd2047abfe8ad9de.d: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/ir-cd2047abfe8ad9de: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/hirprint.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lil.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ir-df6d02e0e95a2ba8.d: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir-df6d02e0e95a2ba8.rmeta: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/hirprint.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lil.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-a66d0f0bc46742ff.d: crates/coredsl/tests/language.rs
+
+/root/repo/target/debug/deps/language-a66d0f0bc46742ff: crates/coredsl/tests/language.rs
+
+crates/coredsl/tests/language.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-ee882c00ffc2a1ab.d: crates/coredsl/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-ee882c00ffc2a1ab.rmeta: crates/coredsl/tests/language.rs Cargo.toml
+
+crates/coredsl/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

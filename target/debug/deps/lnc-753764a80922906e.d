@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lnc-753764a80922906e.d: crates/longnail/src/bin/lnc.rs
+
+/root/repo/target/debug/deps/lnc-753764a80922906e: crates/longnail/src/bin/lnc.rs
+
+crates/longnail/src/bin/lnc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lnc-ab0625a5bbd49af3.d: crates/longnail/src/bin/lnc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblnc-ab0625a5bbd49af3.rmeta: crates/longnail/src/bin/lnc.rs Cargo.toml
+
+crates/longnail/src/bin/lnc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lnc-e8791cd3b7e1f301.d: crates/longnail/src/bin/lnc.rs
+
+/root/repo/target/debug/deps/lnc-e8791cd3b7e1f301: crates/longnail/src/bin/lnc.rs
+
+crates/longnail/src/bin/lnc.rs:

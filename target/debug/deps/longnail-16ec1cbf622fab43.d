@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/longnail-16ec1cbf622fab43.d: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblongnail-16ec1cbf622fab43.rmeta: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs Cargo.toml
+
+crates/longnail/src/lib.rs:
+crates/longnail/src/diag.rs:
+crates/longnail/src/driver.rs:
+crates/longnail/src/golden.rs:
+crates/longnail/src/isax_lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

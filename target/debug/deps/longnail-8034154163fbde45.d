@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/longnail-8034154163fbde45.d: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+/root/repo/target/debug/deps/longnail-8034154163fbde45: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+crates/longnail/src/lib.rs:
+crates/longnail/src/diag.rs:
+crates/longnail/src/driver.rs:
+crates/longnail/src/golden.rs:
+crates/longnail/src/isax_lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/longnail-c9ed6da6c4f844a3.d: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+/root/repo/target/debug/deps/liblongnail-c9ed6da6c4f844a3.rlib: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+/root/repo/target/debug/deps/liblongnail-c9ed6da6c4f844a3.rmeta: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+crates/longnail/src/lib.rs:
+crates/longnail/src/diag.rs:
+crates/longnail/src/driver.rs:
+crates/longnail/src/golden.rs:
+crates/longnail/src/isax_lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/longnail_suite-664b5aad462f795f.d: src/suite.rs
+
+/root/repo/target/debug/deps/longnail_suite-664b5aad462f795f: src/suite.rs
+
+src/suite.rs:

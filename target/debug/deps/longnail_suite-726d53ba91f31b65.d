@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/longnail_suite-726d53ba91f31b65.d: src/suite.rs
+
+/root/repo/target/debug/deps/liblongnail_suite-726d53ba91f31b65.rlib: src/suite.rs
+
+/root/repo/target/debug/deps/liblongnail_suite-726d53ba91f31b65.rmeta: src/suite.rs
+
+src/suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/longnail_suite-cce20c5df3656e09.d: src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblongnail_suite-cce20c5df3656e09.rmeta: src/suite.rs Cargo.toml
+
+src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

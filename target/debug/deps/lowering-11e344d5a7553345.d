@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowering-11e344d5a7553345.d: crates/ir/tests/lowering.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowering-11e344d5a7553345.rmeta: crates/ir/tests/lowering.rs Cargo.toml
+
+crates/ir/tests/lowering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowering-f6e60162ea7b76d7.d: crates/ir/tests/lowering.rs
+
+/root/repo/target/debug/deps/lowering-f6e60162ea7b76d7: crates/ir/tests/lowering.rs
+
+crates/ir/tests/lowering.rs:

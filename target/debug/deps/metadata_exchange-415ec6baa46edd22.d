@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metadata_exchange-415ec6baa46edd22.d: tests/metadata_exchange.rs
+
+/root/repo/target/debug/deps/metadata_exchange-415ec6baa46edd22: tests/metadata_exchange.rs
+
+tests/metadata_exchange.rs:

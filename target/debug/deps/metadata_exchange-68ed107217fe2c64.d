@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metadata_exchange-68ed107217fe2c64.d: tests/metadata_exchange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetadata_exchange-68ed107217fe2c64.rmeta: tests/metadata_exchange.rs Cargo.toml
+
+tests/metadata_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

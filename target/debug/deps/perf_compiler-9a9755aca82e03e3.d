@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_compiler-9a9755aca82e03e3.d: crates/bench/benches/perf_compiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_compiler-9a9755aca82e03e3.rmeta: crates/bench/benches/perf_compiler.rs Cargo.toml
+
+crates/bench/benches/perf_compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

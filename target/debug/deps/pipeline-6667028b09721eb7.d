@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-6667028b09721eb7.d: crates/rtl/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-6667028b09721eb7.rmeta: crates/rtl/tests/pipeline.rs Cargo.toml
+
+crates/rtl/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-d6d78a19e4216325.d: crates/rtl/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-d6d78a19e4216325: crates/rtl/tests/pipeline.rs
+
+crates/rtl/tests/pipeline.rs:

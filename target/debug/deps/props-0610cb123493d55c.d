@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0610cb123493d55c.d: crates/sched/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0610cb123493d55c.rmeta: crates/sched/tests/props.rs Cargo.toml
+
+crates/sched/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-5af1bd4f6fd36859.d: crates/ilp/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-5af1bd4f6fd36859.rmeta: crates/ilp/tests/props.rs Cargo.toml
+
+crates/ilp/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6b847749af3d1e0f.d: crates/sched/tests/props.rs
+
+/root/repo/target/debug/deps/props-6b847749af3d1e0f: crates/sched/tests/props.rs
+
+crates/sched/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-79ec0ef77b98c9a6.d: crates/ilp/tests/props.rs
+
+/root/repo/target/debug/deps/props-79ec0ef77b98c9a6: crates/ilp/tests/props.rs
+
+crates/ilp/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-ba94adf7baf15536.d: crates/bits/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-ba94adf7baf15536.rmeta: crates/bits/tests/props.rs Cargo.toml
+
+crates/bits/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

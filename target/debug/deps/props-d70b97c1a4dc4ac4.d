@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d70b97c1a4dc4ac4.d: crates/bits/tests/props.rs
+
+/root/repo/target/debug/deps/props-d70b97c1a4dc4ac4: crates/bits/tests/props.rs
+
+crates/bits/tests/props.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-23fb2332ecd793b0.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-23fb2332ecd793b0.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/option.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

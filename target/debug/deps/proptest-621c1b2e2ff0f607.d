@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-621c1b2e2ff0f607.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs
+
+/root/repo/target/debug/deps/libproptest-621c1b2e2ff0f607.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs
+
+/root/repo/target/debug/deps/libproptest-621c1b2e2ff0f607.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/option.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs
+
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/option.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/option.rs:

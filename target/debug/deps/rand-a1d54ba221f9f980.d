@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a1d54ba221f9f980.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a1d54ba221f9f980.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/riscv-0a3154a4aea64ed2.d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriscv-0a3154a4aea64ed2.rmeta: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs Cargo.toml
+
+crates/riscv/src/lib.rs:
+crates/riscv/src/asm.rs:
+crates/riscv/src/decode.rs:
+crates/riscv/src/encode.rs:
+crates/riscv/src/iss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

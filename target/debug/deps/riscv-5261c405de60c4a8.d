@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/riscv-5261c405de60c4a8.d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+/root/repo/target/debug/deps/libriscv-5261c405de60c4a8.rlib: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+/root/repo/target/debug/deps/libriscv-5261c405de60c4a8.rmeta: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+crates/riscv/src/lib.rs:
+crates/riscv/src/asm.rs:
+crates/riscv/src/decode.rs:
+crates/riscv/src/encode.rs:
+crates/riscv/src/iss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riscv-c0e60899944fcf3d.d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+/root/repo/target/debug/deps/riscv-c0e60899944fcf3d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+crates/riscv/src/lib.rs:
+crates/riscv/src/asm.rs:
+crates/riscv/src/decode.rs:
+crates/riscv/src/encode.rs:
+crates/riscv/src/iss.rs:

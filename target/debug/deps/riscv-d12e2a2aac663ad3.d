@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/riscv-d12e2a2aac663ad3.d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriscv-d12e2a2aac663ad3.rmeta: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs Cargo.toml
+
+crates/riscv/src/lib.rs:
+crates/riscv/src/asm.rs:
+crates/riscv/src/decode.rs:
+crates/riscv/src/encode.rs:
+crates/riscv/src/iss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

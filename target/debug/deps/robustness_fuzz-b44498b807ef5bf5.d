@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_fuzz-b44498b807ef5bf5.d: crates/longnail/tests/robustness_fuzz.rs
+
+/root/repo/target/debug/deps/robustness_fuzz-b44498b807ef5bf5: crates/longnail/tests/robustness_fuzz.rs
+
+crates/longnail/tests/robustness_fuzz.rs:

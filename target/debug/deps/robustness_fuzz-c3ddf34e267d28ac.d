@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_fuzz-c3ddf34e267d28ac.d: crates/longnail/tests/robustness_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_fuzz-c3ddf34e267d28ac.rmeta: crates/longnail/tests/robustness_fuzz.rs Cargo.toml
+
+crates/longnail/tests/robustness_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

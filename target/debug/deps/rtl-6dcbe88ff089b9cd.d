@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rtl-6dcbe88ff089b9cd.d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtl-6dcbe88ff089b9cd.rmeta: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/build.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

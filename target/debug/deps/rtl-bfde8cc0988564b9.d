@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rtl-bfde8cc0988564b9.d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtl-bfde8cc0988564b9.rmeta: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/build.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rtl-f1c669a7cf5b5e7d.d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/rtl-f1c669a7cf5b5e7d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/build.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

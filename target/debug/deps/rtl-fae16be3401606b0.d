@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rtl-fae16be3401606b0.d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/librtl-fae16be3401606b0.rlib: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/librtl-fae16be3401606b0.rmeta: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/build.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

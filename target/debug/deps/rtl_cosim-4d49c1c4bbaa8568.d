@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtl_cosim-4d49c1c4bbaa8568.d: tests/rtl_cosim.rs
+
+/root/repo/target/debug/deps/rtl_cosim-4d49c1c4bbaa8568: tests/rtl_cosim.rs
+
+tests/rtl_cosim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtl_cosim-c65c0527d6dbfced.d: tests/rtl_cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtl_cosim-c65c0527d6dbfced.rmeta: tests/rtl_cosim.rs Cargo.toml
+
+tests/rtl_cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/scaiev-884afa02a49f82b5.d: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaiev-884afa02a49f82b5.rmeta: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs Cargo.toml
+
+crates/scaiev/src/lib.rs:
+crates/scaiev/src/arbiter.rs:
+crates/scaiev/src/config.rs:
+crates/scaiev/src/datasheet.rs:
+crates/scaiev/src/hazard.rs:
+crates/scaiev/src/integrate.rs:
+crates/scaiev/src/modes.rs:
+crates/scaiev/src/iface.rs:
+crates/scaiev/src/yaml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/scaiev-9901c55ce95eab66.d: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+/root/repo/target/debug/deps/libscaiev-9901c55ce95eab66.rlib: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+/root/repo/target/debug/deps/libscaiev-9901c55ce95eab66.rmeta: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+crates/scaiev/src/lib.rs:
+crates/scaiev/src/arbiter.rs:
+crates/scaiev/src/config.rs:
+crates/scaiev/src/datasheet.rs:
+crates/scaiev/src/hazard.rs:
+crates/scaiev/src/integrate.rs:
+crates/scaiev/src/modes.rs:
+crates/scaiev/src/iface.rs:
+crates/scaiev/src/yaml.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scaiev-ad3c000780bc4bd8.d: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+/root/repo/target/debug/deps/scaiev-ad3c000780bc4bd8: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+crates/scaiev/src/lib.rs:
+crates/scaiev/src/arbiter.rs:
+crates/scaiev/src/config.rs:
+crates/scaiev/src/datasheet.rs:
+crates/scaiev/src/hazard.rs:
+crates/scaiev/src/integrate.rs:
+crates/scaiev/src/modes.rs:
+crates/scaiev/src/iface.rs:
+crates/scaiev/src/yaml.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sched-61096e1574e74ba5.d: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+/root/repo/target/debug/deps/sched-61096e1574e74ba5: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/ilp_sched.rs:
+crates/sched/src/list_sched.rs:
+crates/sched/src/problem.rs:
+crates/sched/src/resilient.rs:
+crates/sched/src/stic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sched-acf627c8e0bf70ff.d: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-acf627c8e0bf70ff.rmeta: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/ilp_sched.rs:
+crates/sched/src/list_sched.rs:
+crates/sched/src/problem.rs:
+crates/sched/src/resilient.rs:
+crates/sched/src/stic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sched-feb305992f63909b.d: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+/root/repo/target/debug/deps/libsched-feb305992f63909b.rlib: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+/root/repo/target/debug/deps/libsched-feb305992f63909b.rmeta: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/ilp_sched.rs:
+crates/sched/src/list_sched.rs:
+crates/sched/src/problem.rs:
+crates/sched/src/resilient.rs:
+crates/sched/src/stic.rs:

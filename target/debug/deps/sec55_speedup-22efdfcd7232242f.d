@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec55_speedup-22efdfcd7232242f.d: crates/bench/benches/sec55_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec55_speedup-22efdfcd7232242f.rmeta: crates/bench/benches/sec55_speedup.rs Cargo.toml
+
+crates/bench/benches/sec55_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

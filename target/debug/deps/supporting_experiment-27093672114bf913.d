@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/supporting_experiment-27093672114bf913.d: crates/bench/benches/supporting_experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsupporting_experiment-27093672114bf913.rmeta: crates/bench/benches/supporting_experiment.rs Cargo.toml
+
+crates/bench/benches/supporting_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

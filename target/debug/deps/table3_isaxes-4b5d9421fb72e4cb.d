@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_isaxes-4b5d9421fb72e4cb.d: crates/bench/benches/table3_isaxes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_isaxes-4b5d9421fb72e4cb.rmeta: crates/bench/benches/table3_isaxes.rs Cargo.toml
+
+crates/bench/benches/table3_isaxes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

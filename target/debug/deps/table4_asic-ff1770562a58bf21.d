@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_asic-ff1770562a58bf21.d: crates/bench/benches/table4_asic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_asic-ff1770562a58bf21.rmeta: crates/bench/benches/table4_asic.rs Cargo.toml
+
+crates/bench/benches/table4_asic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

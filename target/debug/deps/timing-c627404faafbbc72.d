@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-c627404faafbbc72.d: crates/cores/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-c627404faafbbc72: crates/cores/tests/timing.rs
+
+crates/cores/tests/timing.rs:

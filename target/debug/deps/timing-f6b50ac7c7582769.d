@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-f6b50ac7c7582769.d: crates/cores/tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-f6b50ac7c7582769.rmeta: crates/cores/tests/timing.rs Cargo.toml
+
+crates/cores/tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

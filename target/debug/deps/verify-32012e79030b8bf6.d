@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-32012e79030b8bf6.d: crates/cores/tests/verify.rs
+
+/root/repo/target/debug/deps/verify-32012e79030b8bf6: crates/cores/tests/verify.rs
+
+crates/cores/tests/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-a522a89b6d82726b.d: crates/cores/tests/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-a522a89b6d82726b.rmeta: crates/cores/tests/verify.rs Cargo.toml
+
+crates/cores/tests/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_isax-b1442be4d61086d1.d: examples/custom_isax.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_isax-b1442be4d61086d1.rmeta: examples/custom_isax.rs Cargo.toml
+
+examples/custom_isax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

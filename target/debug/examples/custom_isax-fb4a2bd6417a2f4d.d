@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_isax-fb4a2bd6417a2f4d.d: examples/custom_isax.rs
+
+/root/repo/target/debug/examples/custom_isax-fb4a2bd6417a2f4d: examples/custom_isax.rs
+
+examples/custom_isax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explore_cores-142ec205a237d18e.d: examples/explore_cores.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplore_cores-142ec205a237d18e.rmeta: examples/explore_cores.rs Cargo.toml
+
+examples/explore_cores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

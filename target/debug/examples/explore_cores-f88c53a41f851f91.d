@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explore_cores-f88c53a41f851f91.d: examples/explore_cores.rs
+
+/root/repo/target/debug/examples/explore_cores-f88c53a41f851f91: examples/explore_cores.rs
+
+examples/explore_cores.rs:

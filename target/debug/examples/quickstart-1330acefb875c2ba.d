@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1330acefb875c2ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1330acefb875c2ba: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zol_array_sum-78f7ae61413aee2f.d: examples/zol_array_sum.rs
+
+/root/repo/target/debug/examples/zol_array_sum-78f7ae61413aee2f: examples/zol_array_sum.rs
+
+examples/zol_array_sum.rs:

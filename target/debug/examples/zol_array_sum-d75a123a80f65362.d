@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zol_array_sum-d75a123a80f65362.d: examples/zol_array_sum.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzol_array_sum-d75a123a80f65362.rmeta: examples/zol_array_sum.rs Cargo.toml
+
+examples/zol_array_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

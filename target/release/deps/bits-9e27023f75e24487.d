@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bits-9e27023f75e24487.d: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+/root/repo/target/release/deps/libbits-9e27023f75e24487.rlib: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+/root/repo/target/release/deps/libbits-9e27023f75e24487.rmeta: crates/bits/src/lib.rs crates/bits/src/apint.rs crates/bits/src/convert.rs crates/bits/src/ops.rs crates/bits/src/parse.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/apint.rs:
+crates/bits/src/convert.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/parse.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/coredsl-413b44751731a262.d: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+/root/repo/target/release/deps/libcoredsl-413b44751731a262.rlib: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+/root/repo/target/release/deps/libcoredsl-413b44751731a262.rmeta: crates/coredsl/src/lib.rs crates/coredsl/src/ast.rs crates/coredsl/src/elab.rs crates/coredsl/src/error.rs crates/coredsl/src/lexer.rs crates/coredsl/src/parser.rs crates/coredsl/src/prelude_src.rs crates/coredsl/src/sema.rs crates/coredsl/src/tast.rs crates/coredsl/src/token.rs crates/coredsl/src/types.rs
+
+crates/coredsl/src/lib.rs:
+crates/coredsl/src/ast.rs:
+crates/coredsl/src/elab.rs:
+crates/coredsl/src/error.rs:
+crates/coredsl/src/lexer.rs:
+crates/coredsl/src/parser.rs:
+crates/coredsl/src/prelude_src.rs:
+crates/coredsl/src/sema.rs:
+crates/coredsl/src/tast.rs:
+crates/coredsl/src/token.rs:
+crates/coredsl/src/types.rs:

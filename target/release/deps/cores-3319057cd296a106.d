@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cores-3319057cd296a106.d: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+/root/repo/target/release/deps/libcores-3319057cd296a106.rlib: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+/root/repo/target/release/deps/libcores-3319057cd296a106.rmeta: crates/cores/src/lib.rs crates/cores/src/descriptor.rs crates/cores/src/exec.rs
+
+crates/cores/src/lib.rs:
+crates/cores/src/descriptor.rs:
+crates/cores/src/exec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eda-fe0c709c82d0374d.d: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+/root/repo/target/release/deps/libeda-fe0c709c82d0374d.rlib: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+/root/repo/target/release/deps/libeda-fe0c709c82d0374d.rmeta: crates/eda/src/lib.rs crates/eda/src/area.rs crates/eda/src/report.rs crates/eda/src/tech.rs crates/eda/src/timing.rs
+
+crates/eda/src/lib.rs:
+crates/eda/src/area.rs:
+crates/eda/src/report.rs:
+crates/eda/src/tech.rs:
+crates/eda/src/timing.rs:

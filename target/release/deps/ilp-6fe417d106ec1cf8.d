@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ilp-6fe417d106ec1cf8.d: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libilp-6fe417d106ec1cf8.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libilp-6fe417d106ec1cf8.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch_bound.rs crates/ilp/src/budget.rs crates/ilp/src/model.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch_bound.rs:
+crates/ilp/src/budget.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:

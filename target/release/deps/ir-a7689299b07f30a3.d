@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ir-a7689299b07f30a3.d: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libir-a7689299b07f30a3.rlib: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libir-a7689299b07f30a3.rmeta: crates/ir/src/lib.rs crates/ir/src/eval.rs crates/ir/src/hirprint.rs crates/ir/src/interp.rs crates/ir/src/lil.rs crates/ir/src/lower.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/hirprint.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lil.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/verify.rs:

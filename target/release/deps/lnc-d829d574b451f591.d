@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lnc-d829d574b451f591.d: crates/longnail/src/bin/lnc.rs
+
+/root/repo/target/release/deps/lnc-d829d574b451f591: crates/longnail/src/bin/lnc.rs
+
+crates/longnail/src/bin/lnc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/longnail-0303bd6303dafc36.d: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+/root/repo/target/release/deps/liblongnail-0303bd6303dafc36.rlib: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+/root/repo/target/release/deps/liblongnail-0303bd6303dafc36.rmeta: crates/longnail/src/lib.rs crates/longnail/src/diag.rs crates/longnail/src/driver.rs crates/longnail/src/golden.rs crates/longnail/src/isax_lib.rs
+
+crates/longnail/src/lib.rs:
+crates/longnail/src/diag.rs:
+crates/longnail/src/driver.rs:
+crates/longnail/src/golden.rs:
+crates/longnail/src/isax_lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/longnail_suite-01f4460d46e69b3d.d: src/suite.rs
+
+/root/repo/target/release/deps/liblongnail_suite-01f4460d46e69b3d.rlib: src/suite.rs
+
+/root/repo/target/release/deps/liblongnail_suite-01f4460d46e69b3d.rmeta: src/suite.rs
+
+src/suite.rs:

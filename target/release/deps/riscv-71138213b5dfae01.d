@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/riscv-71138213b5dfae01.d: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+/root/repo/target/release/deps/libriscv-71138213b5dfae01.rlib: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+/root/repo/target/release/deps/libriscv-71138213b5dfae01.rmeta: crates/riscv/src/lib.rs crates/riscv/src/asm.rs crates/riscv/src/decode.rs crates/riscv/src/encode.rs crates/riscv/src/iss.rs
+
+crates/riscv/src/lib.rs:
+crates/riscv/src/asm.rs:
+crates/riscv/src/decode.rs:
+crates/riscv/src/encode.rs:
+crates/riscv/src/iss.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rtl-e5d4c76bf6496b82.d: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/librtl-e5d4c76bf6496b82.rlib: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/librtl-e5d4c76bf6496b82.rmeta: crates/rtl/src/lib.rs crates/rtl/src/build.rs crates/rtl/src/interp.rs crates/rtl/src/lint.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/build.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

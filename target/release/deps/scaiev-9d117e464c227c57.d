@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/scaiev-9d117e464c227c57.d: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+/root/repo/target/release/deps/libscaiev-9d117e464c227c57.rlib: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+/root/repo/target/release/deps/libscaiev-9d117e464c227c57.rmeta: crates/scaiev/src/lib.rs crates/scaiev/src/arbiter.rs crates/scaiev/src/config.rs crates/scaiev/src/datasheet.rs crates/scaiev/src/hazard.rs crates/scaiev/src/integrate.rs crates/scaiev/src/modes.rs crates/scaiev/src/iface.rs crates/scaiev/src/yaml.rs
+
+crates/scaiev/src/lib.rs:
+crates/scaiev/src/arbiter.rs:
+crates/scaiev/src/config.rs:
+crates/scaiev/src/datasheet.rs:
+crates/scaiev/src/hazard.rs:
+crates/scaiev/src/integrate.rs:
+crates/scaiev/src/modes.rs:
+crates/scaiev/src/iface.rs:
+crates/scaiev/src/yaml.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sched-30683b07078a3187.d: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+/root/repo/target/release/deps/libsched-30683b07078a3187.rlib: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+/root/repo/target/release/deps/libsched-30683b07078a3187.rmeta: crates/sched/src/lib.rs crates/sched/src/chain.rs crates/sched/src/ilp_sched.rs crates/sched/src/list_sched.rs crates/sched/src/problem.rs crates/sched/src/resilient.rs crates/sched/src/stic.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/ilp_sched.rs:
+crates/sched/src/list_sched.rs:
+crates/sched/src/problem.rs:
+crates/sched/src/resilient.rs:
+crates/sched/src/stic.rs:
