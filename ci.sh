@@ -7,17 +7,61 @@
 # crate dependencies (rand/proptest/criterion are local stubs in crates/).
 set -eu
 
+echo "== guard: no build artifacts tracked by git"
+if git ls-files | grep -q '^target/\|/target/'; then
+    echo "error: target/ paths are tracked by git:" >&2
+    git ls-files | grep '^target/\|/target/' | head >&2
+    exit 1
+fi
+
 echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt -p telemetry -- --check"
+    cargo fmt -p telemetry -- --check
+else
+    echo "== rustfmt not installed; skipping format step"
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+    echo "== cargo clippy -p telemetry --all-targets -- -D warnings"
+    cargo clippy -p telemetry --all-targets -- -D warnings
 else
     echo "== clippy not installed; skipping lint step"
 fi
+
+echo "== smoke: lnc --report on a builtin ISAX"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cat > "$smoke_dir/dotp.core_desc" <<'EOF'
+import "RV32I.core_desc";
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] *
+                            (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+      }
+    }
+  }
+}
+EOF
+cargo run -q --release -p longnail --bin lnc -- \
+    "$smoke_dir/dotp.core_desc" --core ORCA --unit X_DOTP \
+    --report --metrics-out "$smoke_dir/dotp.jsonl" | grep -q "compile report"
+grep -q '"ev":"span_start".*"name":"solve"' "$smoke_dir/dotp.jsonl"
 
 echo "== ci.sh: all checks passed"

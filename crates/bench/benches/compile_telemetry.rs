@@ -1,0 +1,108 @@
+//! Compile-time benchmark over the full evaluation matrix: every Table 3
+//! ISAX compiled for every evaluation core, reporting wall-clock time and
+//! the deterministic solver-work counters from the telemetry trace.
+//!
+//! Besides the per-pair console lines (via the in-tree criterion stub's
+//! timing loop), the run writes `BENCH_compile.json` — a machine-readable
+//! summary of wall time and solver pivot/node/round totals per ISAX × core
+//! — into the current directory. The file is gitignored; downstream
+//! tooling (EXPERIMENTS.md plots, regression tracking) consumes it.
+
+use criterion::black_box;
+use longnail::driver::{builtin_datasheet, EVAL_CORES};
+use longnail::{isax_lib, Longnail};
+use std::fmt::Write as _;
+use std::time::Instant;
+use telemetry::metrics;
+
+/// Samples per ISAX × core pair; the median is reported.
+const SAMPLES: usize = 3;
+
+struct Row {
+    isax: String,
+    core: &'static str,
+    wall_ns: u128,
+    pivots: u64,
+    nodes: u64,
+    rounds: u64,
+    fallbacks: u64,
+}
+
+fn main() {
+    let isaxes = isax_lib::all_isaxes();
+    let mut rows: Vec<Row> = Vec::with_capacity(isaxes.len() * EVAL_CORES.len());
+    for (name, unit, src) in &isaxes {
+        for core in EVAL_CORES {
+            let ds = builtin_datasheet(core).expect("evaluation core datasheet");
+            let ln = Longnail::new();
+            let mut samples: Vec<u128> = Vec::with_capacity(SAMPLES);
+            let mut trace = None;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let compiled = ln
+                    .compile(black_box(src), unit, &ds)
+                    .expect("benchmark ISAX compiles");
+                samples.push(t0.elapsed().as_nanos());
+                trace = Some(compiled.trace);
+            }
+            samples.sort_unstable();
+            let wall_ns = samples[samples.len() / 2];
+            // Solver counters are deterministic: identical on every sample.
+            let trace = trace.expect("at least one sample ran");
+            let row = Row {
+                isax: name.clone(),
+                core,
+                wall_ns,
+                pivots: trace.counter_total(metrics::SOLVER_PIVOTS),
+                nodes: trace.counter_total(metrics::SOLVER_NODES),
+                rounds: trace.counter_total(metrics::SOLVER_ROUNDS),
+                fallbacks: trace.counter_total(metrics::SCHED_FALLBACK),
+            };
+            println!(
+                "bench: compile_{:<24} {:>12} ns  {:>7} pivots  {:>3} nodes  {} fallback(s)",
+                format!("{}_{}", row.isax, row.core),
+                row.wall_ns,
+                row.pivots,
+                row.nodes,
+                row.fallbacks
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"isax\": \"{}\", \"core\": \"{}\", \"wall_ns\": {}, \
+             \"solver_pivots\": {}, \"solver_nodes\": {}, \"solver_rounds\": {}, \
+             \"fallbacks\": {}}}{}",
+            r.isax,
+            r.core,
+            r.wall_ns,
+            r.pivots,
+            r.nodes,
+            r.rounds,
+            r.fallbacks,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
+    let total_pivots: u64 = rows.iter().map(|r| r.pivots).sum();
+    let _ = write!(
+        json,
+        "  ],\n  \"totals\": {{\"pairs\": {}, \"wall_ns\": {}, \"solver_pivots\": {}}}\n}}\n",
+        rows.len(),
+        total_ns,
+        total_pivots
+    );
+    // cargo runs benches with the package directory as cwd; anchor the
+    // output at the workspace root where the .gitignore expects it.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    std::fs::write(out, json).expect("write BENCH_compile.json");
+    println!(
+        "wrote BENCH_compile.json: {} ISAX x core pair(s), {} total solver pivots",
+        rows.len(),
+        total_pivots
+    );
+}

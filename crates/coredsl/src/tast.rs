@@ -36,7 +36,27 @@ pub struct TypedModule {
     pub functions: Vec<Function>,
 }
 
+/// Size statistics of an elaborated module — what the frontend hands to
+/// the rest of the flow, as counted for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    pub instructions: usize,
+    pub always_blocks: usize,
+    pub functions: usize,
+    pub registers: usize,
+}
+
 impl TypedModule {
+    /// Counts the module's synthesizable content.
+    pub fn stats(&self) -> ModuleStats {
+        ModuleStats {
+            instructions: self.instructions.len(),
+            always_blocks: self.always_blocks.len(),
+            functions: self.functions.len(),
+            registers: self.registers.len(),
+        }
+    }
+
     /// Looks up a register by name.
     pub fn register(&self, name: &str) -> Option<(RegId, &Register)> {
         self.registers

@@ -24,3 +24,21 @@ pub mod timing;
 
 pub use report::{evaluate_integration, AsicReport};
 pub use tech::{CoreAsicProfile, TechLibrary};
+
+/// Quick per-module synthesis estimate: cell area plus critical path,
+/// under the default 22 nm library. This is the datum telemetry attaches
+/// to every compiled unit; the full integration analysis (interface
+/// logic, fmax coupling) stays in [`report`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModuleEstimate {
+    pub area: area::ModuleArea,
+    pub timing: timing::ModuleTiming,
+}
+
+/// Estimates one netlist with `lib`.
+pub fn estimate_module(lib: &TechLibrary, module: &rtl::netlist::Module) -> ModuleEstimate {
+    ModuleEstimate {
+        area: area::module_area(lib, module),
+        timing: timing::module_timing(lib, module),
+    }
+}

@@ -82,6 +82,18 @@ impl std::error::Error for Exhausted {}
 pub struct Budget {
     limit: u64,
     used: Cell<u64>,
+    /// Completed steps per kind (pivots, nodes, rounds) — the solver
+    /// metrics telemetry reads after a solve. A step whose charge failed
+    /// is not counted: the counters describe work actually performed.
+    counts: [Cell<u64>; 3],
+}
+
+const fn kind_index(kind: WorkKind) -> usize {
+    match kind {
+        WorkKind::Pivot => 0,
+        WorkKind::Node => 1,
+        WorkKind::Round => 2,
+    }
 }
 
 impl Budget {
@@ -96,6 +108,7 @@ impl Budget {
         Budget {
             limit,
             used: Cell::new(0),
+            counts: [Cell::new(0), Cell::new(0), Cell::new(0)],
         }
     }
 
@@ -121,12 +134,19 @@ impl Budget {
             });
         }
         self.used.set(used);
+        let c = &self.counts[kind_index(kind)];
+        c.set(c.get() + 1);
         Ok(())
     }
 
     /// Work units spent so far.
     pub fn used(&self) -> u64 {
         self.used.get()
+    }
+
+    /// Completed steps of `kind` charged so far (e.g. simplex pivots).
+    pub fn count(&self, kind: WorkKind) -> u64 {
+        self.counts[kind_index(kind)].get()
     }
 
     /// The configured limit.
@@ -166,6 +186,19 @@ mod tests {
         let err = b.charge(WorkKind::Pivot).unwrap_err();
         assert_eq!(err.limit, b.limit());
         assert_eq!(err.at, WorkKind::Pivot);
+    }
+
+    #[test]
+    fn per_kind_counters_track_completed_steps_only() {
+        let b = Budget::new(WorkKind::Node.cost() + 2 * WorkKind::Pivot.cost());
+        b.charge(WorkKind::Pivot).unwrap();
+        b.charge(WorkKind::Pivot).unwrap();
+        b.charge(WorkKind::Node).unwrap();
+        // This charge fails: it must not count as performed work.
+        assert!(b.charge(WorkKind::Round).is_err());
+        assert_eq!(b.count(WorkKind::Pivot), 2);
+        assert_eq!(b.count(WorkKind::Node), 1);
+        assert_eq!(b.count(WorkKind::Round), 0);
     }
 
     #[test]

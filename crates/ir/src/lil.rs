@@ -296,6 +296,20 @@ impl Graph {
         self.ops.is_empty()
     }
 
+    /// Number of SCAIE-V sub-interface operations (the "ifc" column of the
+    /// paper's Table 1).
+    pub fn interface_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_interface()).count()
+    }
+
+    /// Total dependence edges: data operands plus predicate uses.
+    pub fn edge_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| o.operands.len() + usize::from(o.pred.is_some()))
+            .sum()
+    }
+
     /// Checks the LIL structural invariants:
     ///
     /// * operands reference earlier operations (topological order),
@@ -345,11 +359,6 @@ impl Graph {
             }
         }
         Ok(())
-    }
-
-    /// Counts SCAIE-V interface operations.
-    pub fn interface_op_count(&self) -> usize {
-        self.ops.iter().filter(|o| o.kind.is_interface()).count()
     }
 }
 

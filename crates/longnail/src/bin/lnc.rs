@@ -4,6 +4,7 @@
 //! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
 //!            [--unit <InstructionSet>] [--out <dir>]
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
+//!            [--trace] [--metrics-out <path>] [--report]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -14,6 +15,12 @@
 //! --budget bounds the deterministic solver work per instruction; when the
 //! exact scheduler exhausts it, the instruction degrades to the verified
 //! ASAP fallback and a warning is reported.
+//!
+//! Observability: --trace prints the hierarchical stage-span tree with
+//! wall-clock timings to stderr; --metrics-out writes the full telemetry
+//! event stream (spans, counters, gauges, diagnostics) as JSON lines;
+//! --report prints the per-unit compile report (schedule, hardware, and
+//! solver statistics) to stdout instead of writing artifacts.
 //!
 //! Diagnostics go to stderr. Exit codes: 0 — clean or warnings only;
 //! 1 — at least one unit failed to compile (artifacts for the remaining
@@ -33,6 +40,9 @@ struct Args {
     out: PathBuf,
     emit: Option<String>,
     budget: Option<u64>,
+    trace: bool,
+    metrics_out: Option<PathBuf>,
+    report: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +52,9 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from(".");
     let mut emit = None;
     let mut budget = None;
+    let mut trace = false;
+    let mut metrics_out = None;
+    let mut report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,6 +69,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--budget: `{v}` is not a work-unit count"))?,
                 );
             }
+            "--trace" => trace = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            "--report" => report = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"))
@@ -76,13 +96,17 @@ fn parse_args() -> Result<Args, String> {
         out,
         emit,
         budget,
+        trace,
+        metrics_out,
+        report,
     })
 }
 
 fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
-         [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>]",
+         [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
+         [--trace] [--metrics-out <path>] [--report]",
         EVAL_CORES.join("|")
     );
 }
@@ -171,6 +195,19 @@ fn main() -> ExitCode {
     };
     if !compiled.diagnostics.is_empty() {
         eprint!("{}", compiled.diagnostics.render());
+    }
+    if args.trace {
+        eprint!("{}", telemetry::report::render_tree(&compiled.trace));
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, compiled.trace.to_jsonl()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.report {
+        print!("{}", telemetry::report::render_report(&compiled.trace));
+        return exit_for(&compiled);
     }
     match args.emit.as_deref() {
         Some("lil") => {

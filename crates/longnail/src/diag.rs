@@ -45,6 +45,9 @@ pub struct DiagEvent {
     pub unit: Option<String>,
     /// Source location of the offending definition, when known.
     pub span: Option<Span>,
+    /// Telemetry span (by raw id) that was open when the event fired, so
+    /// trace consumers can line diagnostics up with pipeline stages.
+    pub trace_span: Option<u64>,
     pub message: String,
 }
 
@@ -66,9 +69,17 @@ impl fmt::Display for DiagEvent {
 pub struct Diagnostics {
     /// All events, in the order they were raised.
     pub events: Vec<DiagEvent>,
+    /// Telemetry span stamped onto events as they are recorded; the
+    /// driver keeps this aligned with the span it is currently inside.
+    current_trace_span: Option<u64>,
 }
 
 impl Diagnostics {
+    /// Sets the telemetry span subsequently recorded events link to.
+    pub fn set_trace_span(&mut self, span: Option<u64>) {
+        self.current_trace_span = span;
+    }
+
     /// Records an event.
     pub fn push(
         &mut self,
@@ -83,6 +94,7 @@ impl Diagnostics {
             stage,
             unit: unit.map(str::to_owned),
             span,
+            trace_span: self.current_trace_span,
             message: message.into(),
         });
     }
@@ -183,6 +195,19 @@ mod tests {
         assert!(!d.has_faults());
         d.fault("verify", None, None, "operand width mismatch");
         assert!(d.has_faults());
+    }
+
+    #[test]
+    fn events_link_to_the_current_trace_span() {
+        let mut d = Diagnostics::default();
+        d.warn("schedule", None, None, "before any span");
+        d.set_trace_span(Some(7));
+        d.warn("schedule", Some("sqrt"), None, "inside unit span");
+        d.set_trace_span(None);
+        d.error("lower", None, None, "after");
+        assert_eq!(d.events[0].trace_span, None);
+        assert_eq!(d.events[1].trace_span, Some(7));
+        assert_eq!(d.events[2].trace_span, None);
     }
 
     #[test]

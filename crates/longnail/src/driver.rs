@@ -10,19 +10,22 @@ use crate::diag::Diagnostics;
 use coredsl::error::Span;
 use coredsl::tast::TypedModule;
 use coredsl::Frontend;
+use eda::TechLibrary;
 use ir::lil::{Graph, GraphKind, LilModule, OpKind};
 use ir::{lower_always, lower_instruction, lower_state, verify_graph};
 use rtl::build::{build_graph_module, BuiltModule};
-use rtl::lint::lint_module;
+use rtl::lint::{comb_depth, lint_module};
 use rtl::verilog::emit_verilog;
 use scaiev::config::{Functionality, IsaxConfig, RegisterRequest, ScheduleEntry};
 use scaiev::datasheet::{Timing, VirtualDatasheet};
 use scaiev::iface::SubInterfaceOp;
 use scaiev::modes::{select_mode, ExecutionMode};
 use sched::problem::{LongnailProblem, OperatorType, OperatorTypeId, Schedule};
-use sched::{schedule_resilient, Budget};
+use sched::resilient::DegradationReason;
+use sched::{schedule_resilient, Budget, WorkKind};
 use std::collections::HashMap;
 use std::fmt;
+use telemetry::{metrics, SpanId, Telemetry, Trace};
 
 /// Abstract combinational-delay unit assigned to every "real" logic level.
 ///
@@ -112,6 +115,12 @@ pub struct CompiledIsax {
     /// Warnings, degradation notices, and per-unit errors accumulated
     /// across the flow.
     pub diagnostics: Diagnostics,
+    /// Telemetry for the whole compilation: one span per pipeline stage
+    /// ([`telemetry::STAGES`]), solver counters, per-unit schedule and
+    /// hardware statistics, and the diagnostics mirrored with span links.
+    /// Deterministic modulo the `dur_ns` timing fields
+    /// ([`Trace::stripped`]).
+    pub trace: Trace,
 }
 
 impl CompiledIsax {
@@ -176,6 +185,10 @@ impl Longnail {
         unit: &str,
         datasheet: &VirtualDatasheet,
     ) -> Result<CompiledIsax, FlowError> {
+        let mut tel = Telemetry::new();
+        let root = tel.start_span("compile");
+        tel.attr(root, "core", &datasheet.core);
+        let fe = tel.start_span("frontend");
         let module = self
             .frontend
             .compile_str(src, unit)
@@ -183,7 +196,12 @@ impl Longnail {
                 stage: "frontend",
                 message: e.to_string(),
             })?;
-        self.compile_module(module, datasheet)
+        let stats = module.stats();
+        tel.counter(fe, metrics::FRONTEND_INSTRUCTIONS, stats.instructions as u64);
+        tel.counter(fe, metrics::FRONTEND_ALWAYS, stats.always_blocks as u64);
+        tel.counter(fe, metrics::FRONTEND_FUNCTIONS, stats.functions as u64);
+        tel.end_span(fe);
+        self.compile_module_traced(module, datasheet, tel, root)
     }
 
     /// Compiles an already type-checked module for the given target core.
@@ -203,7 +221,25 @@ impl Longnail {
         module: TypedModule,
         datasheet: &VirtualDatasheet,
     ) -> Result<CompiledIsax, FlowError> {
+        let mut tel = Telemetry::new();
+        let root = tel.start_span("compile");
+        tel.attr(root, "core", &datasheet.core);
+        self.compile_module_traced(module, datasheet, tel, root)
+    }
+
+    /// The shared tail of [`Longnail::compile`] / [`Longnail::compile_module`],
+    /// continuing an already-opened `compile` root span.
+    fn compile_module_traced(
+        &self,
+        module: TypedModule,
+        datasheet: &VirtualDatasheet,
+        mut tel: Telemetry,
+        root: SpanId,
+    ) -> Result<CompiledIsax, FlowError> {
+        tel.attr(root, "isax", &module.name);
         let mut diagnostics = Diagnostics::default();
+        let lower_span = tel.start_span("lower");
+        diagnostics.set_trace_span(Some(lower_span.0));
         let mut lil = lower_state(&module);
         let spans: HashMap<String, Span> = module
             .instructions
@@ -243,9 +279,14 @@ impl Longnail {
             }
             lil.graphs.push(graph);
         }
+        tel.counter(lower_span, "lower.graphs", lil.graphs.len() as u64);
+        tel.end_span(lower_span);
         let mut graphs = Vec::new();
         for graph in &lil.graphs {
-            match self.compile_graph(graph, &lil, datasheet, &mut diagnostics) {
+            let unit_span = tel.start_unit_span("unit", Some(&graph.name));
+            diagnostics.set_trace_span(Some(unit_span.0));
+            match self.compile_graph(graph, &lil, datasheet, &mut diagnostics, &mut tel, unit_span)
+            {
                 Ok(cg) => graphs.push(cg),
                 Err(e) => {
                     let span = spans.get(&graph.name).copied();
@@ -258,8 +299,35 @@ impl Longnail {
                     }
                 }
             }
+            // Also closes any stage span an error path left open.
+            tel.end_span(unit_span);
         }
+        diagnostics.set_trace_span(None);
+        let config_span = tel.start_span("config");
         let config = build_config(&lil, &graphs);
+        tel.counter(
+            config_span,
+            metrics::CONFIG_ENTRIES,
+            config.schedule_entry_count() as u64,
+        );
+        tel.counter(
+            config_span,
+            metrics::CONFIG_REGISTERS,
+            config.registers.len() as u64,
+        );
+        tel.end_span(config_span);
+        tel.end_span(root);
+        // Mirror the diagnostics into the trace, each linked to the span
+        // that was open when it fired.
+        for e in &diagnostics.events {
+            tel.diag(
+                e.trace_span.map(SpanId),
+                &e.severity.to_string(),
+                e.stage,
+                e.unit.as_deref(),
+                &e.message,
+            );
+        }
         Ok(CompiledIsax {
             name: lil.name.clone(),
             core: datasheet.core.clone(),
@@ -268,6 +336,7 @@ impl Longnail {
             graphs,
             config,
             diagnostics,
+            trace: tel.finish(),
         })
     }
 
@@ -277,15 +346,20 @@ impl Longnail {
         lil: &LilModule,
         datasheet: &VirtualDatasheet,
         diagnostics: &mut Diagnostics,
+        tel: &mut Telemetry,
+        unit_span: SpanId,
     ) -> Result<CompiledGraph, FlowError> {
         let is_always = graph.kind == GraphKind::Always;
-        let budget = if datasheet.clock_ns > 0.0 {
+
+        // --- LongnailProblem construction ---
+        let problem_span = tel.start_span("problem");
+        let chain_limit = if datasheet.clock_ns > 0.0 {
             (datasheet.clock_ns / UNIT_NS).max(2.0)
         } else {
             self.chain_depth
         };
         let mut problem = LongnailProblem {
-            cycle_time: budget,
+            cycle_time: chain_limit,
             ..LongnailProblem::default()
         };
         let mut type_cache: HashMap<String, OperatorTypeId> = HashMap::new();
@@ -309,41 +383,57 @@ impl Longnail {
                 problem.add_dependence(op_ids[operand.0], op_ids[v.0]);
             }
         }
+        tel.counter(problem_span, metrics::PROBLEM_OPS, graph.len() as u64);
+        tel.counter(
+            problem_span,
+            metrics::PROBLEM_IFACE_OPS,
+            graph.interface_op_count() as u64,
+        );
+        tel.counter(problem_span, metrics::PROBLEM_DEPS, graph.edge_count() as u64);
+        tel.gauge(problem_span, metrics::SCHED_CHAIN_LIMIT, chain_limit);
+        tel.end_span(problem_span);
+
+        // --- ILP solve (resilient facade) ---
+        let solve_span = tel.start_span("solve");
         let budget = Budget::new(self.work_limit);
-        let outcome = schedule_resilient(&mut problem, &budget).map_err(|e| FlowError {
+        let result = schedule_resilient(&mut problem, &budget);
+        // Solver work is counted, not timed — these are deterministic.
+        tel.counter(solve_span, metrics::SOLVER_PIVOTS, budget.count(WorkKind::Pivot));
+        tel.counter(solve_span, metrics::SOLVER_NODES, budget.count(WorkKind::Node));
+        tel.counter(solve_span, metrics::SOLVER_ROUNDS, budget.count(WorkKind::Round));
+        tel.counter(solve_span, metrics::SOLVER_WORK_USED, budget.used());
+        tel.counter(solve_span, metrics::SOLVER_WORK_LIMIT, budget.limit());
+        let outcome = result.map_err(|e| FlowError {
             stage: "schedule",
             message: e.to_string(),
         })?;
         if let Some(deg) = &outcome.degradation {
+            tel.counter(solve_span, metrics::SCHED_FALLBACK, 1);
+            if matches!(deg.reason, DegradationReason::BudgetExhausted(_)) {
+                tel.counter(solve_span, metrics::SOLVER_EXHAUSTED, 1);
+            }
             diagnostics.warn("schedule", Some(&graph.name), None, deg.to_string());
         }
+        tel.attr(
+            unit_span,
+            "scheduler",
+            if outcome.is_exact() { "ilp" } else { "asap" },
+        );
         let schedule = outcome.schedule;
         let start_time: Vec<u32> = (0..graph.len())
             .map(|i| schedule.start_time[op_ids[i].0])
             .collect();
+        let max_stage_sched = start_time.iter().copied().max().unwrap_or(0);
+        tel.counter(solve_span, metrics::SCHED_STAGES, max_stage_sched as u64);
+        tel.gauge(
+            solve_span,
+            metrics::SCHED_CHAIN_DEPTH,
+            schedule.max_start_time_in_cycle(),
+        );
+        tel.end_span(solve_span);
 
-        let ds = datasheet.clone();
-        let read_latency = move |kind: &OpKind| -> u32 {
-            lil_iface_op(kind)
-                .and_then(|op| ds.timing(&op))
-                .map(|t| t.latency)
-                .unwrap_or(0)
-        };
-        let built = build_graph_module(graph, lil, &start_time, &read_latency);
-        // Netlist lint: last gate before SystemVerilog leaves the compiler.
-        if let Err(issues) = lint_module(&built.module) {
-            return Err(FlowError {
-                stage: "netlist",
-                message: issues
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; "),
-            });
-        }
-        let verilog = emit_verilog(&built.module);
-
-        // Per-write-interface mode selection (§4.3) and overall mode.
+        // --- Per-write-interface mode selection (§4.3) and overall mode ---
+        let modes_span = tel.start_span("modes");
         let mut mode = if is_always {
             ExecutionMode::Always
         } else {
@@ -375,6 +465,56 @@ impl Longnail {
                 mode = worst_mode(mode, m);
             }
         }
+        // Initiation interval: pipelined units accept one instruction per
+        // cycle; a decoupled (`spawn`) unit is busy for its spawned
+        // section's latency.
+        let ii = match spawn_stage {
+            Some(s) => u64::from(max_stage_sched.saturating_sub(s)).max(1),
+            None => 1,
+        };
+        tel.counter(modes_span, metrics::SCHED_II, ii);
+        tel.attr(unit_span, "mode", &mode.to_string());
+        tel.end_span(modes_span);
+
+        // --- Hardware construction and lint ---
+        let rtl_span = tel.start_span("rtl");
+        let ds = datasheet.clone();
+        let read_latency = move |kind: &OpKind| -> u32 {
+            lil_iface_op(kind)
+                .and_then(|op| ds.timing(&op))
+                .map(|t| t.latency)
+                .unwrap_or(0)
+        };
+        let built = build_graph_module(graph, lil, &start_time, &read_latency);
+        // Netlist lint: last gate before SystemVerilog leaves the compiler.
+        if let Err(issues) = lint_module(&built.module) {
+            return Err(FlowError {
+                stage: "netlist",
+                message: issues
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
+        }
+        tel.counter(rtl_span, metrics::RTL_CELLS, built.module.nets.len() as u64);
+        tel.counter(rtl_span, metrics::RTL_REG_BITS, built.module.register_bits());
+        tel.counter(rtl_span, metrics::RTL_COMB_DEPTH, u64::from(comb_depth(&built.module)));
+        let estimate = eda::estimate_module(&TechLibrary::new(), &built.module);
+        tel.gauge(rtl_span, metrics::EDA_AREA_UM2, estimate.area.total());
+        tel.gauge(
+            rtl_span,
+            metrics::EDA_CRIT_NS,
+            estimate.timing.critical_path_ns,
+        );
+        tel.end_span(rtl_span);
+
+        // --- SystemVerilog emission ---
+        let verilog_span = tel.start_span("verilog");
+        let verilog = emit_verilog(&built.module);
+        tel.counter(verilog_span, metrics::VERILOG_BYTES, verilog.len() as u64);
+        tel.end_span(verilog_span);
+
         let (mask, match_value) = match graph.kind {
             GraphKind::Instruction { mask, match_value } => (mask, match_value),
             GraphKind::Always => (0, 0),

@@ -409,6 +409,71 @@ pub fn lint_module(module: &Module) -> Result<(), Vec<LintIssue>> {
     }
 }
 
+/// Longest combinational path through the module, counted in logic cells
+/// (comb operators and ROM reads; inputs, constants, and registers are
+/// depth 0). This is the structural "logic levels" statistic telemetry
+/// reports next to the calibrated `eda`-model delay.
+///
+/// Works on any netlist, topologically ordered or not; nets on a
+/// combinational cycle (which [`lint_module`] rejects) contribute the
+/// depth accumulated up to the point the cycle closes rather than looping.
+pub fn comb_depth(module: &Module) -> u32 {
+    let n = module.nets.len();
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    let comb_args = |i: usize| -> Vec<usize> {
+        match &module.nets[i].driver {
+            Driver::Comb { args, .. } => args.iter().map(|a| a.0).filter(|&a| a < n).collect(),
+            Driver::Rom { index, .. } => {
+                if index.0 < n {
+                    vec![index.0]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        }
+    };
+    let is_cell = |i: usize| {
+        matches!(
+            module.nets[i].driver,
+            Driver::Comb { .. } | Driver::Rom { .. }
+        )
+    };
+    let mut worst = 0;
+    for root in 0..n {
+        if depth[root].is_some() {
+            continue;
+        }
+        // Iterative post-order; `visiting` breaks cycles at depth 0.
+        let mut visiting = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        visiting[root] = true;
+        while let Some(&mut (node, ref mut arg)) = stack.last_mut() {
+            let args = comb_args(node);
+            if *arg >= args.len() {
+                let input = args
+                    .iter()
+                    .map(|&a| depth[a].unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                let d = input + u32::from(is_cell(node));
+                depth[node] = Some(d);
+                worst = worst.max(d);
+                visiting[node] = false;
+                stack.pop();
+                continue;
+            }
+            let target = args[*arg];
+            *arg += 1;
+            if depth[target].is_none() && !visiting[target] {
+                visiting[target] = true;
+                stack.push((target, 0));
+            }
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +650,68 @@ mod tests {
         assert!(issues.iter().any(|i| i.message.contains("next is 16")));
         assert!(issues.iter().any(|i| i.message.contains("enable must be 1 bit")));
         assert!(issues.iter().any(|i| i.message.contains("init is 4 bits")));
+    }
+
+    #[test]
+    fn comb_depth_counts_logic_levels() {
+        let (mut m, na, nb, o) = two_input_module();
+        // a+b -> (a+b)^a: two logic levels; the register resets the count.
+        let sum = m.add_net(
+            Driver::Comb {
+                op: CombOp::Add,
+                args: vec![na, nb],
+                lo: 0,
+            },
+            8,
+            "sum",
+        );
+        let x = m.add_net(
+            Driver::Comb {
+                op: CombOp::Xor,
+                args: vec![sum, na],
+                lo: 0,
+            },
+            8,
+            "x",
+        );
+        let r = m.add_net(
+            Driver::Reg {
+                next: x,
+                enable: None,
+                init: ApInt::zero(8),
+            },
+            8,
+            "r",
+        );
+        m.connect_output(o, r);
+        assert_eq!(comb_depth(&m), 2);
+    }
+
+    #[test]
+    fn comb_depth_terminates_on_cycles() {
+        let mut m = Module::new("t");
+        let o = m.add_port("o", PortDir::Output, 1);
+        // Two NOTs feeding each other: a combinational cycle.
+        let a = m.add_net(
+            Driver::Comb {
+                op: CombOp::Not,
+                args: vec![NetId(1)],
+                lo: 0,
+            },
+            1,
+            "a",
+        );
+        let b = m.add_net(
+            Driver::Comb {
+                op: CombOp::Not,
+                args: vec![a],
+                lo: 0,
+            },
+            1,
+            "b",
+        );
+        m.connect_output(o, b);
+        assert!(comb_depth(&m) >= 1); // must return, not loop
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct IsaxConfig {
 }
 
 impl IsaxConfig {
+    /// Total SCAIE-V schedule entries across all functionalities — the
+    /// size of the interface contract the core integration must honor.
+    pub fn schedule_entry_count(&self) -> usize {
+        self.functionalities.iter().map(|f| f.schedule.len()).sum()
+    }
+
     /// Renders the configuration in the Figure 8 YAML format.
     pub fn to_yaml(&self) -> String {
         let mut doc = Doc::default();

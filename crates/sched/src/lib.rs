@@ -25,7 +25,7 @@ pub mod problem;
 pub mod resilient;
 pub mod stic;
 
-pub use ilp::Budget;
+pub use ilp::{Budget, Exhausted, WorkKind};
 pub use ilp_sched::{schedule_ilp, schedule_ilp_with_budget};
 pub use list_sched::schedule_asap;
 pub use resilient::{schedule_resilient, Degradation, DegradationReason, SchedOutcome};

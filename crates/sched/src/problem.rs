@@ -124,6 +124,13 @@ impl Schedule {
     pub fn makespan(&self) -> u32 {
         self.start_time.iter().copied().max().unwrap_or(0)
     }
+
+    /// Deepest point within any cycle at which an operation starts — the
+    /// chaining depth the schedule actually uses, in the same units as
+    /// the cycle-time budget.
+    pub fn max_start_time_in_cycle(&self) -> f64 {
+        self.start_time_in_cycle.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 /// Constraint-violation report.
