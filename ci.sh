@@ -17,8 +17,26 @@ fi
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q --workspace"
-cargo test -q --workspace
+echo "== cargo test --workspace (with empty-test-binary gate)"
+test_log=$(mktemp)
+# Not -q: the gate below needs the per-binary "Running ..." / "running N
+# tests" pairs to spot test binaries that silently stopped running tests.
+cargo test --workspace 2>&1 | tee "$test_log"
+echo "== gate: every compiled test binary runs at least one test"
+# Pair each "Running <target> (...)" header with the "running N tests"
+# line that follows it. Doc-test sections are exempt (several crates have
+# no doc examples by design); a unit/integration binary with 0 tests is a
+# regression — the suite it carried went missing.
+empty=$(awk '
+    /^[[:space:]]+Running / { sub(/^[[:space:]]+Running /, ""); bin = $0; next }
+    /^running [0-9]+ tests?$/ { if ($2 == 0 && bin != "") print bin; bin = "" }
+' "$test_log")
+rm -f "$test_log"
+if [ -n "$empty" ]; then
+    echo "error: test binaries that run 0 tests:" >&2
+    echo "$empty" >&2
+    exit 1
+fi
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt -p telemetry -- --check"
@@ -63,5 +81,15 @@ cargo run -q --release -p longnail --bin lnc -- \
     "$smoke_dir/dotp.core_desc" --core ORCA --unit X_DOTP \
     --report --metrics-out "$smoke_dir/dotp.jsonl" | grep -q "compile report"
 grep -q '"ev":"span_start".*"name":"solve"' "$smoke_dir/dotp.jsonl"
+
+echo "== determinism: lnc --matrix --jobs 4 is byte-identical to --jobs 1"
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 1 --out "$smoke_dir/m1" > "$smoke_dir/m1.stdout"
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --out "$smoke_dir/m4" > "$smoke_dir/m4.stdout"
+diff -r "$smoke_dir/m1" "$smoke_dir/m4"
+diff "$smoke_dir/m1.stdout" "$smoke_dir/m4.stdout"
+# Every cell must have written its stripped trace next to the Verilog.
+[ "$(find "$smoke_dir/m1" -name trace.jsonl | wc -l)" -eq 32 ]
 
 echo "== ci.sh: all checks passed"

@@ -7,9 +7,14 @@
 //! summary of wall time and solver pivot/node/round totals per ISAX × core
 //! — into the current directory. The file is gitignored; downstream
 //! tooling (EXPERIMENTS.md plots, regression tracking) consumes it.
+//!
+//! The trailing `matrix` object compares the whole 8 × 4 evaluation matrix
+//! compiled serially (`--jobs 1`) against the worker pool (`--jobs 4`),
+//! both through the shared frontend cache, and records the wall times, the
+//! speedup, and the deterministic cache hit/miss totals.
 
 use criterion::black_box;
-use longnail::driver::{builtin_datasheet, EVAL_CORES};
+use longnail::driver::{builtin_datasheet, eval_datasheets, EVAL_CORES};
 use longnail::{isax_lib, Longnail};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -89,9 +94,58 @@ fn main() {
     }
     let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
     let total_pivots: u64 = rows.iter().map(|r| r.pivots).sum();
+
+    // Whole-matrix comparison: serial vs. pooled workers, both behind the
+    // shared frontend cache. The hit/miss totals are deterministic (one
+    // miss per distinct ISAX source, a hit for every reuse) and double as
+    // a regression check on the cache.
+    let ln = Longnail::new();
+    let cores = eval_datasheets();
+    // Uncached baseline: every cell runs the full frontend, like the
+    // per-pair loop above did (the median rows sum to the same work).
+    let t0 = Instant::now();
+    for (_, unit, src) in &isaxes {
+        for ds in &cores {
+            let _ = black_box(ln.compile(black_box(src), unit, ds));
+        }
+    }
+    let uncached_ns = t0.elapsed().as_nanos();
+    let matrix_wall = |jobs: usize| {
+        let t0 = Instant::now();
+        let m = ln.compile_matrix(black_box(&isaxes), &cores, jobs);
+        (t0.elapsed().as_nanos(), m)
+    };
+    let (serial_ns, serial) = matrix_wall(1);
+    let (parallel_ns, parallel) = matrix_wall(4);
+    assert_eq!(serial.cache_hits, parallel.cache_hits);
+    assert_eq!(serial.cache_misses, parallel.cache_misses);
+    // Two speedups, both against the uncached-serial baseline: how much
+    // the shared frontend cache alone buys (serial), and cache + 4
+    // workers together (bounded by the machine's actual core count —
+    // on a single-CPU host the parallel figure can dip below 1).
+    let cache_speedup = uncached_ns as f64 / serial_ns.max(1) as f64;
+    let speedup = uncached_ns as f64 / parallel_ns.max(1) as f64;
+    println!(
+        "bench: compile_matrix 8x4        uncached {uncached_ns} ns, cached serial \
+         {serial_ns} ns ({cache_speedup:.2}x), 4 jobs {parallel_ns} ns ({speedup:.2}x), \
+         cache {} hit(s) / {} miss(es)",
+        serial.cache_hits, serial.cache_misses
+    );
+
     let _ = write!(
         json,
-        "  ],\n  \"totals\": {{\"pairs\": {}, \"wall_ns\": {}, \"solver_pivots\": {}}}\n}}\n",
+        "  ],\n  \"matrix\": {{\"cells\": {}, \"jobs\": 4, \"uncached_wall_ns\": {}, \
+         \"serial_wall_ns\": {}, \"parallel_wall_ns\": {}, \"cache_speedup\": {:.3}, \
+         \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}},\n  \
+         \"totals\": {{\"pairs\": {}, \"wall_ns\": {}, \"solver_pivots\": {}}}\n}}\n",
+        serial.entries.len(),
+        uncached_ns,
+        serial_ns,
+        parallel_ns,
+        cache_speedup,
+        speedup,
+        serial.cache_hits,
+        serial.cache_misses,
         rows.len(),
         total_ns,
         total_pivots

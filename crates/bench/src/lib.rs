@@ -118,3 +118,27 @@ pub fn fmt_pct(v: f64) -> String {
         format!("- {:.0} %", v.abs().round())
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_pct_matches_table4_style() {
+        assert_eq!(fmt_pct(20.4), "+ 20 %");
+        assert_eq!(fmt_pct(0.0), "+ 0 %");
+        assert_eq!(fmt_pct(-6.2), "- 6 %");
+        assert_eq!(fmt_pct(-0.6), "- 1 %");
+    }
+
+    #[test]
+    fn table4_rows_cover_every_isax() {
+        let rows = table4_rows();
+        for (name, _, _) in isax_lib::all_isaxes() {
+            assert!(
+                rows.iter().any(|(_, isaxes, _)| isaxes.contains(&name.as_str())),
+                "Table 4 is missing {name}"
+            );
+        }
+    }
+}

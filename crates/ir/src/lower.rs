@@ -706,13 +706,18 @@ impl<'a> Ctx<'a> {
 
         self.path_pred = outer_pred;
 
-        // Merge locals.
+        // Merge locals. Sort the key union: HashMap iteration order is
+        // seeded per process, and the Mux emission order below decides
+        // LIL value numbering — and through it the schedule and the net
+        // names in the emitted Verilog, which must be reproducible.
         let mut merged = saved_locals;
-        let keys: Vec<usize> = then_locals
+        let mut keys: Vec<usize> = then_locals
             .keys()
             .chain(else_locals.keys())
             .copied()
             .collect();
+        keys.sort_unstable();
+        keys.dedup();
         for key in keys {
             let t = then_locals.get(&key).copied();
             let e = else_locals.get(&key).copied();
@@ -741,11 +746,13 @@ impl<'a> Ctx<'a> {
         // Merge the state-forwarding map: a read after a conditional write
         // must observe the muxed value.
         let mut merged_fwd = saved_fwd;
-        let fwd_keys: Vec<(usize, Option<ValueId>)> = then_fwd
+        let mut fwd_keys: Vec<(usize, Option<ValueId>)> = then_fwd
             .keys()
             .chain(else_fwd.keys())
             .cloned()
             .collect();
+        fwd_keys.sort_unstable();
+        fwd_keys.dedup();
         for key in fwd_keys {
             let t = then_fwd.get(&key).copied();
             let e = else_fwd.get(&key).copied();

@@ -5,12 +5,20 @@
 //!            [--unit <InstructionSet>] [--out <dir>]
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
 //!            [--trace] [--metrics-out <path>] [--report]
+//!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
 //! the SCAIE-V configuration YAML into --out (default: the current
 //! directory) and prints a summary. With --emit, prints the requested
 //! representation to stdout instead.
+//!
+//! --matrix compiles the full evaluation matrix (the eight Table 3 ISAXes
+//! for all four evaluation cores) through a shared frontend cache, fanning
+//! the 32 cells out across --jobs worker threads (default 1). Artifacts
+//! land in --out/<isax>_<core>/: the SystemVerilog per unit, the SCAIE-V
+//! YAML, and the stripped (timing-free) telemetry trace as JSONL. Output
+//! is byte-identical for every --jobs value.
 //!
 //! --budget bounds the deterministic solver work per instruction; when the
 //! exact scheduler exhausts it, the instruction degrades to the verified
@@ -28,14 +36,15 @@
 //! netlist lint, or a contained panic).
 //! ```
 
-use longnail::driver::{builtin_datasheet, EVAL_CORES};
-use longnail::{Longnail, Severity};
+use longnail::driver::{builtin_datasheet, eval_datasheets, MatrixResult, EVAL_CORES};
+use longnail::{isax_lib, Longnail, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Args {
-    input: PathBuf,
-    core: String,
+    input: Option<PathBuf>,
+    core: Option<String>,
     unit: Option<String>,
     out: PathBuf,
     emit: Option<String>,
@@ -43,9 +52,11 @@ struct Args {
     trace: bool,
     metrics_out: Option<PathBuf>,
     report: bool,
+    matrix: bool,
+    jobs: usize,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut input = None;
     let mut core = None;
     let mut unit = None;
@@ -55,7 +66,9 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = false;
     let mut metrics_out = None;
     let mut report = false;
-    let mut args = std::env::args().skip(1);
+    let mut matrix = false;
+    let mut jobs = 1usize;
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--core" => core = Some(args.next().ok_or("--core needs a value")?),
@@ -69,6 +82,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--budget: `{v}` is not a work-unit count"))?,
                 );
             }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs: `{v}` is not a worker count >= 1"))?;
+            }
+            "--matrix" => matrix = true,
             "--trace" => trace = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
@@ -87,11 +109,27 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if matrix {
+        if input.is_some() {
+            return Err("--matrix compiles the builtin evaluation matrix; drop the input file".into());
+        }
+        if core.is_some() {
+            return Err("--matrix targets every evaluation core; drop --core".into());
+        }
+    } else {
+        if input.is_none() {
+            return Err("missing input file".into());
+        }
+        if core.is_none() {
+            return Err(format!(
+                "missing --core (one of: {})",
+                EVAL_CORES.join(", ")
+            ));
+        }
+    }
     Ok(Args {
-        input: input.ok_or("missing input file")?,
-        core: core.ok_or_else(|| {
-            format!("missing --core (one of: {})", EVAL_CORES.join(", "))
-        })?,
+        input,
+        core,
         unit,
         out,
         emit,
@@ -99,6 +137,8 @@ fn parse_args() -> Result<Args, String> {
         trace,
         metrics_out,
         report,
+        matrix,
+        jobs,
     })
 }
 
@@ -106,7 +146,8 @@ fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
          [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
-         [--trace] [--metrics-out <path>] [--report]",
+         [--trace] [--metrics-out <path>] [--report]\n\
+         \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>]",
         EVAL_CORES.join("|")
     );
 }
@@ -120,8 +161,83 @@ fn exit_for(compiled: &longnail::CompiledIsax) -> ExitCode {
     }
 }
 
+/// Compiles and writes the full evaluation matrix.
+fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
+    let isaxes = isax_lib::all_isaxes();
+    let cores = eval_datasheets();
+    let t0 = std::time::Instant::now();
+    let matrix: MatrixResult = ln.compile_matrix(&isaxes, &cores, args.jobs);
+    let wall = t0.elapsed();
+    let mut worst = 0u8;
+    for entry in &matrix.entries {
+        let cell_dir = args.out.join(format!("{}_{}", entry.isax, entry.core));
+        if let Err(e) = std::fs::create_dir_all(&cell_dir) {
+            eprintln!("error: cannot create {}: {e}", cell_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let compiled = match &entry.outcome {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}×{}: {e}", entry.isax, entry.core);
+                worst = worst.max(1);
+                continue;
+            }
+        };
+        if !compiled.diagnostics.is_empty() {
+            for d in &compiled.diagnostics.events {
+                eprintln!("{}×{}: {d}", entry.isax, entry.core);
+            }
+        }
+        worst = worst.max(match compiled.diagnostics.worst() {
+            Some(Severity::Fault) => 2,
+            Some(Severity::Error) => 1,
+            _ => 0,
+        });
+        for g in &compiled.graphs {
+            let path = cell_dir.join(format!("{}_{}.sv", compiled.name, g.name));
+            if let Err(e) = std::fs::write(&path, &g.verilog) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let config_path = cell_dir.join(format!("{}.scaiev.yaml", compiled.name));
+        if let Err(e) = std::fs::write(&config_path, compiled.config.to_yaml()) {
+            eprintln!("error: cannot write {}: {e}", config_path.display());
+            return ExitCode::FAILURE;
+        }
+        // The stripped trace is the deterministic projection: byte-equal
+        // for every --jobs value, which ci.sh's determinism gate diffs.
+        let trace_path = cell_dir.join("trace.jsonl");
+        if let Err(e) = std::fs::write(&trace_path, compiled.trace.stripped().to_jsonl()) {
+            eprintln!("error: cannot write {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "compiled {:<14} for {:<9} -> {} unit(s)",
+            entry.isax,
+            entry.core,
+            compiled.graphs.len()
+        );
+    }
+    // Wall time is nondeterministic; keep it off stdout so stdout stays
+    // comparable across runs.
+    eprintln!(
+        "matrix: {} cell(s), {} job(s), frontend cache {} hit(s) / {} miss(es), {:.1} ms",
+        matrix.entries.len(),
+        matrix.jobs,
+        matrix.cache_hits,
+        matrix.cache_misses,
+        wall.as_secs_f64() * 1e3
+    );
+    match worst {
+        0 => ExitCode::SUCCESS,
+        1 => ExitCode::FAILURE,
+        _ => ExitCode::from(2),
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args_from(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {
             if !msg.is_empty() {
@@ -131,31 +247,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(datasheet) = builtin_datasheet(&args.core) else {
-        eprintln!(
-            "error: unknown core `{}` (known: {})",
-            args.core,
-            EVAL_CORES.join(", ")
-        );
-        return ExitCode::FAILURE;
-    };
-    let src = match std::fs::read_to_string(&args.input) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", args.input.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    let unit = args.unit.clone().unwrap_or_else(|| {
-        args.input
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default()
-    });
     let mut ln = Longnail::new();
     if let Some(b) = args.budget {
         ln.work_limit = b;
     }
+    if args.matrix {
+        return run_matrix(&ln, &args);
+    }
+    let core = args.core.as_deref().expect("validated in parse_args");
+    let input = args.input.as_deref().expect("validated in parse_args");
+    let Some(datasheet) = builtin_datasheet(core) else {
+        eprintln!(
+            "error: unknown core `{core}` (known: {})",
+            EVAL_CORES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let unit = args.unit.clone().unwrap_or_else(|| {
+        input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    });
     // --emit hir needs the typed module before HLS.
     if args.emit.as_deref() == Some("hir") {
         return match ln.frontend_mut().compile_str(&src, &unit) {
@@ -256,9 +376,77 @@ fn main() -> ExitCode {
                 compiled.name,
                 compiled.instructions().count(),
                 compiled.always_blocks().count(),
-                args.core
+                core
             );
         }
     }
     exit_for(&compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn single_file_mode_requires_input_and_core() {
+        let a = parse(&["x.core_desc", "--core", "ORCA", "--unit", "X"]).unwrap();
+        assert_eq!(a.input.as_deref(), Some(std::path::Path::new("x.core_desc")));
+        assert_eq!(a.core.as_deref(), Some("ORCA"));
+        assert_eq!(a.jobs, 1);
+        assert!(!a.matrix);
+        assert!(parse(&["--core", "ORCA"]).unwrap_err().contains("input"));
+        assert!(parse(&["x.core_desc"]).unwrap_err().contains("--core"));
+    }
+
+    #[test]
+    fn matrix_mode_parses_jobs_and_rejects_single_file_flags() {
+        let a = parse(&["--matrix", "--jobs", "4", "--out", "o"]).unwrap();
+        assert!(a.matrix);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.out, PathBuf::from("o"));
+        assert!(parse(&["--matrix", "x.core_desc"]).unwrap_err().contains("--matrix"));
+        assert!(parse(&["--matrix", "--core", "ORCA"]).unwrap_err().contains("--core"));
+    }
+
+    #[test]
+    fn jobs_must_be_a_positive_count() {
+        assert!(parse(&["--matrix", "--jobs", "0"]).is_err());
+        assert!(parse(&["--matrix", "--jobs", "many"]).is_err());
+        assert!(parse(&["--matrix", "--jobs"]).is_err());
+        assert_eq!(parse(&["--matrix", "--jobs", "16"]).unwrap().jobs, 16);
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(parse(&["x", "--core", "ORCA", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse(&["a", "b", "--core", "ORCA"])
+            .unwrap_err()
+            .contains("more than one"));
+    }
+
+    #[test]
+    fn budget_and_observability_flags_parse() {
+        let a = parse(&[
+            "x.core_desc",
+            "--core",
+            "Piccolo",
+            "--budget",
+            "5000",
+            "--trace",
+            "--metrics-out",
+            "m.jsonl",
+            "--report",
+        ])
+        .unwrap();
+        assert_eq!(a.budget, Some(5000));
+        assert!(a.trace && a.report);
+        assert_eq!(a.metrics_out, Some(PathBuf::from("m.jsonl")));
+        assert!(parse(&["x", "--core", "ORCA", "--budget", "lots"]).is_err());
+    }
 }

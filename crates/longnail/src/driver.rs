@@ -6,13 +6,14 @@
 //! (§4.3) → hardware construction and SystemVerilog emission (§4.5) →
 //! SCAIE-V configuration file (§4.6).
 
-use crate::diag::Diagnostics;
+use crate::diag::{DiagEvent, Diagnostics};
 use coredsl::error::Span;
 use coredsl::tast::TypedModule;
 use coredsl::Frontend;
 use eda::TechLibrary;
 use ir::lil::{Graph, GraphKind, LilModule, OpKind};
 use ir::{lower_always, lower_instruction, lower_state, verify_graph};
+use pool::Pool;
 use rtl::build::{build_graph_module, BuiltModule};
 use rtl::lint::{comb_depth, lint_module};
 use rtl::verilog::emit_verilog;
@@ -25,6 +26,8 @@ use sched::resilient::DegradationReason;
 use sched::{schedule_resilient, Budget, WorkKind};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use telemetry::{metrics, SpanId, Telemetry, Trace};
 
 /// Abstract combinational-delay unit assigned to every "real" logic level.
@@ -185,23 +188,30 @@ impl Longnail {
         unit: &str,
         datasheet: &VirtualDatasheet,
     ) -> Result<CompiledIsax, FlowError> {
-        let mut tel = Telemetry::new();
-        let root = tel.start_span("compile");
-        tel.attr(root, "core", &datasheet.core);
-        let fe = tel.start_span("frontend");
-        let module = self
-            .frontend
-            .compile_str(src, unit)
-            .map_err(|e| FlowError {
-                stage: "frontend",
-                message: e.to_string(),
-            })?;
-        let stats = module.stats();
-        tel.counter(fe, metrics::FRONTEND_INSTRUCTIONS, stats.instructions as u64);
-        tel.counter(fe, metrics::FRONTEND_ALWAYS, stats.always_blocks as u64);
-        tel.counter(fe, metrics::FRONTEND_FUNCTIONS, stats.functions as u64);
-        tel.end_span(fe);
-        self.compile_module_traced(module, datasheet, tel, root)
+        let artifacts = self.frontend_artifacts(src, unit)?;
+        Ok(self.compile_artifacts(&artifacts, datasheet))
+    }
+
+    /// Compiles CoreDSL source text through a shared [`FrontendCache`]:
+    /// the core-independent frontend + lowering half of the flow runs at
+    /// most once per distinct `(source, unit)` pair; only the core-aware
+    /// backend runs per call. The emitted trace is byte-identical
+    /// (after [`Trace::stripped`]) to an uncached [`Longnail::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failing flow stage. Frontend
+    /// failures are cached too: every core asking for a broken ISAX gets
+    /// the same error without re-running the frontend.
+    pub fn compile_cached(
+        &self,
+        src: &str,
+        unit: &str,
+        datasheet: &VirtualDatasheet,
+        cache: &FrontendCache,
+    ) -> Result<CompiledIsax, FlowError> {
+        let artifacts = cache.get_or_compute(src, unit, self)?;
+        Ok(self.compile_artifacts(&artifacts, datasheet))
     }
 
     /// Compiles an already type-checked module for the given target core.
@@ -221,71 +231,72 @@ impl Longnail {
         module: TypedModule,
         datasheet: &VirtualDatasheet,
     ) -> Result<CompiledIsax, FlowError> {
+        Ok(self.compile_artifacts(&lower_artifacts(module), datasheet))
+    }
+
+    /// Runs the core-independent half of the flow: parse, elaborate,
+    /// type-check, and lower to verified LIL. The result can be compiled
+    /// for any number of cores via [`Longnail::compile_artifacts`] and is
+    /// what [`FrontendCache`] shares between matrix cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] if the frontend rejects the source.
+    /// Per-unit lowering problems are captured inside the artifacts and
+    /// replayed into each compilation's diagnostics instead.
+    pub fn frontend_artifacts(
+        &self,
+        src: &str,
+        unit: &str,
+    ) -> Result<FrontendArtifacts, FlowError> {
+        let module = self
+            .frontend
+            .compile_str(src, unit)
+            .map_err(|e| FlowError {
+                stage: "frontend",
+                message: e.to_string(),
+            })?;
+        Ok(lower_artifacts(module))
+    }
+
+    /// The core-aware backend: schedules, builds, and emits every verified
+    /// LIL graph in `artifacts` against `datasheet`, replaying the cached
+    /// frontend/lower telemetry so the trace is indistinguishable from a
+    /// monolithic run.
+    pub fn compile_artifacts(
+        &self,
+        artifacts: &FrontendArtifacts,
+        datasheet: &VirtualDatasheet,
+    ) -> CompiledIsax {
+        let module = &artifacts.module;
+        let lil = &artifacts.lil;
         let mut tel = Telemetry::new();
         let root = tel.start_span("compile");
         tel.attr(root, "core", &datasheet.core);
-        self.compile_module_traced(module, datasheet, tel, root)
-    }
-
-    /// The shared tail of [`Longnail::compile`] / [`Longnail::compile_module`],
-    /// continuing an already-opened `compile` root span.
-    fn compile_module_traced(
-        &self,
-        module: TypedModule,
-        datasheet: &VirtualDatasheet,
-        mut tel: Telemetry,
-        root: SpanId,
-    ) -> Result<CompiledIsax, FlowError> {
+        let stats = module.stats();
+        let fe = tel.start_span("frontend");
+        tel.counter(fe, metrics::FRONTEND_INSTRUCTIONS, stats.instructions as u64);
+        tel.counter(fe, metrics::FRONTEND_ALWAYS, stats.always_blocks as u64);
+        tel.counter(fe, metrics::FRONTEND_FUNCTIONS, stats.functions as u64);
+        tel.end_span(fe);
         tel.attr(root, "isax", &module.name);
         let mut diagnostics = Diagnostics::default();
         let lower_span = tel.start_span("lower");
         diagnostics.set_trace_span(Some(lower_span.0));
-        let mut lil = lower_state(&module);
+        diagnostics.replay(&artifacts.lower_events);
+        tel.counter(lower_span, "lower.graphs", lil.graphs.len() as u64);
+        tel.end_span(lower_span);
         let spans: HashMap<String, Span> = module
             .instructions
             .iter()
             .map(|i| (i.name.clone(), i.span))
             .chain(module.always_blocks.iter().map(|a| (a.name.clone(), a.span)))
             .collect();
-        let lowered = module
-            .instructions
-            .iter()
-            .map(|i| lower_instruction(&module, i))
-            .chain(module.always_blocks.iter().map(|a| lower_always(&module, a)));
-        for result in lowered {
-            let graph = match result {
-                Ok(g) => g,
-                Err(e) => {
-                    diagnostics.error(
-                        "lower",
-                        Some(&e.unit),
-                        spans.get(&e.unit).copied(),
-                        e.message,
-                    );
-                    continue;
-                }
-            };
-            // Stage verifier: a graph the lowering itself produced must be
-            // well-formed; a violation is a compiler bug, contained to this
-            // unit.
-            if let Err(errs) = verify_graph(&graph, &lil) {
-                let msg = errs
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                diagnostics.fault("verify", Some(&graph.name), spans.get(&graph.name).copied(), msg);
-                continue;
-            }
-            lil.graphs.push(graph);
-        }
-        tel.counter(lower_span, "lower.graphs", lil.graphs.len() as u64);
-        tel.end_span(lower_span);
         let mut graphs = Vec::new();
         for graph in &lil.graphs {
             let unit_span = tel.start_unit_span("unit", Some(&graph.name));
             diagnostics.set_trace_span(Some(unit_span.0));
-            match self.compile_graph(graph, &lil, datasheet, &mut diagnostics, &mut tel, unit_span)
+            match self.compile_graph(graph, lil, datasheet, &mut diagnostics, &mut tel, unit_span)
             {
                 Ok(cg) => graphs.push(cg),
                 Err(e) => {
@@ -304,7 +315,7 @@ impl Longnail {
         }
         diagnostics.set_trace_span(None);
         let config_span = tel.start_span("config");
-        let config = build_config(&lil, &graphs);
+        let config = build_config(lil, &graphs);
         tel.counter(
             config_span,
             metrics::CONFIG_ENTRIES,
@@ -328,16 +339,61 @@ impl Longnail {
                 &e.message,
             );
         }
-        Ok(CompiledIsax {
+        CompiledIsax {
             name: lil.name.clone(),
             core: datasheet.core.clone(),
-            module,
-            lil,
+            module: module.clone(),
+            lil: lil.clone(),
             graphs,
             config,
             diagnostics,
             trace: tel.finish(),
-        })
+        }
+    }
+
+    /// Compiles the full evaluation matrix (`isaxes` × `cores`) across up
+    /// to `jobs` worker threads, sharing one [`FrontendCache`] so each
+    /// distinct ISAX source is parsed, type-checked, and lowered exactly
+    /// once no matter how many cores consume it.
+    ///
+    /// `isaxes` entries are `(display_name, unit, source)` triples in the
+    /// shape of [`crate::isax_lib::all_isaxes`]. The result's entries are
+    /// in deterministic row-major input order (`isaxes[0]×cores[0],
+    /// isaxes[0]×cores[1], ...`), merged by stable cell index — never by
+    /// worker completion order — so output, diagnostics, and stripped
+    /// traces are identical for any `jobs` value.
+    pub fn compile_matrix(
+        &self,
+        isaxes: &[(String, String, String)],
+        cores: &[VirtualDatasheet],
+        jobs: usize,
+    ) -> MatrixResult {
+        let cache = FrontendCache::new();
+        let cells: Vec<(usize, usize)> = (0..isaxes.len())
+            .flat_map(|i| (0..cores.len()).map(move |c| (i, c)))
+            .collect();
+        let pool = Pool::new(jobs);
+        let outcomes = pool.run(cells.len(), |k| {
+            let (i, c) = cells[k];
+            let (_, unit, src) = &isaxes[i];
+            self.compile_cached(src, unit, &cores[c], &cache)
+        });
+        let entries = cells
+            .iter()
+            .zip(outcomes)
+            .map(|(&(i, c), outcome)| MatrixEntry {
+                isax: isaxes[i].0.clone(),
+                unit: isaxes[i].1.clone(),
+                core: cores[c].core.clone(),
+                outcome,
+            })
+            .collect();
+        MatrixResult {
+            entries,
+            jobs: pool.workers(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        }
     }
 
     fn compile_graph(
@@ -590,6 +646,221 @@ impl Longnail {
         };
         Ok(OperatorType::combinational(&name, delay))
     }
+}
+
+/// The core-independent half of a compilation: the elaborated typed
+/// module plus its verified LIL lowering and any per-unit diagnostics the
+/// lowering raised. Produced once per `(source, unit)` pair and shared —
+/// via [`FrontendCache`] — across every core the ISAX is compiled for.
+#[derive(Debug, Clone)]
+pub struct FrontendArtifacts {
+    /// The elaborated, type-checked module.
+    pub module: TypedModule,
+    /// The lowered LIL module; only graphs that passed the stage verifier
+    /// are present.
+    pub lil: LilModule,
+    /// Diagnostics raised during lowering/verification. Core-independent,
+    /// so they are replayed verbatim into every per-core compilation
+    /// (re-stamped with that compilation's trace span).
+    pub lower_events: Vec<DiagEvent>,
+}
+
+/// Lowers a type-checked module to verified LIL, capturing per-unit
+/// problems as replayable events instead of aborting.
+fn lower_artifacts(module: TypedModule) -> FrontendArtifacts {
+    let mut diagnostics = Diagnostics::default();
+    let mut lil = lower_state(&module);
+    let spans: HashMap<String, Span> = module
+        .instructions
+        .iter()
+        .map(|i| (i.name.clone(), i.span))
+        .chain(module.always_blocks.iter().map(|a| (a.name.clone(), a.span)))
+        .collect();
+    let lowered = module
+        .instructions
+        .iter()
+        .map(|i| lower_instruction(&module, i))
+        .chain(module.always_blocks.iter().map(|a| lower_always(&module, a)));
+    for result in lowered {
+        let graph = match result {
+            Ok(g) => g,
+            Err(e) => {
+                diagnostics.error(
+                    "lower",
+                    Some(&e.unit),
+                    spans.get(&e.unit).copied(),
+                    e.message,
+                );
+                continue;
+            }
+        };
+        // Stage verifier: a graph the lowering itself produced must be
+        // well-formed; a violation is a compiler bug, contained to this
+        // unit.
+        if let Err(errs) = verify_graph(&graph, &lil) {
+            let msg = errs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            diagnostics.fault("verify", Some(&graph.name), spans.get(&graph.name).copied(), msg);
+            continue;
+        }
+        lil.graphs.push(graph);
+    }
+    FrontendArtifacts {
+        module,
+        lil,
+        lower_events: diagnostics.events,
+    }
+}
+
+/// Content-address of a CoreDSL source: 64-bit FNV-1a over its bytes.
+pub fn source_hash(src: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in src.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    source_hash: u64,
+    unit: String,
+}
+
+/// Per-key cell: the entry mutex makes the first accessor compute while
+/// any concurrent peer blocks, so each key is computed exactly once and
+/// the hit/miss totals are deterministic for every worker count.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    ready: Mutex<Option<Result<Arc<FrontendArtifacts>, FlowError>>>,
+}
+
+/// A thread-safe, content-addressed cache of [`FrontendArtifacts`], keyed
+/// by `(fnv1a64(source), unit)`. Frontend *failures* are cached alongside
+/// successes so a broken ISAX fails once, not once per core.
+#[derive(Debug, Default)]
+pub struct FrontendCache {
+    slots: Mutex<HashMap<CacheKey, Arc<CacheSlot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FrontendCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups that found a previously computed entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the frontend + lowering.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(source, unit)` pairs held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached artifacts for `(src, unit)`, computing them with
+    /// `ln`'s frontend on first access. Concurrent requests for the same
+    /// key block on the first one rather than duplicating the work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) frontend [`FlowError`] for sources that do not
+    /// compile.
+    pub fn get_or_compute(
+        &self,
+        src: &str,
+        unit: &str,
+        ln: &Longnail,
+    ) -> Result<Arc<FrontendArtifacts>, FlowError> {
+        let key = CacheKey {
+            source_hash: source_hash(src),
+            unit: unit.to_string(),
+        };
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut ready = slot.ready.lock().expect("cache slot poisoned");
+        if let Some(result) = &*ready {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return result.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = ln.frontend_artifacts(src, unit).map(Arc::new);
+        *ready = Some(result.clone());
+        result
+    }
+}
+
+/// One cell of a compiled matrix: one ISAX targeted at one core.
+#[derive(Debug, Clone)]
+pub struct MatrixEntry {
+    /// ISAX display name (Table 3 row).
+    pub isax: String,
+    /// CoreDSL unit that was elaborated.
+    pub unit: String,
+    /// Target core name.
+    pub core: String,
+    /// The compilation outcome for this cell.
+    pub outcome: Result<CompiledIsax, FlowError>,
+}
+
+/// Result of [`Longnail::compile_matrix`]: all cells in deterministic
+/// row-major input order plus the shared-cache statistics.
+#[derive(Debug)]
+pub struct MatrixResult {
+    /// One entry per `(isax, core)` pair, ordered `isaxes[0]×cores[0],
+    /// isaxes[0]×cores[1], …` regardless of worker scheduling.
+    pub entries: Vec<MatrixEntry>,
+    /// Worker threads the matrix actually ran with.
+    pub jobs: usize,
+    /// Frontend-cache hits across all cells (for the 8×4 evaluation
+    /// matrix: 24 — each of the 8 ISAXes reused by 3 of the 4 cores).
+    pub cache_hits: u64,
+    /// Frontend-cache misses (distinct ISAX sources actually compiled).
+    pub cache_misses: u64,
+}
+
+impl MatrixResult {
+    /// Finds a cell by ISAX display name and core.
+    pub fn entry(&self, isax: &str, core: &str) -> Option<&MatrixEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.isax == isax && e.core == core)
+    }
+
+    /// Iterates over successfully compiled cells.
+    pub fn compiled(&self) -> impl Iterator<Item = (&MatrixEntry, &CompiledIsax)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.outcome.as_ref().ok().map(|c| (e, c)))
+    }
+}
+
+/// The virtual datasheets of all four evaluation cores (Table 4), in
+/// [`EVAL_CORES`] order.
+pub fn eval_datasheets() -> Vec<VirtualDatasheet> {
+    EVAL_CORES
+        .iter()
+        .map(|c| builtin_datasheet(c).expect("builtin evaluation core"))
+        .collect()
 }
 
 /// Maps a LIL operation to its SCAIE-V sub-interface, if any.

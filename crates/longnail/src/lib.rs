@@ -25,4 +25,7 @@ pub mod golden;
 pub mod isax_lib;
 
 pub use diag::{DiagEvent, Diagnostics, Severity};
-pub use driver::{CompiledGraph, CompiledIsax, FlowError, Longnail};
+pub use driver::{
+    CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts, FrontendCache, Longnail,
+    MatrixEntry, MatrixResult,
+};

@@ -1,0 +1,228 @@
+//! A dependency-free scoped thread pool for embarrassingly parallel,
+//! deterministically ordered work.
+//!
+//! The workspace is offline (no rayon), so this crate hand-rolls the one
+//! pattern the compile matrix needs: run `f(0..jobs)` across up to
+//! `workers` OS threads and hand the results back **in index order**,
+//! regardless of which worker finished which job when. Work distribution
+//! is self-scheduling: every worker repeatedly claims the next unclaimed
+//! index from a shared atomic counter, so a slow job (one big ISAX ILP)
+//! never stalls the queue behind it the way static chunking would.
+//!
+//! Determinism contract: [`Pool::run`] returns `results[i] == f(i)` for
+//! every `i`, merged by index — never by completion order. Callers that
+//! record per-job artifacts (traces, Verilog, diagnostics) therefore see
+//! identical output for any worker count, provided `f` itself is
+//! deterministic per index.
+//!
+//! Panic semantics: a panic inside `f` is forwarded to the caller after
+//! all workers have stopped claiming work, like `std::thread::scope`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool is a value, not a resource: threads are spawned per
+/// [`Pool::run`] call inside a [`std::thread::scope`] and joined before it
+/// returns, so borrowed data (`&self` compilers, caches) flows into the
+/// closure without `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs at most `workers` jobs concurrently.
+    /// A worker count of 0 is clamped to 1.
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Concurrency width this pool was created with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(i)` for every `i in 0..jobs` and returns the results in
+    /// index order.
+    ///
+    /// With a single worker (or at most one job) everything runs inline on
+    /// the calling thread — no threads are spawned, so the serial path is
+    /// byte-for-byte the sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first observed panic from `f` after all workers have
+    /// drained.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let threads = self.workers.min(jobs);
+        let worker_outputs: Vec<WorkerOutput<T>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut claimed: Vec<(usize, T)> = Vec::new();
+                        let mut panic = None;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                Ok(v) => claimed.push((i, v)),
+                                Err(p) => {
+                                    // Stop the whole pool: park the queue
+                                    // past the end so peers drain quickly.
+                                    next.store(jobs, Ordering::Relaxed);
+                                    panic = Some(p);
+                                    break;
+                                }
+                            }
+                        }
+                        WorkerOutput { claimed, panic }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker thread itself panicked"))
+                .collect()
+        });
+        // Merge by stable job index, never by completion order.
+        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        let mut first_panic = None;
+        for out in worker_outputs {
+            for (i, v) in out.claimed {
+                debug_assert!(slots[i].is_none(), "job {i} ran twice");
+                slots[i] = Some(v);
+            }
+            if first_panic.is_none() {
+                first_panic = out.panic;
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} was never claimed")))
+            .collect()
+    }
+}
+
+struct WorkerOutput<T> {
+    claimed: Vec<(usize, T)>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Convenience wrapper: `run_indexed(jobs, workers, f)` ==
+/// `Pool::new(workers).run(jobs, f)`.
+pub fn run_indexed<T, F>(jobs: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    Pool::new(workers).run(jobs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let got = Pool::new(workers).run(37, |i| i * i);
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(4).run(100, |i| {
+            ran[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, r) in ran.iter().enumerate() {
+            assert_eq!(r.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_workers_are_fine() {
+        assert!(Pool::new(0).run(0, |i| i).is_empty());
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(3).run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = Pool::new(1).run(5, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn work_is_shared_when_a_job_blocks() {
+        // One deliberately slow job must not prevent other workers from
+        // draining the rest of the queue (self-scheduling, not chunking).
+        let slow_started = AtomicBool::new(false);
+        let done_while_slow = AtomicUsize::new(0);
+        Pool::new(2).run(16, |i| {
+            if i == 0 {
+                slow_started.store(true, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            } else if slow_started.load(Ordering::SeqCst) {
+                done_while_slow.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(done_while_slow.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(3).run(10, |i| {
+                if i == 4 {
+                    panic!("job four exploded");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job four exploded"), "{msg}");
+    }
+
+    #[test]
+    fn borrows_non_static_state() {
+        let log = Mutex::new(Vec::new());
+        let doubled = Pool::new(2).run(8, |i| {
+            log.lock().unwrap().push(i);
+            i * 2
+        });
+        assert_eq!(doubled, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        let mut seen = log.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+}

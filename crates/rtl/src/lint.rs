@@ -414,9 +414,11 @@ pub fn lint_module(module: &Module) -> Result<(), Vec<LintIssue>> {
 /// depth 0). This is the structural "logic levels" statistic telemetry
 /// reports next to the calibrated `eda`-model delay.
 ///
-/// Works on any netlist, topologically ordered or not; nets on a
-/// combinational cycle (which [`lint_module`] rejects) contribute the
-/// depth accumulated up to the point the cycle closes rather than looping.
+/// Works on any netlist, topologically ordered or not. A combinational
+/// cycle (which [`lint_module`] rejects) has no finite logic depth: every
+/// net on or downstream of one saturates to [`u32::MAX`], so the result is
+/// `u32::MAX` — an unmissable sentinel — rather than an arbitrary small
+/// number that depended on where the traversal happened to enter the loop.
 pub fn comb_depth(module: &Module) -> u32 {
     let n = module.nets.len();
     let mut depth: Vec<Option<u32>> = vec![None; n];
@@ -451,12 +453,15 @@ pub fn comb_depth(module: &Module) -> u32 {
         while let Some(&mut (node, ref mut arg)) = stack.last_mut() {
             let args = comb_args(node);
             if *arg >= args.len() {
+                // An arg without a depth here is still on the DFS stack —
+                // a back edge closing a cycle — so its depth is unbounded:
+                // saturate instead of undercounting.
                 let input = args
                     .iter()
-                    .map(|&a| depth[a].unwrap_or(0))
+                    .map(|&a| depth[a].unwrap_or(u32::MAX))
                     .max()
                     .unwrap_or(0);
-                let d = input + u32::from(is_cell(node));
+                let d = input.saturating_add(u32::from(is_cell(node)));
                 depth[node] = Some(d);
                 worst = worst.max(d);
                 visiting[node] = false;
@@ -688,7 +693,7 @@ mod tests {
     }
 
     #[test]
-    fn comb_depth_terminates_on_cycles() {
+    fn comb_depth_saturates_on_cycles() {
         let mut m = Module::new("t");
         let o = m.add_port("o", PortDir::Output, 1);
         // Two NOTs feeding each other: a combinational cycle.
@@ -711,7 +716,27 @@ mod tests {
             "b",
         );
         m.connect_output(o, b);
-        assert!(comb_depth(&m) >= 1); // must return, not loop
+        // Must return (not loop), and a cycle has no finite depth: the
+        // saturated sentinel, not an entry-point-dependent small count.
+        assert_eq!(comb_depth(&m), u32::MAX);
+    }
+
+    #[test]
+    fn comb_depth_saturation_does_not_leak_into_acyclic_logic() {
+        // A cyclic module and a straight-line module must not interfere:
+        // the acyclic one still reports its true depth.
+        let (mut m, na, nb, o) = two_input_module();
+        let sum = m.add_net(
+            Driver::Comb {
+                op: CombOp::Add,
+                args: vec![na, nb],
+                lo: 0,
+            },
+            8,
+            "sum",
+        );
+        m.connect_output(o, sum);
+        assert_eq!(comb_depth(&m), 1);
     }
 
     #[test]

@@ -128,8 +128,24 @@ impl Schedule {
     /// Deepest point within any cycle at which an operation starts — the
     /// chaining depth the schedule actually uses, in the same units as
     /// the cycle-time budget.
+    ///
+    /// Empty schedules report `0.0`. A NaN offset (a solver bug upstream)
+    /// propagates to the result instead of being masked, and a legitimate
+    /// all-negative schedule reports its true maximum — this is a maximum,
+    /// not a clamp to zero. (`f64::max` would swallow both: it discards
+    /// NaN and a `0.0` seed floors negatives.)
     pub fn max_start_time_in_cycle(&self) -> f64 {
-        self.start_time_in_cycle.iter().copied().fold(0.0, f64::max)
+        let mut worst: Option<f64> = None;
+        for &v in &self.start_time_in_cycle {
+            if v.is_nan() {
+                return f64::NAN;
+            }
+            worst = Some(match worst {
+                Some(w) if w >= v => w,
+                _ => v,
+            });
+        }
+        worst.unwrap_or(0.0)
     }
 }
 
@@ -389,6 +405,39 @@ mod tests {
         let b = p.add_operation("b", comb);
         p.add_dependence(a, b);
         (p, a, b)
+    }
+
+    #[test]
+    fn max_stic_is_a_true_maximum() {
+        let s = Schedule {
+            start_time: vec![0, 0, 1],
+            start_time_in_cycle: vec![0.0, 2.5, 1.0],
+        };
+        assert_eq!(s.max_start_time_in_cycle(), 2.5);
+        let empty = Schedule {
+            start_time: vec![],
+            start_time_in_cycle: vec![],
+        };
+        assert_eq!(empty.max_start_time_in_cycle(), 0.0);
+    }
+
+    #[test]
+    fn max_stic_propagates_nan() {
+        // A NaN offset is a solver bug; it must surface, not be masked.
+        let s = Schedule {
+            start_time: vec![0, 0],
+            start_time_in_cycle: vec![1.0, f64::NAN],
+        };
+        assert!(s.max_start_time_in_cycle().is_nan());
+    }
+
+    #[test]
+    fn max_stic_does_not_floor_negative_offsets() {
+        let s = Schedule {
+            start_time: vec![0, 0],
+            start_time_in_cycle: vec![-2.0, -0.5],
+        };
+        assert_eq!(s.max_start_time_in_cycle(), -0.5);
     }
 
     #[test]
