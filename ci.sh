@@ -82,14 +82,22 @@ cargo run -q --release -p longnail --bin lnc -- \
     --report --metrics-out "$smoke_dir/dotp.jsonl" | grep -q "compile report"
 grep -q '"ev":"span_start".*"name":"solve"' "$smoke_dir/dotp.jsonl"
 
-echo "== determinism: lnc --matrix --jobs 4 is byte-identical to --jobs 1"
+echo "== determinism + xcheck: lnc --matrix --jobs 4 is byte-identical to --jobs 1"
+# --xcheck doubles as the four-state oracle gate: any interp/xsim
+# mismatch, X bit escaping to an output, or static X-hazard finding makes
+# lnc exit 2 and fails this step. Its telemetry is stripped (timing-free),
+# so the byte-identity diff covers the xcheck.jsonl files too.
 cargo run -q --release -p longnail --bin lnc -- \
-    --matrix --jobs 1 --out "$smoke_dir/m1" > "$smoke_dir/m1.stdout"
+    --matrix --jobs 1 --xcheck --out "$smoke_dir/m1" > "$smoke_dir/m1.stdout"
 cargo run -q --release -p longnail --bin lnc -- \
-    --matrix --jobs 4 --out "$smoke_dir/m4" > "$smoke_dir/m4.stdout"
+    --matrix --jobs 4 --xcheck --out "$smoke_dir/m4" > "$smoke_dir/m4.stdout"
 diff -r "$smoke_dir/m1" "$smoke_dir/m4"
 diff "$smoke_dir/m1.stdout" "$smoke_dir/m4.stdout"
-# Every cell must have written its stripped trace next to the Verilog.
+# Every cell must have written its stripped traces next to the Verilog,
+# and the 32-cell oracle summary must be fully clean.
 [ "$(find "$smoke_dir/m1" -name trace.jsonl | wc -l)" -eq 32 ]
+[ "$(find "$smoke_dir/m1" -name xcheck.jsonl | wc -l)" -eq 32 ]
+grep -qx "xcheck: 32 cell(s), 0 mismatch(es), 0 X output bit(s), 0 hazard(s)" \
+    "$smoke_dir/m1.stdout"
 
 echo "== ci.sh: all checks passed"

@@ -80,6 +80,22 @@ fn signed_division_truncates_toward_zero() {
 }
 
 #[test]
+fn signed_division_overflow_wraps_per_riscv() {
+    // INT_MIN / -1 overflows; RISC-V (and w-bit SystemVerilog `/`) wraps
+    // the quotient back to INT_MIN and gives a zero remainder.
+    for w in [8u32, 32, 64, 128] {
+        let int_min = ApInt::one(w).shl_bits(w - 1);
+        let neg_one = ApInt::ones(w);
+        assert_eq!(int_min.sdiv(&neg_one), int_min, "width {w} quotient");
+        assert!(int_min.srem(&neg_one).is_zero(), "width {w} remainder");
+        // Divide by zero on the same dividend: all-ones / dividend.
+        let z = ApInt::zero(w);
+        assert!(int_min.sdiv(&z).is_all_ones(), "width {w} div by zero");
+        assert_eq!(int_min.srem(&z), int_min, "width {w} rem by zero");
+    }
+}
+
+#[test]
 fn shifts_within_and_past_width() {
     let v = ApInt::from_u64(0b1011, 8);
     assert_eq!(v.shl_bits(2).to_u64(), 0b101100);

@@ -4,8 +4,8 @@
 //! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
 //!            [--unit <InstructionSet>] [--out <dir>]
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
-//!            [--trace] [--metrics-out <path>] [--report]
-//!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>]
+//!            [--trace] [--metrics-out <path>] [--report] [--xcheck]
+//!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -19,6 +19,15 @@
 //! land in --out/<isax>_<core>/: the SystemVerilog per unit, the SCAIE-V
 //! YAML, and the stripped (timing-free) telemetry trace as JSONL. Output
 //! is byte-identical for every --jobs value.
+//!
+//! --xcheck runs the differential X-propagation oracle after compiling:
+//! every generated netlist is re-executed under four-state IEEE-1800
+//! semantics (`rtl::xsim`) against the two-valued interpreter, and the
+//! static X-hazard lint is applied. Any mismatch, X bit escaping to an
+//! output from fully-known stimulus, or hazard finding is an internal
+//! fault (exit 2). In --matrix mode the per-cell checks are fanned across
+//! --jobs workers and each cell's xcheck telemetry lands in
+//! --out/<isax>_<core>/xcheck.jsonl.
 //!
 //! --budget bounds the deterministic solver work per instruction; when the
 //! exact scheduler exhausts it, the instruction degrades to the verified
@@ -54,6 +63,7 @@ struct Args {
     report: bool,
     matrix: bool,
     jobs: usize,
+    xcheck: bool,
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -68,6 +78,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut report = false;
     let mut matrix = false;
     let mut jobs = 1usize;
+    let mut xcheck = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -91,6 +102,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                     .ok_or_else(|| format!("--jobs: `{v}` is not a worker count >= 1"))?;
             }
             "--matrix" => matrix = true,
+            "--xcheck" => xcheck = true,
             "--trace" => trace = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
@@ -139,6 +151,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         report,
         matrix,
         jobs,
+        xcheck,
     })
 }
 
@@ -146,8 +159,8 @@ fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
          [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
-         [--trace] [--metrics-out <path>] [--report]\n\
-         \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>]",
+         [--trace] [--metrics-out <path>] [--report] [--xcheck]\n\
+         \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]",
         EVAL_CORES.join("|")
     );
 }
@@ -217,6 +230,44 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
             entry.isax,
             entry.core,
             compiled.graphs.len()
+        );
+    }
+    if args.xcheck {
+        // Fan the per-cell differential checks across the same worker
+        // count as the compile; results come back in deterministic input
+        // order regardless of scheduling.
+        let reports: Vec<Option<longnail::XCheckReport>> =
+            pool::run_indexed(matrix.entries.len(), args.jobs, |i| {
+                matrix.entries[i]
+                    .outcome
+                    .as_ref()
+                    .ok()
+                    .map(longnail::xcheck_compiled)
+            });
+        let mut cells = 0u64;
+        let (mut mism, mut xbits, mut hazards) = (0u64, 0u64, 0u64);
+        for (entry, report) in matrix.entries.iter().zip(&reports) {
+            let Some(report) = report else { continue };
+            cells += 1;
+            mism += report.mismatches();
+            xbits += report.x_output_bits();
+            hazards += report.lint_findings();
+            for p in report.problems() {
+                eprintln!("{}×{}: xcheck: {p}", entry.isax, entry.core);
+            }
+            let cell_dir = args.out.join(format!("{}_{}", entry.isax, entry.core));
+            let path = cell_dir.join("xcheck.jsonl");
+            if let Err(e) = std::fs::write(&path, report.trace.stripped().to_jsonl()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            if !report.is_clean() {
+                worst = worst.max(2);
+            }
+        }
+        println!(
+            "xcheck: {cells} cell(s), {mism} mismatch(es), {xbits} X output bit(s), \
+             {hazards} hazard(s)"
         );
     }
     // Wall time is nondeterministic; keep it off stdout so stdout stays
@@ -325,6 +376,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if args.xcheck {
+        let report = longnail::xcheck_compiled(&compiled);
+        for p in report.problems() {
+            eprintln!("xcheck: {p}");
+        }
+        if args.trace {
+            eprint!("{}", telemetry::report::render_tree(&report.trace));
+        }
+        println!("{}", report.summary());
+        if !report.is_clean() {
+            // A divergence between the emitted SystemVerilog's semantics
+            // and the interpreter is a compiler fault, not a user error.
+            return ExitCode::from(2);
+        }
+    }
     if args.report {
         print!("{}", telemetry::report::render_report(&compiled.trace));
         return exit_for(&compiled);
@@ -418,6 +484,15 @@ mod tests {
         assert!(parse(&["--matrix", "--jobs", "many"]).is_err());
         assert!(parse(&["--matrix", "--jobs"]).is_err());
         assert_eq!(parse(&["--matrix", "--jobs", "16"]).unwrap().jobs, 16);
+    }
+
+    #[test]
+    fn xcheck_flag_parses_in_both_modes() {
+        assert!(parse(&["x.core_desc", "--core", "ORCA", "--xcheck"])
+            .unwrap()
+            .xcheck);
+        assert!(parse(&["--matrix", "--xcheck", "--jobs", "2"]).unwrap().xcheck);
+        assert!(!parse(&["--matrix"]).unwrap().xcheck);
     }
 
     #[test]

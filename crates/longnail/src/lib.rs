@@ -17,15 +17,20 @@
 //!   sources, plus assembler mnemonics for them,
 //! * [`golden`] — the golden-model executor: runs ISAX-extended programs on
 //!   the `riscv` ISS via the CoreDSL behavior interpreter (the reference
-//!   for §5.3-style verification).
+//!   for §5.3-style verification),
+//! * [`xcheck`] — the opt-in differential X-propagation oracle
+//!   (`lnc --xcheck`): re-runs every generated netlist under four-state
+//!   IEEE-1800 semantics and diffs it against `rtl::interp`.
 
 pub mod diag;
 pub mod driver;
 pub mod golden;
 pub mod isax_lib;
+pub mod xcheck;
 
 pub use diag::{DiagEvent, Diagnostics, Severity};
 pub use driver::{
     CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts, FrontendCache, Longnail,
     MatrixEntry, MatrixResult,
 };
+pub use xcheck::{xcheck_compiled, xcheck_compiled_with, XCheckOptions, XCheckReport, XCheckUnit};

@@ -43,6 +43,12 @@ impl Simulator {
         &self.module
     }
 
+    /// All net values from the most recent [`Simulator::eval`], indexed by
+    /// net id. Used by the differential oracle in [`crate::xsim`].
+    pub fn net_values(&self) -> &[ApInt] {
+        &self.values
+    }
+
     /// Resets all registers to their initial values.
     pub fn reset(&mut self) {
         for (i, net) in self.module.nets.iter().enumerate() {
@@ -77,10 +83,12 @@ impl Simulator {
                 Driver::Reg { .. } => self.regs[i].clone().expect("register state"),
                 Driver::Rom { rom, index } => {
                     let table = &self.module.roms[*rom];
-                    let idx = self.values[index.0].try_to_u64().unwrap_or(u64::MAX);
-                    table
-                        .contents
-                        .get(idx as usize)
+                    // Indices past the table (or past the platform's usize,
+                    // which would otherwise wrap on 32-bit targets) read zero.
+                    self.values[index.0]
+                        .try_to_u64()
+                        .and_then(|v| usize::try_from(v).ok())
+                        .and_then(|idx| table.contents.get(idx))
                         .cloned()
                         .unwrap_or_else(|| ApInt::zero(table.width))
                 }
@@ -244,5 +252,33 @@ mod tests {
         let mut sim = Simulator::new(accumulator());
         let out = sim.step(&HashMap::new());
         assert_eq!(out["q"].to_u64(), 0);
+    }
+
+    #[test]
+    fn rom_reads_past_the_end_and_past_u64_yield_zero() {
+        let mut m = Module::new("romtest");
+        let idx = m.add_port("idx", PortDir::Input, 128);
+        let out = m.add_port("word", PortDir::Output, 8);
+        let n_idx = m.add_net(Driver::Input { port: idx }, 128, "idx");
+        m.roms.push(crate::netlist::RomData {
+            name: "tab".into(),
+            width: 8,
+            contents: vec![ApInt::from_u64(0xaa, 8), ApInt::from_u64(0xbb, 8)],
+        });
+        let n_rd = m.add_net(Driver::Rom { rom: 0, index: n_idx }, 8, "word");
+        m.connect_output(out, n_rd);
+        let mut sim = Simulator::new(m);
+
+        let read = |sim: &mut Simulator, v: ApInt| {
+            let mut inputs = HashMap::new();
+            inputs.insert("idx".to_string(), v);
+            sim.eval(&inputs)["word"].to_u64()
+        };
+        assert_eq!(read(&mut sim, ApInt::from_u64(1, 128)), 0xbb);
+        // Just past the table: zero.
+        assert_eq!(read(&mut sim, ApInt::from_u64(2, 128)), 0);
+        // Wider than u64 (would previously saturate to u64::MAX and, on a
+        // 32-bit usize, could wrap back into range): zero.
+        assert_eq!(read(&mut sim, ApInt::one(128).shl_bits(100)), 0);
     }
 }

@@ -13,15 +13,21 @@
 //! * [`verilog`] — emits the module as SystemVerilog,
 //! * [`interp`] — executes the netlist cycle by cycle, which is how the
 //!   "RTL simulation" verification of paper §5.3 is realized in this
-//!   reproduction.
+//!   reproduction,
+//! * [`xsim`] — four-state (0/1/X) re-execution under the IEEE-1800
+//!   semantics of the emitted SystemVerilog, plus the differential oracle
+//!   that checks it against [`interp`].
 
 pub mod build;
 pub mod interp;
 pub mod lint;
 pub mod netlist;
 pub mod verilog;
+pub mod xsim;
 
 pub use build::{build_graph_module, BuiltModule, IfaceSignal, PortBinding};
 pub use interp::Simulator;
-pub use lint::{lint_module, LintIssue};
+pub use lint::{lint_module, lint_x_hazards, LintIssue};
 pub use netlist::{CombOp, Driver, Module, Net, NetId, Port, PortDir};
+pub use verilog::{emit_verilog_with, EmitOptions};
+pub use xsim::{DiffCycle, DiffMismatch, DiffSim, XVal, Xsim};

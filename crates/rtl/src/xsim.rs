@@ -1,0 +1,968 @@
+//! Four-state (0/1/X per bit) netlist simulation and the differential
+//! X-propagation oracle.
+//!
+//! The two-valued [`crate::interp::Simulator`] implements the semantics the
+//! *compiler* believes in (the RISC-V division convention, zeros beyond a
+//! dynamic part-select, registers born at their reset value). Synthesis and
+//! commercial simulators instead implement the IEEE-1800 semantics of the
+//! *emitted SystemVerilog*, in which division by zero, out-of-range indexed
+//! part-selects, ambiguous mux selects, and un-reset registers all produce
+//! X. [`Xsim`] models that second world: every net carries a value/known
+//! bit-pair over [`ApInt`], and every [`CombOp`] is evaluated with the
+//! semantics of the expression [`crate::verilog`] emits for it (as selected
+//! by [`EmitOptions`]).
+//!
+//! [`DiffSim`] drives both simulators in lockstep over the same stimulus
+//! and fails on the first cycle where a *fully-known* four-state net
+//! disagrees with the two-valued interpreter — pinpointing the net, cycle,
+//! and driving operator. X bits reaching outputs under fully-known inputs
+//! are counted separately: they are exactly the places where the emitted
+//! SystemVerilog would diverge from what `interp` (and the golden model
+//! upstream of it) promised.
+
+use crate::interp::Simulator;
+use crate::netlist::{CombOp, Driver, Module};
+use crate::verilog::EmitOptions;
+use bits::ApInt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A four-state vector: per bit, `known` says whether the bit is a real
+/// 0/1 (carried in `value`) or X. Invariant: `value & !known == 0` — X
+/// positions always carry a zero value bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XVal {
+    value: ApInt,
+    known: ApInt,
+}
+
+impl XVal {
+    /// A fully-known value.
+    pub fn known(value: ApInt) -> XVal {
+        let known = ApInt::ones(value.width());
+        XVal { value, known }
+    }
+
+    /// An all-X value of the given width.
+    pub fn all_x(width: u32) -> XVal {
+        XVal {
+            value: ApInt::zero(width),
+            known: ApInt::zero(width),
+        }
+    }
+
+    /// Builds from raw planes, forcing the invariant.
+    pub fn from_planes(value: ApInt, known: ApInt) -> XVal {
+        assert_eq!(value.width(), known.width(), "plane widths differ");
+        XVal {
+            value: value.and(&known),
+            known,
+        }
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> u32 {
+        self.value.width()
+    }
+
+    /// The 0/1 plane (X positions read 0).
+    pub fn value_plane(&self) -> &ApInt {
+        &self.value
+    }
+
+    /// The known mask (1 = real bit, 0 = X).
+    pub fn known_plane(&self) -> &ApInt {
+        &self.known
+    }
+
+    /// True when no bit is X.
+    pub fn is_fully_known(&self) -> bool {
+        self.known.is_all_ones()
+    }
+
+    /// The two-valued content, if no bit is X.
+    pub fn as_known(&self) -> Option<&ApInt> {
+        if self.is_fully_known() {
+            Some(&self.value)
+        } else {
+            None
+        }
+    }
+
+    /// Number of X bits.
+    pub fn x_bits(&self) -> u32 {
+        let ones: u32 = self.known.limbs().iter().map(|l| l.count_ones()).sum();
+        self.width() - ones
+    }
+
+    /// Pessimistic merge of two same-width candidates (the IEEE conditional
+    /// operator with an ambiguous select): bits where both sides are known
+    /// and agree survive, everything else is X.
+    pub fn merge(&self, other: &XVal) -> XVal {
+        let agree = self
+            .known
+            .and(&other.known)
+            .and(&self.value.xor(&other.value).not());
+        XVal {
+            value: self.value.and(&agree),
+            known: agree,
+        }
+    }
+}
+
+impl fmt::Display for XVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pos in (0..self.width()).rev() {
+            let c = if !self.known.bit(pos) {
+                'x'
+            } else if self.value.bit(pos) {
+                '1'
+            } else {
+                '0'
+            };
+            f.write_fmt(format_args!("{c}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The four-state netlist simulator.
+///
+/// Registers power up all-X, exactly like un-reset `always_ff` state in
+/// real simulation; [`Xsim::reset`] models a completed synchronous reset
+/// pulse (every register takes its `init`). Missing inputs are all-X,
+/// where the two-valued interpreter silently assumes zero.
+#[derive(Debug, Clone)]
+pub struct Xsim {
+    module: Module,
+    opts: EmitOptions,
+    /// Register state (indexed by net id; `None` for non-regs).
+    regs: Vec<Option<XVal>>,
+    /// Net values from the most recent evaluation.
+    values: Vec<XVal>,
+}
+
+impl Xsim {
+    /// Creates a simulator with the default (X-safe) emission semantics
+    /// and all registers at X.
+    pub fn new(module: Module) -> Self {
+        Self::with_options(module, EmitOptions::default())
+    }
+
+    /// Creates a simulator modelling the SystemVerilog that
+    /// [`crate::verilog::emit_verilog_with`] produces under `opts`.
+    pub fn with_options(module: Module, opts: EmitOptions) -> Self {
+        let regs = module
+            .nets
+            .iter()
+            .map(|n| match &n.driver {
+                Driver::Reg { .. } => Some(XVal::all_x(n.width)),
+                _ => None,
+            })
+            .collect();
+        let values = module.nets.iter().map(|n| XVal::all_x(n.width)).collect();
+        Xsim {
+            module,
+            opts,
+            regs,
+            values,
+        }
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Models a completed synchronous reset: every register holds its
+    /// `init` value, fully known.
+    pub fn reset(&mut self) {
+        for (i, net) in self.module.nets.iter().enumerate() {
+            if let Driver::Reg { init, .. } = &net.driver {
+                self.regs[i] = Some(XVal::known(init.clone()));
+            }
+        }
+    }
+
+    /// The most recent value of net `i`.
+    pub fn net(&self, i: usize) -> &XVal {
+        &self.values[i]
+    }
+
+    /// All net values from the most recent evaluation.
+    pub fn net_values(&self) -> &[XVal] {
+        &self.values
+    }
+
+    /// Evaluates the combinational fabric with fully-known inputs.
+    /// Missing inputs are all-X.
+    pub fn eval(&mut self, inputs: &HashMap<String, ApInt>) -> HashMap<String, XVal> {
+        let four_state: HashMap<String, XVal> = inputs
+            .iter()
+            .map(|(k, v)| (k.clone(), XVal::known(v.clone())))
+            .collect();
+        self.eval_x(&four_state)
+    }
+
+    /// Evaluates the combinational fabric with four-state inputs and
+    /// returns the output-port values. Does **not** clock the registers.
+    pub fn eval_x(&mut self, inputs: &HashMap<String, XVal>) -> HashMap<String, XVal> {
+        let port_values: Vec<XVal> = self
+            .module
+            .ports
+            .iter()
+            .map(|p| match inputs.get(&p.name) {
+                Some(v) if v.width() == p.width => v.clone(),
+                Some(v) => XVal {
+                    value: v.value.zext_or_trunc(p.width),
+                    known: v.known.zext_or_trunc(p.width),
+                },
+                None => XVal::all_x(p.width),
+            })
+            .collect();
+        for i in 0..self.module.nets.len() {
+            let net = &self.module.nets[i];
+            let width = net.width;
+            let value = match &net.driver {
+                Driver::Input { port } => port_values[*port].clone(),
+                Driver::Const(c) => XVal::known(c.clone()),
+                Driver::Reg { .. } => self.regs[i].clone().expect("register state"),
+                Driver::Rom { rom, index } => {
+                    let table = &self.module.roms[*rom];
+                    // The emitter guards out-of-range-capable reads, so a
+                    // known index always yields a known word (zero when
+                    // past the end or the ROM is empty).
+                    match self.values[index.0].as_known() {
+                        Some(idx) => {
+                            let word = idx
+                                .try_to_u64()
+                                .and_then(|v| usize::try_from(v).ok())
+                                .and_then(|k| table.contents.get(k))
+                                .cloned()
+                                .unwrap_or_else(|| ApInt::zero(table.width));
+                            XVal::known(word)
+                        }
+                        None => XVal::all_x(width),
+                    }
+                }
+                Driver::Comb { op, args, lo } => {
+                    let a = |k: usize| &self.values[args[k].0];
+                    eval_comb(*op, a, *lo, width, &self.opts)
+                }
+            };
+            debug_assert_eq!(value.width(), width, "net {i} width mismatch");
+            self.values[i] = value;
+        }
+        self.module
+            .outputs
+            .iter()
+            .map(|&(port, net)| {
+                (
+                    self.module.ports[port].name.clone(),
+                    self.values[net.0].clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Latches all registers based on the most recent evaluation. An X
+    /// enable merges hold and load pessimistically.
+    pub fn clock(&mut self) {
+        let mut next_values: Vec<(usize, XVal)> = Vec::new();
+        for (i, net) in self.module.nets.iter().enumerate() {
+            if let Driver::Reg { next, enable, .. } = &net.driver {
+                let hold = self.regs[i].clone().expect("register state");
+                let load = self.values[next.0].clone();
+                let latched = match enable {
+                    None => load,
+                    Some(e) => match self.values[e.0].as_known() {
+                        Some(en) if en.is_zero() => hold,
+                        Some(_) => load,
+                        None => hold.merge(&load),
+                    },
+                };
+                next_values.push((i, latched));
+            }
+        }
+        for (i, v) in next_values {
+            self.regs[i] = Some(v);
+        }
+    }
+
+    /// Convenience: `eval` then `clock`, returning the sampled outputs.
+    pub fn step(&mut self, inputs: &HashMap<String, ApInt>) -> HashMap<String, XVal> {
+        let outputs = self.eval(inputs);
+        self.clock();
+        outputs
+    }
+}
+
+/// Evaluates one combinational operator under IEEE-1800 semantics of the
+/// expression the emitter produces for it.
+fn eval_comb<'a>(
+    op: CombOp,
+    a: impl Fn(usize) -> &'a XVal,
+    lo: u32,
+    width: u32,
+    opts: &EmitOptions,
+) -> XVal {
+    // Arithmetic (and other whole-word) operators: any X in any operand
+    // X-poisons the entire result, per the LRM.
+    let lift2 = |x: &XVal, y: &XVal, f: &dyn Fn(&ApInt, &ApInt) -> ApInt| match (
+        x.as_known(),
+        y.as_known(),
+    ) {
+        (Some(p), Some(q)) => XVal::known(f(p, q)),
+        _ => XVal::all_x(width),
+    };
+    // `/` and `%`: with the emitter's zero-divisor guard the expression is
+    // total and matches the ApInt (RISC-V) convention; unguarded, a known
+    // zero divisor X-poisons the result even though every input is known.
+    let div2 = |x: &XVal, y: &XVal, f: &dyn Fn(&ApInt, &ApInt) -> ApInt| match (
+        x.as_known(),
+        y.as_known(),
+    ) {
+        (Some(p), Some(q)) => {
+            if q.is_zero() && !opts.guard_division {
+                XVal::all_x(width)
+            } else {
+                XVal::known(f(p, q))
+            }
+        }
+        _ => XVal::all_x(width),
+    };
+    let cmp2 = |x: &XVal, y: &XVal, f: &dyn Fn(&ApInt, &ApInt) -> bool| match (
+        x.as_known(),
+        y.as_known(),
+    ) {
+        (Some(p), Some(q)) => XVal::known(ApInt::from_bool(f(p, q))),
+        _ => XVal::all_x(1),
+    };
+    match op {
+        CombOp::Add => lift2(a(0), a(1), &|p, q| p.add(q)),
+        CombOp::Sub => lift2(a(0), a(1), &|p, q| p.sub(q)),
+        CombOp::Mul => lift2(a(0), a(1), &|p, q| p.mul(q)),
+        CombOp::DivU => div2(a(0), a(1), &|p, q| p.udiv(q)),
+        CombOp::DivS => div2(a(0), a(1), &|p, q| p.sdiv(q)),
+        CombOp::RemU => div2(a(0), a(1), &|p, q| p.urem(q)),
+        CombOp::RemS => div2(a(0), a(1), &|p, q| p.srem(q)),
+        CombOp::Shl => lift2(a(0), a(1), &|p, q| p.shl(q)),
+        CombOp::ShrU => lift2(a(0), a(1), &|p, q| p.lshr(q)),
+        CombOp::ShrS => lift2(a(0), a(1), &|p, q| p.ashr(q)),
+        CombOp::And => {
+            let (x, y) = (a(0), a(1));
+            // A known 0 on either side pins the bit regardless of the other.
+            let zero_x = x.known.and(&x.value.not());
+            let zero_y = y.known.and(&y.value.not());
+            let known = x.known.and(&y.known).or(&zero_x).or(&zero_y);
+            XVal {
+                value: x.value.and(&y.value),
+                known,
+            }
+        }
+        CombOp::Or => {
+            let (x, y) = (a(0), a(1));
+            let one_x = x.known.and(&x.value);
+            let one_y = y.known.and(&y.value);
+            let known = x.known.and(&y.known).or(&one_x).or(&one_y);
+            XVal {
+                value: x.value.or(&y.value),
+                known,
+            }
+        }
+        CombOp::Xor => {
+            let (x, y) = (a(0), a(1));
+            let known = x.known.and(&y.known);
+            XVal {
+                value: x.value.xor(&y.value).and(&known),
+                known,
+            }
+        }
+        CombOp::Not => {
+            let x = a(0);
+            XVal {
+                value: x.value.not().and(&x.known),
+                known: x.known.clone(),
+            }
+        }
+        CombOp::Eq => cmp2(a(0), a(1), &|p, q| p == q),
+        CombOp::Ne => cmp2(a(0), a(1), &|p, q| p != q),
+        CombOp::Ult => cmp2(a(0), a(1), &|p, q| p.ult(q)),
+        CombOp::Ule => cmp2(a(0), a(1), &|p, q| p.ule(q)),
+        CombOp::Slt => cmp2(a(0), a(1), &|p, q| p.slt(q)),
+        CombOp::Sle => cmp2(a(0), a(1), &|p, q| p.sle(q)),
+        CombOp::Mux => match a(0).as_known() {
+            Some(c) if c.is_zero() => a(2).clone(),
+            Some(_) => a(1).clone(),
+            None => a(1).merge(a(2)),
+        },
+        CombOp::Concat => {
+            let (x, y) = (a(0), a(1));
+            XVal {
+                value: x.value.concat(&y.value),
+                known: x.known.concat(&y.known),
+            }
+        }
+        CombOp::Replicate => {
+            let x = a(0);
+            XVal {
+                value: x.value.replicate(lo),
+                known: x.known.replicate(lo),
+            }
+        }
+        CombOp::Extract => {
+            // `base[lo+width-1:lo]` — bits past the base are X in SV (the
+            // lint rejects such netlists; the interpreter zero-pads).
+            let x = a(0);
+            let bw = x.width();
+            let mut value = ApInt::zero(width);
+            let mut known = ApInt::zero(width);
+            for i in 0..width {
+                let src = u64::from(lo) + u64::from(i);
+                if src < u64::from(bw) {
+                    value.set_bit(i, x.value.bit(src as u32));
+                    known.set_bit(i, x.known.bit(src as u32));
+                }
+            }
+            XVal { value, known }
+        }
+        CombOp::ExtractDyn => {
+            let (x, off) = (a(0), a(1));
+            if opts.bounded_extract_dyn {
+                // Emitted as a zero-filled shift: total, zeros past the top.
+                match (x.as_known(), off.as_known()) {
+                    (Some(p), Some(q)) => XVal::known(p.lshr(q).zext_or_trunc(width)),
+                    _ => XVal::all_x(width),
+                }
+            } else {
+                // Emitted as `base[off +: width]`: out-of-range bits are X,
+                // an unknown index poisons everything.
+                match off.as_known() {
+                    None => XVal::all_x(width),
+                    Some(q) => {
+                        let bw = u64::from(x.width());
+                        let base_off = q.try_to_u64();
+                        let mut value = ApInt::zero(width);
+                        let mut known = ApInt::zero(width);
+                        for i in 0..width {
+                            let src = base_off.and_then(|o| o.checked_add(u64::from(i)));
+                            if let Some(s) = src.filter(|&s| s < bw) {
+                                value.set_bit(i, x.value.bit(s as u32));
+                                known.set_bit(i, x.known.bit(s as u32));
+                            }
+                        }
+                        XVal { value, known }
+                    }
+                }
+            }
+        }
+        CombOp::ZExt => {
+            let x = a(0);
+            let sw = x.width();
+            if width == sw {
+                // Emitted as a plain alias.
+                x.clone()
+            } else {
+                let pad = ApInt::ones(width).shl_bits(sw);
+                XVal {
+                    value: x.value.zext(width),
+                    known: x.known.zext(width).or(&pad),
+                }
+            }
+        }
+        CombOp::SExt => {
+            let x = a(0);
+            let sw = x.width();
+            if width == sw {
+                x.clone()
+            } else if x.known.bit(sw - 1) {
+                let pad = ApInt::ones(width).shl_bits(sw);
+                XVal {
+                    value: x.value.sext(width),
+                    known: x.known.zext(width).or(&pad),
+                }
+            } else {
+                // Unknown sign bit: the replicated pad is X.
+                XVal {
+                    value: x.value.zext(width),
+                    known: x.known.zext(width),
+                }
+            }
+        }
+        CombOp::Trunc => {
+            let x = a(0);
+            XVal {
+                value: x.value.trunc(width),
+                known: x.known.trunc(width),
+            }
+        }
+    }
+}
+
+/// A divergence found by the oracle: a cycle where a fully-known
+/// four-state net disagrees with the two-valued interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffMismatch {
+    /// Cycle number (0-based, counted from the first [`DiffSim::step`]).
+    pub cycle: u64,
+    /// Offending net index.
+    pub net: usize,
+    /// Debug name of the net (may be empty).
+    pub name: String,
+    /// Description of the net's driver (e.g. `DivU`, `Reg`).
+    pub driver: String,
+    /// The two-valued interpreter's value.
+    pub interp: ApInt,
+    /// The fully-known four-state value.
+    pub xsim: ApInt,
+}
+
+impl fmt::Display for DiffMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: net {} `{}` ({}) interp={:x} xsim={:x}",
+            self.cycle, self.net, self.name, self.driver, self.interp, self.xsim
+        )
+    }
+}
+
+impl std::error::Error for DiffMismatch {}
+
+/// Per-cycle oracle statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffCycle {
+    /// Cycle number of this step (0-based).
+    pub cycle: u64,
+    /// X bits observed on output ports this cycle. With fully-known
+    /// stimulus, any nonzero count means the emitted SystemVerilog can
+    /// produce X where the interpreter promises a value.
+    pub output_x_bits: u64,
+    /// X bits across all nets this cycle.
+    pub net_x_bits: u64,
+}
+
+/// The differential oracle: the two-valued interpreter and the four-state
+/// simulator in lockstep over identical stimulus.
+#[derive(Debug, Clone)]
+pub struct DiffSim {
+    interp: Simulator,
+    xsim: Xsim,
+    cycle: u64,
+}
+
+impl DiffSim {
+    /// Builds the pair with the default (X-safe) emission semantics. The
+    /// four-state side starts from a completed reset so both simulators
+    /// agree on register state.
+    pub fn new(module: Module) -> Self {
+        Self::with_options(module, EmitOptions::default())
+    }
+
+    /// Builds the pair modelling `opts`-style emission.
+    pub fn with_options(module: Module, opts: EmitOptions) -> Self {
+        let interp = Simulator::new(module.clone());
+        let mut xsim = Xsim::with_options(module, opts);
+        xsim.reset();
+        Self::from_parts(interp, xsim)
+    }
+
+    /// Builds the pair from independently constructed halves. This is the
+    /// regression-test hook: handing the four-state side a module that
+    /// differs from the interpreter's models an emitter bug, and the
+    /// oracle must flag it.
+    pub fn from_parts(interp: Simulator, xsim: Xsim) -> Self {
+        assert_eq!(
+            interp.module().nets.len(),
+            xsim.module().nets.len(),
+            "differential halves must have the same net count"
+        );
+        DiffSim {
+            interp,
+            xsim,
+            cycle: 0,
+        }
+    }
+
+    /// The two-valued half.
+    pub fn interp(&self) -> &Simulator {
+        &self.interp
+    }
+
+    /// The four-state half.
+    pub fn xsim(&self) -> &Xsim {
+        &self.xsim
+    }
+
+    /// Drives both simulators one cycle with the same fully-known inputs
+    /// and compares every net.
+    ///
+    /// # Errors
+    ///
+    /// The first net (in definition order) whose fully-known four-state
+    /// value differs from the interpreter's.
+    pub fn step(
+        &mut self,
+        inputs: &HashMap<String, ApInt>,
+    ) -> Result<DiffCycle, Box<DiffMismatch>> {
+        let cycle = self.cycle;
+        self.interp.eval(inputs);
+        let outputs = self.xsim.eval(inputs);
+        for (i, x) in self.xsim.net_values().iter().enumerate() {
+            let Some(known) = x.as_known() else { continue };
+            let expected = &self.interp.net_values()[i];
+            if known != expected {
+                let net = &self.xsim.module().nets[i];
+                return Err(Box::new(DiffMismatch {
+                    cycle,
+                    net: i,
+                    name: net.name.clone(),
+                    driver: driver_desc(&net.driver),
+                    interp: expected.clone(),
+                    xsim: known.clone(),
+                }));
+            }
+        }
+        let output_x_bits = outputs.values().map(|v| u64::from(v.x_bits())).sum();
+        let net_x_bits = self
+            .xsim
+            .net_values()
+            .iter()
+            .map(|v| u64::from(v.x_bits()))
+            .sum();
+        self.interp.clock();
+        self.xsim.clock();
+        self.cycle += 1;
+        Ok(DiffCycle {
+            cycle,
+            output_x_bits,
+            net_x_bits,
+        })
+    }
+}
+
+/// Short description of a net's driver for oracle reports.
+fn driver_desc(d: &Driver) -> String {
+    match d {
+        Driver::Input { .. } => "Input".into(),
+        Driver::Const(_) => "Const".into(),
+        Driver::Reg { .. } => "Reg".into(),
+        Driver::Rom { .. } => "Rom".into(),
+        Driver::Comb { op, .. } => format!("{op:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{NetId, PortDir};
+
+    fn inputs(pairs: &[(&str, u64, u32)]) -> HashMap<String, ApInt> {
+        pairs
+            .iter()
+            .map(|&(n, v, w)| (n.to_string(), ApInt::from_u64(v, w)))
+            .collect()
+    }
+
+    /// in(a), in(b) -> one comb op -> output.
+    fn binop_module(op: CombOp, width: u32, out_width: u32) -> Module {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, width);
+        let b = m.add_port("b", PortDir::Input, width);
+        let o = m.add_port("o", PortDir::Output, out_width);
+        let na = m.add_net(Driver::Input { port: a }, width, "a");
+        let nb = m.add_net(Driver::Input { port: b }, width, "b");
+        let r = m.add_net(
+            Driver::Comb {
+                op,
+                args: vec![na, nb],
+                lo: 0,
+            },
+            out_width,
+            "r",
+        );
+        m.connect_output(o, r);
+        m
+    }
+
+    #[test]
+    fn known_inputs_evaluate_exactly() {
+        let mut sim = Xsim::new(binop_module(CombOp::Add, 8, 8));
+        let out = sim.eval(&inputs(&[("a", 5, 8), ("b", 7, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 12);
+    }
+
+    #[test]
+    fn missing_input_poisons_arithmetic_but_not_masked_logic() {
+        // b missing (all-X): a + b is all X; a & b keeps the known zeros
+        // of a.
+        let mut add = Xsim::new(binop_module(CombOp::Add, 8, 8));
+        let out = add.eval(&inputs(&[("a", 5, 8)]));
+        assert_eq!(out["o"].x_bits(), 8);
+
+        let mut and = Xsim::new(binop_module(CombOp::And, 8, 8));
+        let out = and.eval(&inputs(&[("a", 0b0000_0101, 8)]));
+        // Bits where a is 0 are known-0; bits where a is 1 follow X.
+        assert_eq!(out["o"].x_bits(), 2);
+        assert_eq!(out["o"].value_plane().to_u64(), 0);
+
+        let mut or = Xsim::new(binop_module(CombOp::Or, 8, 8));
+        let out = or.eval(&inputs(&[("a", 0b0000_0101, 8)]));
+        assert_eq!(out["o"].x_bits(), 6);
+        assert_eq!(out["o"].value_plane().to_u64(), 0b0000_0101);
+    }
+
+    #[test]
+    fn guarded_division_is_total_unguarded_division_x_propagates() {
+        for op in [CombOp::DivU, CombOp::DivS, CombOp::RemU, CombOp::RemS] {
+            let mut safe = Xsim::new(binop_module(op, 8, 8));
+            let out = safe.eval(&inputs(&[("a", 100, 8), ("b", 0, 8)]));
+            assert!(out["o"].is_fully_known(), "{op:?} guarded");
+
+            let raw = EmitOptions {
+                guard_division: false,
+                ..EmitOptions::default()
+            };
+            let mut unsafe_sim = Xsim::with_options(binop_module(op, 8, 8), raw);
+            let out = unsafe_sim.eval(&inputs(&[("a", 100, 8), ("b", 0, 8)]));
+            assert_eq!(out["o"].x_bits(), 8, "{op:?} unguarded by zero");
+            // Non-zero divisors are exact either way.
+            let out = unsafe_sim.eval(&inputs(&[("a", 100, 8), ("b", 7, 8)]));
+            assert!(out["o"].is_fully_known(), "{op:?} unguarded nonzero");
+        }
+    }
+
+    #[test]
+    fn mux_with_x_select_merges_agreeing_bits() {
+        let mut m = Module::new("t");
+        let c = m.add_port("c", PortDir::Input, 1);
+        let o = m.add_port("o", PortDir::Output, 4);
+        let nc = m.add_net(Driver::Input { port: c }, 1, "c");
+        let t = m.add_net(Driver::Const(ApInt::from_u64(0b1010, 4)), 4, "t");
+        let e = m.add_net(Driver::Const(ApInt::from_u64(0b1001, 4)), 4, "e");
+        let mx = m.add_net(
+            Driver::Comb {
+                op: CombOp::Mux,
+                args: vec![nc, t, e],
+                lo: 0,
+            },
+            4,
+            "mx",
+        );
+        m.connect_output(o, mx);
+        let mut sim = Xsim::new(m);
+        // Select X: arms agree on bits 3 (1) and 0 (hi arm 0, lo arm 1 —
+        // disagree), bit 3 = 1/1 agree, bit 2 = 0/0 agree, bits 1,0 differ.
+        let out = sim.eval(&HashMap::new());
+        assert_eq!(out["o"].x_bits(), 2);
+        assert!(out["o"].known_plane().bit(3) && out["o"].known_plane().bit(2));
+        // Known select picks the arm exactly.
+        let out = sim.eval(&inputs(&[("c", 1, 1)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 0b1010);
+    }
+
+    #[test]
+    fn comparisons_are_x_pessimistic() {
+        let mut sim = Xsim::new(binop_module(CombOp::Eq, 8, 1));
+        let out = sim.eval(&inputs(&[("a", 3, 8)]));
+        assert_eq!(out["o"].x_bits(), 1);
+        let out = sim.eval(&inputs(&[("a", 3, 8), ("b", 3, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn registers_power_up_x_and_reset_known() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 8);
+        let o = m.add_port("o", PortDir::Output, 8);
+        let na = m.add_net(Driver::Input { port: a }, 8, "a");
+        let r = m.add_net(
+            Driver::Reg {
+                next: na,
+                enable: None,
+                init: ApInt::from_u64(0x5a, 8),
+            },
+            8,
+            "r",
+        );
+        m.connect_output(o, r);
+        let mut sim = Xsim::new(m);
+        let out = sim.step(&inputs(&[("a", 1, 8)]));
+        assert_eq!(out["o"].x_bits(), 8, "un-reset register reads X");
+        sim.reset();
+        let out = sim.step(&inputs(&[("a", 1, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 0x5a);
+        let out = sim.step(&inputs(&[("a", 2, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn x_enable_merges_register_hold_and_load() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 4);
+        let en = m.add_port("en", PortDir::Input, 1);
+        let o = m.add_port("o", PortDir::Output, 4);
+        let na = m.add_net(Driver::Input { port: a }, 4, "a");
+        let nen = m.add_net(Driver::Input { port: en }, 1, "en");
+        let r = m.add_net(
+            Driver::Reg {
+                next: na,
+                enable: Some(nen),
+                init: ApInt::from_u64(0b1100, 4),
+            },
+            4,
+            "r",
+        );
+        m.connect_output(o, r);
+        let mut sim = Xsim::new(m);
+        sim.reset();
+        // en is X; load value 0b1010 vs hold 0b1100: bit 3 agrees (1),
+        // bit 0 agrees (0), bits 2 and 1 disagree -> X.
+        sim.step(&inputs(&[("a", 0b1010, 4)]));
+        let out = sim.eval(&inputs(&[("a", 0, 4), ("en", 0, 1)]));
+        assert_eq!(out["o"].x_bits(), 2);
+        assert!(out["o"].known_plane().bit(3) && out["o"].known_plane().bit(0));
+    }
+
+    #[test]
+    fn bounded_dynamic_extract_is_total_raw_form_is_x_past_the_top() {
+        // base is 8 bits, extract 4 from a dynamic offset.
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 8);
+        let off = m.add_port("off", PortDir::Input, 4);
+        let o = m.add_port("o", PortDir::Output, 4);
+        let na = m.add_net(Driver::Input { port: a }, 8, "a");
+        let noff = m.add_net(Driver::Input { port: off }, 4, "off");
+        let ex = m.add_net(
+            Driver::Comb {
+                op: CombOp::ExtractDyn,
+                args: vec![na, noff],
+                lo: 0,
+            },
+            4,
+            "ex",
+        );
+        m.connect_output(o, ex);
+
+        let mut bounded = Xsim::new(m.clone());
+        let raw = EmitOptions {
+            bounded_extract_dyn: false,
+            ..EmitOptions::default()
+        };
+        let mut unbounded = Xsim::with_options(m, raw);
+        // Offset 6: bits [9:6] — two bits past the 8-bit base.
+        let stim = inputs(&[("a", 0xff, 8), ("off", 6, 4)]);
+        let out = bounded.eval(&stim);
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 0b0011);
+        let out = unbounded.eval(&stim);
+        assert_eq!(out["o"].x_bits(), 2, "raw +: is X past the top");
+        assert_eq!(out["o"].value_plane().to_u64(), 0b0011);
+        // In-range offsets agree between both forms.
+        let stim = inputs(&[("a", 0xa5, 8), ("off", 4, 4)]);
+        assert_eq!(
+            bounded.eval(&stim)["o"],
+            unbounded.eval(&stim)["o"],
+            "in-range dynamic extract"
+        );
+    }
+
+    #[test]
+    fn sext_with_unknown_sign_bit_pads_x() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 4);
+        let o = m.add_port("o", PortDir::Output, 8);
+        let na = m.add_net(Driver::Input { port: a }, 4, "a");
+        let sx = m.add_net(
+            Driver::Comb {
+                op: CombOp::SExt,
+                args: vec![na],
+                lo: 0,
+            },
+            8,
+            "sx",
+        );
+        m.connect_output(o, sx);
+        let mut sim = Xsim::new(m);
+        let out = sim.eval(&HashMap::new());
+        assert_eq!(out["o"].x_bits(), 8);
+        let out = sim.eval(&inputs(&[("a", 0b1001, 4)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 0b1111_1001);
+    }
+
+    #[test]
+    fn oracle_passes_clean_module_and_flags_divergent_halves() {
+        let m = binop_module(CombOp::Add, 8, 8);
+        let mut diff = DiffSim::new(m.clone());
+        let stim = inputs(&[("a", 3, 8), ("b", 4, 8)]);
+        let report = diff.step(&stim).unwrap();
+        assert_eq!(report.output_x_bits, 0);
+
+        // Model an emitter bug: the "SystemVerilog" side computes Sub
+        // where the compiler meant Add.
+        let mut wrong = m.clone();
+        if let Driver::Comb { op, .. } = &mut wrong.nets[2].driver {
+            *op = CombOp::Sub;
+        }
+        let mut diff = DiffSim::from_parts(
+            Simulator::new(m),
+            Xsim::with_options(wrong, EmitOptions::default()),
+        );
+        let err = diff.step(&stim).unwrap_err();
+        assert_eq!(err.net, 2);
+        assert_eq!(err.driver, "Sub");
+        assert_eq!(err.cycle, 0);
+        assert_eq!(err.interp.to_u64(), 7);
+        assert_eq!(err.xsim.to_u64(), 0xff);
+    }
+
+    #[test]
+    fn oracle_counts_x_outputs_from_known_inputs_for_unguarded_division() {
+        let m = binop_module(CombOp::DivU, 8, 8);
+        let raw = EmitOptions {
+            guard_division: false,
+            ..EmitOptions::default()
+        };
+        let mut diff = DiffSim::with_options(m, raw);
+        let report = diff.step(&inputs(&[("a", 9, 8), ("b", 0, 8)])).unwrap();
+        assert_eq!(report.output_x_bits, 8, "X escapes to an output");
+        let report = diff.step(&inputs(&[("a", 9, 8), ("b", 3, 8)])).unwrap();
+        assert_eq!(report.output_x_bits, 0);
+    }
+
+    #[test]
+    fn rom_reads_with_known_index_are_known() {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", PortDir::Input, 8);
+        let o = m.add_port("o", PortDir::Output, 4);
+        let na = m.add_net(Driver::Input { port: a }, 8, "a");
+        m.roms.push(crate::netlist::RomData {
+            name: "tab".into(),
+            width: 4,
+            contents: vec![ApInt::from_u64(3, 4), ApInt::from_u64(9, 4)],
+        });
+        let rd = m.add_net(Driver::Rom { rom: 0, index: na }, 4, "rd");
+        m.connect_output(o, rd);
+        let mut sim = Xsim::new(m);
+        let out = sim.eval(&inputs(&[("a", 1, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 9);
+        // Past the end: the emitted guard reads zero, still known.
+        let out = sim.eval(&inputs(&[("a", 200, 8)]));
+        assert_eq!(out["o"].as_known().unwrap().to_u64(), 0);
+        // Unknown index: X word.
+        let out = sim.eval(&HashMap::new());
+        assert_eq!(out["o"].x_bits(), 4);
+    }
+
+    #[test]
+    fn netid_type_is_reexported_shape() {
+        // Sanity: NetId indexes align between interp values and xsim values.
+        let m = binop_module(CombOp::Xor, 8, 8);
+        let mut diff = DiffSim::new(m);
+        diff.step(&inputs(&[("a", 0xf0, 8), ("b", 0x0f, 8)])).unwrap();
+        assert_eq!(
+            diff.xsim().net(NetId(2).0).as_known().unwrap().to_u64(),
+            0xff
+        );
+        assert_eq!(diff.interp().net_values()[2].to_u64(), 0xff);
+    }
+}

@@ -84,6 +84,16 @@ pub mod metrics {
     pub const CONFIG_ENTRIES: &str = "config.schedule_entries";
     /// Config: custom-register requests emitted (counter).
     pub const CONFIG_REGISTERS: &str = "config.registers";
+    /// X-check: cycles driven through the differential oracle (counter).
+    pub const XCHECK_CYCLES: &str = "xcheck.cycles";
+    /// X-check: cycles where a fully-known four-state net disagreed with
+    /// the two-valued interpreter (counter).
+    pub const XCHECK_MISMATCHES: &str = "xcheck.mismatches";
+    /// X-check: X bits observed on outputs under fully-known stimulus,
+    /// summed over all checked cycles (counter).
+    pub const XCHECK_X_OUTPUT_BITS: &str = "xcheck.x_output_bits";
+    /// X-check: static X-hazard lint findings (counter).
+    pub const XCHECK_LINT_FINDINGS: &str = "xcheck.lint_findings";
 }
 
 /// The eight pipeline stages of the Longnail flow, in order. The driver

@@ -16,9 +16,12 @@ use ir::eval::{eval_graph, LilEnv, UpdateKind};
 use ir::interp::{Interp, SimpleState};
 use longnail::driver::builtin_datasheet;
 use longnail::Longnail;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtl::build::IfaceSignal;
+use rtl::netlist::{CombOp, Driver, Module, NetId, PortDir, RomData};
+use rtl::xsim::DiffSim;
 use rtl::Simulator;
 use std::collections::HashMap;
 
@@ -259,6 +262,199 @@ impl LilEnv for FuzzEnv {
     }
     fn read_cust_reg(&mut self, _name: &str, _index: &ApInt) -> ApInt {
         ApInt::zero(32)
+    }
+}
+
+/// Builds a random netlist directly over the `rtl` dialect — no CoreDSL in
+/// the loop — so the four-state simulator is exercised on operator mixes
+/// the lowering would never produce. Every module ends with the three
+/// gadgets behind this PR's bug fixes: a division by a constant-zero
+/// divisor, a dynamic extract whose offset can run past the top of its
+/// base, and same-width ZExt/SExt aliases.
+fn random_netlist(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Module::new("fuzznet");
+    let pa = m.add_port("a", PortDir::Input, 32);
+    let pb = m.add_port("b", PortDir::Input, 32);
+    let po = m.add_port("o", PortDir::Output, 32);
+    let na = m.add_net(Driver::Input { port: pa }, 32, "a");
+    let nb = m.add_net(Driver::Input { port: pb }, 32, "b");
+    m.roms.push(RomData {
+        name: "tab".into(),
+        width: 32,
+        contents: (0..5).map(|i| ApInt::from_u64(0x1111 * i, 32)).collect(),
+    });
+    let mut words = vec![na, nb]; // 32-bit nets
+    let mut bits: Vec<NetId> = Vec::new(); // 1-bit nets
+    for step in 0..24u32 {
+        let x = words[rng.random_range(0..words.len())];
+        let y = words[rng.random_range(0..words.len())];
+        let comb = |op, args, lo| Driver::Comb { op, args, lo };
+        let name = format!("n{step}");
+        let net = match rng.random_range(0..15u32) {
+            0 => m.add_net(comb(CombOp::Add, vec![x, y], 0), 32, &name),
+            1 => m.add_net(comb(CombOp::Sub, vec![x, y], 0), 32, &name),
+            2 => m.add_net(comb(CombOp::Mul, vec![x, y], 0), 32, &name),
+            3 => {
+                let op = [CombOp::DivU, CombOp::DivS, CombOp::RemU, CombOp::RemS]
+                    [rng.random_range(0..4)];
+                m.add_net(comb(op, vec![x, y], 0), 32, &name)
+            }
+            4 => {
+                let op = [CombOp::And, CombOp::Or, CombOp::Xor][rng.random_range(0..3)];
+                m.add_net(comb(op, vec![x, y], 0), 32, &name)
+            }
+            5 => m.add_net(comb(CombOp::Not, vec![x], 0), 32, &name),
+            6 => {
+                let op = [CombOp::Shl, CombOp::ShrU, CombOp::ShrS][rng.random_range(0..3)];
+                m.add_net(comb(op, vec![x, y], 0), 32, &name)
+            }
+            7 => {
+                let op = [
+                    CombOp::Eq,
+                    CombOp::Ne,
+                    CombOp::Ult,
+                    CombOp::Ule,
+                    CombOp::Slt,
+                    CombOp::Sle,
+                ][rng.random_range(0..6)];
+                bits.push(m.add_net(comb(op, vec![x, y], 0), 1, &name));
+                continue;
+            }
+            8 if !bits.is_empty() => {
+                let c = bits[rng.random_range(0..bits.len())];
+                m.add_net(comb(CombOp::Mux, vec![c, x, y], 0), 32, &name)
+            }
+            9 => {
+                let hi = m.add_net(comb(CombOp::Extract, vec![x], 16), 16, &name);
+                let lo = m.add_net(comb(CombOp::Extract, vec![y], 0), 16, &format!("{name}b"));
+                m.add_net(comb(CombOp::Concat, vec![hi, lo], 0), 32, &format!("{name}c"))
+            }
+            10 if !bits.is_empty() => {
+                let b = bits[rng.random_range(0..bits.len())];
+                m.add_net(comb(CombOp::Replicate, vec![b], 32), 32, &name)
+            }
+            11 => {
+                // Dynamic extract with a full 32-bit offset: can reach far
+                // past the top of the base, so only total (zero-filled)
+                // emission keeps this X-free.
+                let e = m.add_net(comb(CombOp::ExtractDyn, vec![x, y], 0), 8, &name);
+                m.add_net(comb(CombOp::ZExt, vec![e], 0), 32, &format!("{name}z"))
+            }
+            12 => {
+                let e = m.add_net(comb(CombOp::Extract, vec![x], 8), 8, &name);
+                let op = if rng.random_bool(0.5) { CombOp::SExt } else { CombOp::ZExt };
+                m.add_net(comb(op, vec![e], 0), 32, &format!("{name}x"))
+            }
+            13 => {
+                let enable = if rng.random_bool(0.5) && !bits.is_empty() {
+                    Some(bits[rng.random_range(0..bits.len())])
+                } else {
+                    None
+                };
+                let init = ApInt::from_u64(rng.random::<u64>(), 64).zext_or_trunc(32);
+                m.add_net(Driver::Reg { next: x, enable, init }, 32, &name)
+            }
+            _ => {
+                // ROM read through a 3-bit index over a 5-entry table:
+                // indices 5..=7 overrun and must read zero everywhere.
+                let idx = m.add_net(comb(CombOp::Trunc, vec![x], 0), 3, &name);
+                m.add_net(Driver::Rom { rom: 0, index: idx }, 32, &format!("{name}r"))
+            }
+        };
+        words.push(net);
+    }
+    // Deterministic gadgets: the historic X sources, now fixed.
+    let zero = m.add_net(Driver::Const(ApInt::zero(32)), 32, "zdiv");
+    let g1 = m.add_net(
+        Driver::Comb { op: CombOp::DivU, args: vec![na, zero], lo: 0 },
+        32,
+        "div0",
+    );
+    let g2 = m.add_net(
+        Driver::Comb { op: CombOp::RemS, args: vec![nb, zero], lo: 0 },
+        32,
+        "rem0",
+    );
+    let off = m.add_net(Driver::Const(ApInt::from_u64(30, 32)), 32, "off30");
+    let top = m.add_net(
+        Driver::Comb { op: CombOp::ExtractDyn, args: vec![na, off], lo: 0 },
+        8,
+        "top",
+    );
+    let topz = m.add_net(
+        Driver::Comb { op: CombOp::ZExt, args: vec![top], lo: 0 },
+        32,
+        "topz",
+    );
+    let zs = m.add_net(
+        Driver::Comb { op: CombOp::ZExt, args: vec![nb], lo: 0 },
+        32,
+        "zsame",
+    );
+    let ss = m.add_net(
+        Driver::Comb { op: CombOp::SExt, args: vec![na], lo: 0 },
+        32,
+        "ssame",
+    );
+    words.extend([g1, g2, topz, zs, ss]);
+    for b in bits {
+        let z = m.add_net(
+            Driver::Comb { op: CombOp::ZExt, args: vec![b], lo: 0 },
+            32,
+            "bz",
+        );
+        words.push(z);
+    }
+    // XOR-reduce everything so every net is observable at the output.
+    let mut acc = words[0];
+    for (i, w) in words.iter().skip(1).enumerate() {
+        acc = m.add_net(
+            Driver::Comb { op: CombOp::Xor, args: vec![acc, *w], lo: 0 },
+            32,
+            &format!("acc{i}"),
+        );
+    }
+    m.connect_output(po, acc);
+    m.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid netlist: {e}"));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// xsim-vs-interp property: under the default (guarded) emission
+    /// options, a fully-known stimulus must keep every net of a random
+    /// netlist fully known, and the four-state values must agree with the
+    /// two-state interpreter bit-for-bit — `DiffSim::step` checks every
+    /// fully-known net, so `net_x_bits == 0` means total coverage.
+    #[test]
+    fn random_netlists_stay_known_and_match_the_interpreter(seed: u64, a0: u32, b0: u32) {
+        let module = random_netlist(seed);
+        let mut diff = DiffSim::new(module);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        for t in 0..8u32 {
+            let (a, b) = if t == 0 {
+                (a0, b0)
+            } else if t == 1 {
+                (a0, 0) // meet the data-dependent divisions with a zero
+            } else {
+                (rng.random(), rng.random())
+            };
+            let mut inputs = HashMap::new();
+            inputs.insert("a".to_string(), ApInt::from_u64(a as u64, 32));
+            inputs.insert("b".to_string(), ApInt::from_u64(b as u64, 32));
+            let stats = match diff.step(&inputs) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Err(proptest::TestCaseError::fail(format!(
+                        "seed {seed}, cycle {t}, a={a:#x}, b={b:#x}: {e}"
+                    )))
+                }
+            };
+            prop_assert_eq!(stats.net_x_bits, 0, "seed {}, cycle {}: X bits survive", seed, t);
+            prop_assert_eq!(stats.output_x_bits, 0);
+        }
     }
 }
 
