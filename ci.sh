@@ -100,4 +100,26 @@ diff "$smoke_dir/m1.stdout" "$smoke_dir/m4.stdout"
 grep -qx "xcheck: 32 cell(s), 0 mismatch(es), 0 X output bit(s), 0 hazard(s)" \
     "$smoke_dir/m1.stdout"
 
+echo "== chaos: injected fault degrades one cell, leaves the rest byte-identical"
+# Inject a contained panic at the rtl stage of one cell and rerun the full
+# matrix with --keep-going: lnc must exit 3 (partial success), report the
+# faulted cell on stderr with the degrade counters, and every *other* cell
+# must be byte-identical to the clean --jobs 4 run above.
+cat > "$smoke_dir/plan.txt" <<'EOF'
+X_DOTP@ORCA panic@rtl
+EOF
+chaos_code=0
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --xcheck --keep-going --fault-plan "$smoke_dir/plan.txt" \
+    --out "$smoke_dir/mchaos" \
+    > "$smoke_dir/mchaos.stdout" 2> "$smoke_dir/mchaos.stderr" || chaos_code=$?
+[ "$chaos_code" -eq 3 ]
+grep -q "internal fault: dotprod×ORCA" "$smoke_dir/mchaos.stderr"
+grep -q "degrade.cell_faults = 1" "$smoke_dir/mchaos.stderr"
+for d in "$smoke_dir/m4"/*/; do
+    cell=$(basename "$d")
+    [ "$cell" = "dotprod_ORCA" ] && continue
+    diff -r "$smoke_dir/m4/$cell" "$smoke_dir/mchaos/$cell"
+done
+
 echo "== ci.sh: all checks passed"

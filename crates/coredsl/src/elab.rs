@@ -5,13 +5,29 @@
 //! — base-ISA state first, then each extension in inheritance order — and
 //! hands it to [`crate::sema`] for type checking.
 
-use crate::ast::{CoreDef, Description, IsaDef, Stmt};
-use crate::error::{Diagnostic, Result, Span};
-use crate::parser::parse;
+use crate::ast::{CoreDef, IsaDef, Stmt};
+use crate::error::{codes, Diagnostic, Result, Span};
+use crate::parser::parse_all;
 use crate::prelude_src;
-use crate::sema::{analyze, SemaInput};
+use crate::sema::{analyze_all, SemaInput};
 use crate::tast::TypedModule;
 use std::collections::{HashMap, HashSet};
+
+/// A compile with full recovery: the module built from every unit that
+/// survived, plus all parse, elaboration, and semantic errors found in a
+/// single pass.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// The elaborated module; `None` only when elaboration could not even
+    /// identify or flatten the requested unit. When `Some` but [`errors`]
+    /// is non-empty, the module holds the subset that checked cleanly.
+    ///
+    /// [`errors`]: CompileOutput::errors
+    pub module: Option<TypedModule>,
+    /// Every recorded diagnostic, in discovery order (parse first, then
+    /// elaboration, then semantic analysis).
+    pub errors: Vec<Diagnostic>,
+}
 
 /// The CoreDSL frontend: owns the import namespace and drives
 /// parse → elaborate → analyze.
@@ -77,30 +93,58 @@ impl Frontend {
     ///
     /// # Errors
     ///
-    /// Returns the first parse, elaboration, or type error.
+    /// Returns the first parse, elaboration, or type error. Use
+    /// [`Frontend::compile_str_all`] to see every error in one pass.
     pub fn compile_str(&self, src: &str, unit: &str) -> Result<TypedModule> {
+        let mut out = self.compile_str_all(src, unit);
+        if let Some(first) = out.errors.drain(..).next() {
+            return Err(first);
+        }
+        out.module.ok_or_else(|| {
+            Diagnostic::new(Span::default(), "elaboration produced no module")
+        })
+    }
+
+    /// Compiles a root description with recovery: every parse,
+    /// elaboration, and semantic error is accumulated instead of stopping
+    /// at the first, and the module is built from everything that checked
+    /// cleanly. See [`Frontend::compile_str`] for the unit-name rules.
+    pub fn compile_str_all(&self, src: &str, unit: &str) -> CompileOutput {
+        let mut errors = Vec::new();
         let mut world = World::default();
-        world.load_description(src, "<root>", self)?;
+        world.load_description_all(src, "<root>", self, &mut errors);
         let root_sets: Vec<String> = world.root_units.clone();
         let target = if world.isa_defs.contains_key(unit) || world.core_defs.contains_key(unit) {
-            unit.to_string()
+            Some(unit.to_string())
         } else if root_sets.len() == 1 {
-            root_sets[0].clone()
+            Some(root_sets[0].clone())
         } else {
-            return Err(Diagnostic::new(
+            errors.push(Diagnostic::coded(
+                codes::ELAB_NO_UNIT,
                 Span::default(),
                 format!(
                     "no InstructionSet or Core named `{unit}` (root defines: {})",
                     root_sets.join(", ")
                 ),
             ));
+            None
         };
-        let mut input = world.flatten(&target)?;
-        // Give the module the caller-facing name.
-        if !unit.is_empty() {
-            input.name = unit.to_string();
-        }
-        analyze(input)
+        let module = target.and_then(|target| match world.flatten(&target) {
+            Err(e) => {
+                errors.push(e);
+                None
+            }
+            Ok(mut input) => {
+                // Give the module the caller-facing name.
+                if !unit.is_empty() {
+                    input.name = unit.to_string();
+                }
+                let out = analyze_all(input);
+                errors.extend(out.errors);
+                Some(out.module)
+            }
+        });
+        CompileOutput { module, errors }
     }
 
     /// Compiles a registered importable source by name.
@@ -111,12 +155,28 @@ impl Frontend {
     /// parse/elaboration/type error.
     pub fn compile_import(&self, import_name: &str, unit: &str) -> Result<TypedModule> {
         let src = self.sources.get(import_name).ok_or_else(|| {
-            Diagnostic::new(
+            Diagnostic::coded(
+                codes::ELAB_UNKNOWN_IMPORT,
                 Span::default(),
                 format!("no source registered for import {import_name:?}"),
             )
         })?;
         self.compile_str(src, unit)
+    }
+
+    /// Like [`Frontend::compile_import`], but with full error recovery.
+    pub fn compile_import_all(&self, import_name: &str, unit: &str) -> CompileOutput {
+        match self.sources.get(import_name) {
+            Some(src) => self.compile_str_all(src, unit),
+            None => CompileOutput {
+                module: None,
+                errors: vec![Diagnostic::coded(
+                    codes::ELAB_UNKNOWN_IMPORT,
+                    Span::default(),
+                    format!("no source registered for import {import_name:?}"),
+                )],
+            },
+        }
     }
 }
 
@@ -131,53 +191,75 @@ struct World {
 }
 
 impl World {
-    fn load_description(&mut self, src: &str, name: &str, fe: &Frontend) -> Result<()> {
-        let desc: Description = parse(src).map_err(|d| d.in_source(name))?;
+    /// Parses `src` and loads its definitions and imports, recording every
+    /// error instead of stopping: an unresolvable import costs that import,
+    /// a duplicate definition keeps the first one, and a parse error keeps
+    /// whatever the parser recovered.
+    fn load_description_all(
+        &mut self,
+        src: &str,
+        name: &str,
+        fe: &Frontend,
+        errors: &mut Vec<Diagnostic>,
+    ) {
+        let parsed = parse_all(src);
+        errors.extend(parsed.errors.into_iter().map(|d| d.in_source(name)));
+        let desc = parsed.description;
         for import in &desc.imports {
             if !self.loaded.insert(import.clone()) {
                 continue; // already loaded (diamond imports are fine)
             }
-            let text = fe.sources.get(import).ok_or_else(|| {
-                Diagnostic::new(
-                    Span::default(),
-                    format!("cannot resolve import {import:?}"),
-                )
-                .in_source(name)
-            })?;
-            // Clone to satisfy the borrow checker; sources are small.
-            let text = text.clone();
-            self.load_description(&text, import, fe)?;
+            match fe.sources.get(import) {
+                None => errors.push(
+                    Diagnostic::coded(
+                        codes::ELAB_UNKNOWN_IMPORT,
+                        Span::default(),
+                        format!("cannot resolve import {import:?}"),
+                    )
+                    .in_source(name),
+                ),
+                Some(text) => {
+                    // Clone to satisfy the borrow checker; sources are small.
+                    let text = text.clone();
+                    self.load_description_all(&text, import, fe, errors);
+                }
+            }
         }
         let is_root = name == "<root>";
         for isa in desc.instruction_sets {
             if is_root {
                 self.root_units.push(isa.name.clone());
             }
-            if self.isa_defs.insert(isa.name.clone(), isa.clone()).is_some() {
-                return Err(Diagnostic::new(
-                    isa.span,
-                    format!("InstructionSet `{}` defined more than once", isa.name),
-                )
-                .in_source(name));
+            if self.isa_defs.contains_key(&isa.name) {
+                errors.push(
+                    Diagnostic::coded(
+                        codes::ELAB_DUPLICATE_DEF,
+                        isa.span,
+                        format!("InstructionSet `{}` defined more than once", isa.name),
+                    )
+                    .in_source(name),
+                );
+                continue;
             }
+            self.isa_defs.insert(isa.name.clone(), isa);
         }
         for core in desc.cores {
             if is_root {
                 self.root_units.push(core.name.clone());
             }
-            if self
-                .core_defs
-                .insert(core.name.clone(), core.clone())
-                .is_some()
-            {
-                return Err(Diagnostic::new(
-                    core.span,
-                    format!("Core `{}` defined more than once", core.name),
-                )
-                .in_source(name));
+            if self.core_defs.contains_key(&core.name) {
+                errors.push(
+                    Diagnostic::coded(
+                        codes::ELAB_DUPLICATE_DEF,
+                        core.span,
+                        format!("Core `{}` defined more than once", core.name),
+                    )
+                    .in_source(name),
+                );
+                continue;
             }
+            self.core_defs.insert(core.name.clone(), core);
         }
-        Ok(())
     }
 
     /// Produces the inheritance chain of an instruction set, base first.
@@ -187,13 +269,15 @@ impl World {
         let mut cur = Some(name.to_string());
         while let Some(n) = cur {
             if !seen.insert(n.clone()) {
-                return Err(Diagnostic::new(
+                return Err(Diagnostic::coded(
+                    codes::ELAB_EXTENDS_CYCLE,
                     Span::default(),
                     format!("inheritance cycle involving `{n}`"),
                 ));
             }
             let def = self.isa_defs.get(&n).ok_or_else(|| {
-                Diagnostic::new(
+                Diagnostic::coded(
+                    codes::ELAB_NO_UNIT,
                     Span::default(),
                     format!("unknown InstructionSet `{n}`"),
                 )
@@ -483,6 +567,125 @@ InstructionSet bad extends RV32I {
 "#;
         let err = Frontend::new().compile_str(src, "bad").unwrap_err();
         assert!(err.message.contains("architectural state"), "{err}");
+    }
+
+    #[test]
+    fn independent_errors_are_all_reported_in_one_pass() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet multi extends RV32I {
+  instructions {
+    a {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<4> u4 = 0;
+        unsigned<5> u5 = 0;
+        u4 = u5;
+        X[rd] = nosuch;
+      }
+    }
+    b {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = missing(X[rs1]);
+      }
+    }
+  }
+}
+"#;
+        let out = Frontend::new().compile_str_all(src, "multi");
+        let seen: Vec<&str> = out.errors.iter().map(|e| e.code).collect();
+        assert!(seen.contains(&codes::SEMA_LOSSY_ASSIGN), "{seen:?}");
+        assert!(seen.contains(&codes::SEMA_UNKNOWN_NAME), "{seen:?}");
+        assert!(seen.contains(&codes::SEMA_BAD_CALL), "{seen:?}");
+        assert!(out.errors.len() >= 3, "{:?}", out.errors);
+        // Both instructions had errors, so neither survives — but the
+        // module itself does.
+        assert_eq!(out.module.unwrap().instructions.len(), 0);
+    }
+
+    #[test]
+    fn poisoned_declarations_do_not_cascade() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet p extends RV32I {
+  instructions {
+    i {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<8> v = nosuch;
+        unsigned<8> w = v + 1;
+        X[rd] = (unsigned<32>) w;
+      }
+    }
+  }
+}
+"#;
+        let out = Frontend::new().compile_str_all(src, "p");
+        // Exactly the declaration error; uses of `v` are poisoned, not
+        // re-reported.
+        assert_eq!(out.errors.len(), 1, "{:?}", out.errors);
+        assert_eq!(out.errors[0].code, codes::SEMA_UNKNOWN_NAME);
+    }
+
+    #[test]
+    fn clean_units_survive_alongside_broken_ones() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet mix extends RV32I {
+  instructions {
+    bad {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: { X[rd] = nosuch; }
+    }
+    good {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: { X[rd] = X[rs1]; }
+    }
+  }
+}
+"#;
+        let out = Frontend::new().compile_str_all(src, "mix");
+        assert_eq!(out.errors.len(), 1, "{:?}", out.errors);
+        let module = out.module.unwrap();
+        assert_eq!(module.instructions.len(), 1);
+        assert_eq!(module.instructions[0].name, "good");
+    }
+
+    #[test]
+    fn parse_and_sema_errors_accumulate_across_stages() {
+        let src = r#"
+import "RV32I.core_desc";
+InstructionSet s extends RV32I {
+  instructions {
+    broken {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: { X[rd] = ; }
+    }
+    lossy {
+      encoding: 12'd0 :: rs1[4:0] :: 3'd1 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<4> u4 = 0;
+        unsigned<5> u5 = 0;
+        u4 = u5;
+      }
+    }
+  }
+}
+"#;
+        let out = Frontend::new().compile_str_all(src, "s");
+        assert!(
+            out.errors.iter().any(|e| e.code.starts_with("LN01")),
+            "expected a parse error: {:?}",
+            out.errors
+        );
+        assert!(
+            out.errors
+                .iter()
+                .any(|e| e.code == codes::SEMA_LOSSY_ASSIGN),
+            "expected the sema error too: {:?}",
+            out.errors
+        );
     }
 
     #[test]

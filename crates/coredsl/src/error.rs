@@ -24,6 +24,54 @@ impl fmt::Display for Span {
     }
 }
 
+/// Stable machine-readable error codes.
+///
+/// Codes are part of the tool's output contract: scripts and test fixtures
+/// match on them, so a code, once assigned, never changes meaning. Blocks:
+///
+/// | range    | stage            |
+/// |----------|------------------|
+/// | `LN0000` | uncoded (legacy) |
+/// | `LN00xx` | lexer            |
+/// | `LN01xx` | parser           |
+/// | `LN02xx` | elaboration      |
+/// | `LN03xx` | semantic analysis|
+pub mod codes {
+    /// Fallback for diagnostics created without an explicit code.
+    pub const UNCODED: &str = "LN0000";
+
+    // Lexer.
+    pub const LEX_UNTERMINATED: &str = "LN0001";
+    pub const LEX_BAD_LITERAL: &str = "LN0002";
+    pub const LEX_BAD_CHAR: &str = "LN0003";
+
+    // Parser.
+    pub const PARSE_EXPECTED: &str = "LN0101";
+    pub const PARSE_NESTING: &str = "LN0102";
+    pub const PARSE_BAD_ENCODING: &str = "LN0103";
+    pub const PARSE_BAD_TYPE: &str = "LN0104";
+    pub const PARSE_TOO_MANY_ERRORS: &str = "LN0105";
+
+    // Elaboration.
+    pub const ELAB_DUPLICATE_DEF: &str = "LN0201";
+    pub const ELAB_UNKNOWN_IMPORT: &str = "LN0202";
+    pub const ELAB_EXTENDS_CYCLE: &str = "LN0203";
+    pub const ELAB_NO_UNIT: &str = "LN0204";
+
+    // Semantic analysis.
+    pub const SEMA_UNKNOWN_NAME: &str = "LN0301";
+    pub const SEMA_DUPLICATE: &str = "LN0302";
+    pub const SEMA_TYPE_MISMATCH: &str = "LN0303";
+    pub const SEMA_LOSSY_ASSIGN: &str = "LN0304";
+    pub const SEMA_BAD_WIDTH: &str = "LN0305";
+    pub const SEMA_BAD_RANGE: &str = "LN0306";
+    pub const SEMA_NOT_CONST: &str = "LN0307";
+    pub const SEMA_PURITY: &str = "LN0308";
+    pub const SEMA_BAD_CALL: &str = "LN0309";
+    pub const SEMA_BAD_LVALUE: &str = "LN0310";
+    pub const SEMA_BAD_RETURN: &str = "LN0311";
+}
+
 /// A frontend error: lexing, parsing, type checking, or elaboration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -33,6 +81,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Name of the source unit (import string or synthetic name).
     pub source_name: String,
+    /// Stable machine-readable code (`LN0xxx`); see [`codes`].
+    pub code: &'static str,
+    /// Optional suggested fix, rendered as a `help:` suffix.
+    pub fixit: Option<String>,
 }
 
 impl Diagnostic {
@@ -43,7 +95,23 @@ impl Diagnostic {
             span,
             message: message.into(),
             source_name: String::new(),
+            code: codes::UNCODED,
+            fixit: None,
         }
+    }
+
+    /// Creates a diagnostic with a stable machine-readable code.
+    pub fn coded(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            ..Diagnostic::new(span, message)
+        }
+    }
+
+    /// Attaches a suggested fix.
+    pub fn with_fixit(mut self, fixit: impl Into<String>) -> Self {
+        self.fixit = Some(fixit.into());
+        self
     }
 
     /// Attaches the source-unit name.
@@ -58,10 +126,15 @@ impl Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.source_name.is_empty() {
-            write!(f, "{}: {}", self.span, self.message)
+            write!(f, "{}: {}", self.span, self.message)?;
         } else {
-            write!(f, "{}:{}: {}", self.source_name, self.span, self.message)
+            write!(f, "{}:{}: {}", self.source_name, self.span, self.message)?;
         }
+        write!(f, " [{}]", self.code)?;
+        if let Some(fixit) = &self.fixit {
+            write!(f, "; help: {fixit}")?;
+        }
+        Ok(())
     }
 }
 
@@ -69,3 +142,26 @@ impl std::error::Error for Diagnostic {}
 
 /// Frontend result alias.
 pub type Result<T> = std::result::Result<T, Diagnostic>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coded_diagnostics_render_code_and_fixit() {
+        let d = Diagnostic::coded(codes::PARSE_EXPECTED, Span::new(2, 5), "expected `;`")
+            .with_fixit("insert `;` after the statement")
+            .in_source("demo");
+        let s = d.to_string();
+        assert!(s.contains("demo:2:5: expected `;`"), "{s}");
+        assert!(s.contains("[LN0101]"), "{s}");
+        assert!(s.contains("help: insert `;`"), "{s}");
+    }
+
+    #[test]
+    fn uncoded_diagnostics_keep_the_fallback_code() {
+        let d = Diagnostic::new(Span::new(1, 1), "boom");
+        assert_eq!(d.code, codes::UNCODED);
+        assert!(d.to_string().contains("[LN0000]"));
+    }
+}

@@ -4,7 +4,7 @@
 //! Verilog-style sized literals (`7'd0`, `3'b111`, `16'hcafe`), identifiers,
 //! the keyword set of Figure 2, line (`//`) and block (`/* */`) comments.
 
-use crate::error::{Diagnostic, Result, Span};
+use crate::error::{codes, Diagnostic, Result, Span};
 use crate::token::{Punct, Token, TokenKind, KEYWORDS};
 #[cfg(test)]
 use crate::token::Keyword;
@@ -96,7 +96,8 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     if !closed {
-                        return Err(Diagnostic::new(span, "unterminated block comment"));
+                        return Err(Diagnostic::coded(codes::LEX_UNTERMINATED, span, "unterminated block comment")
+                            .with_fixit("close the comment with `*/`"));
                     }
                 }
                 '"' => {
@@ -106,7 +107,12 @@ impl<'a> Lexer<'a> {
                         match self.bump() {
                             Some('"') => break,
                             Some('\n') | None => {
-                                return Err(Diagnostic::new(span, "unterminated string literal"))
+                                return Err(Diagnostic::coded(
+                                    codes::LEX_UNTERMINATED,
+                                    span,
+                                    "unterminated string literal",
+                                )
+                                .with_fixit("close the string with `\"`"))
                             }
                             Some(c) => s.push(c),
                         }
@@ -171,15 +177,20 @@ impl<'a> Lexer<'a> {
             let width: u32 = first
                 .replace('_', "")
                 .parse()
-                .map_err(|_| Diagnostic::new(span, format!("invalid literal size `{first}`")))?;
+                .map_err(|_| Diagnostic::coded(codes::LEX_BAD_LITERAL, span, format!("invalid literal size `{first}`")))?;
             if width == 0 || width > bits::MAX_WIDTH {
-                return Err(Diagnostic::new(
+                return Err(Diagnostic::coded(
+                    codes::LEX_BAD_LITERAL,
                     span,
                     format!("literal size {width} out of range"),
                 ));
             }
             let base = self.bump().ok_or_else(|| {
-                Diagnostic::new(span, "expected base letter after `'` in sized literal")
+                Diagnostic::coded(
+                    codes::LEX_BAD_LITERAL,
+                    span,
+                    "expected base letter after `'` in sized literal",
+                )
             })?;
             let radix = match base {
                 'b' | 'B' => 2,
@@ -187,7 +198,8 @@ impl<'a> Lexer<'a> {
                 'd' | 'D' => 10,
                 'h' | 'H' => 16,
                 _ => {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(
+                        codes::LEX_BAD_LITERAL,
                         span,
                         format!("invalid literal base `{base}` (expected b/o/d/h)"),
                     ))
@@ -195,7 +207,7 @@ impl<'a> Lexer<'a> {
             };
             let digits = self.take_digits();
             let value = ApInt::from_str_radix(&digits, radix, width)
-                .map_err(|e| Diagnostic::new(span, format!("invalid sized literal: {e}")))?;
+                .map_err(|e| Diagnostic::coded(codes::LEX_BAD_LITERAL, span, format!("invalid sized literal: {e}")))?;
             Ok(TokenKind::Int {
                 value,
                 width: Some(width),
@@ -219,7 +231,7 @@ impl<'a> Lexer<'a> {
                 _ => 4,
             }).max(8) + 4;
             let wide = ApInt::from_str_radix(&digits, radix, wide_bits)
-                .map_err(|e| Diagnostic::new(span, format!("invalid integer literal: {e}")))?;
+                .map_err(|e| Diagnostic::coded(codes::LEX_BAD_LITERAL, span, format!("invalid integer literal: {e}")))?;
             let min = wide.min_unsigned_width();
             Ok(TokenKind::Int {
                 value: wide.trunc(min),
@@ -296,7 +308,8 @@ impl<'a> Lexer<'a> {
             (',', _) => Comma,
             ('?', _) => Question,
             _ => {
-                return Err(Diagnostic::new(
+                return Err(Diagnostic::coded(
+                    codes::LEX_BAD_CHAR,
                     span,
                     format!("unexpected character `{c}`"),
                 ))

@@ -53,7 +53,9 @@ pub mod sema_support {
     pub use crate::sema::{eval_binary as eval_binary_op, resize as resize_value};
 }
 
-pub use elab::Frontend;
-pub use error::{Diagnostic, Span};
+pub use elab::{CompileOutput, Frontend};
+pub use error::{codes, Diagnostic, Span};
+pub use parser::ParseOutput;
+pub use sema::SemaOutput;
 pub use tast::TypedModule;
 pub use types::IntType;

@@ -2,9 +2,49 @@
 //! Figure 2 plus C-inspired statements and expressions.
 
 use crate::ast::*;
-use crate::error::{Diagnostic, Result, Span};
+use crate::error::{codes, Diagnostic, Result, Span};
 use crate::lexer::lex;
 use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// A parse with recovery: the best-effort AST plus every syntax error the
+/// parser could report after re-synchronizing at statement, section, and
+/// top-level boundaries.
+#[derive(Debug)]
+pub struct ParseOutput {
+    /// Definitions that parsed cleanly (empty on a lex error).
+    pub description: Description,
+    /// All recorded diagnostics, in source order of discovery.
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Parses a complete CoreDSL description file, recovering at sync points
+/// (`;`, matching `}`, and the next top-level `InstructionSet` / `Core`)
+/// so one pass reports every independent syntax error.
+///
+/// Valid sources produce byte-identical ASTs to [`parse`]; recovery only
+/// engages after the first error.
+pub fn parse_all(src: &str) -> ParseOutput {
+    let tokens = match lex(src) {
+        Ok(t) => t,
+        Err(e) => {
+            return ParseOutput {
+                description: Description::default(),
+                errors: vec![e],
+            }
+        }
+    };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        errors: Vec::new(),
+    };
+    let description = p.description();
+    ParseOutput {
+        description,
+        errors: p.errors,
+    }
+}
 
 /// Parses a complete CoreDSL description file.
 ///
@@ -12,8 +52,12 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 ///
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse(src: &str) -> Result<Description> {
-    let tokens = lex(src)?;
-    Parser { tokens, pos: 0, depth: 0 }.description()
+    let mut out = parse_all(src);
+    if out.errors.is_empty() {
+        Ok(out.description)
+    } else {
+        Err(out.errors.remove(0))
+    }
 }
 
 /// Parses a single expression (used by tests and the REPL-style tooling).
@@ -23,7 +67,12 @@ pub fn parse(src: &str) -> Result<Description> {
 /// Returns an error if `src` is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        errors: Vec::new(),
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -37,10 +86,16 @@ pub fn parse_expr(src: &str) -> Result<Expr> {
 /// descriptions nest a handful of levels.
 const MAX_NESTING: u32 = 64;
 
+/// Hard cap on recorded errors per parse. Recovery on garbage input can
+/// re-synchronize indefinitely; past this point the parse bails out to the
+/// end of input with one final `LN0105` diagnostic.
+const MAX_ERRORS: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     depth: u32,
+    errors: Vec<Diagnostic>,
 }
 
 impl Parser {
@@ -88,10 +143,12 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(span)
         } else {
-            Err(Diagnostic::new(
+            Err(Diagnostic::coded(
+                codes::PARSE_EXPECTED,
                 span,
                 format!("expected `{p}`, found {}", self.peek().describe()),
-            ))
+            )
+            .with_fixit(format!("insert `{p}` here")))
         }
     }
 
@@ -100,7 +157,8 @@ impl Parser {
         if self.eat_keyword(k) {
             Ok(span)
         } else {
-            Err(Diagnostic::new(
+            Err(Diagnostic::coded(
+                codes::PARSE_EXPECTED,
                 span,
                 format!("expected keyword `{k:?}`, found {}", self.peek().describe()),
             ))
@@ -114,7 +172,8 @@ impl Parser {
                 self.bump();
                 Ok((name, span))
             }
-            other => Err(Diagnostic::new(
+            other => Err(Diagnostic::coded(
+                codes::PARSE_EXPECTED,
                 span,
                 format!("expected identifier, found {}", other.describe()),
             )),
@@ -125,81 +184,236 @@ impl Parser {
         if self.peek() == &TokenKind::Eof {
             Ok(())
         } else {
-            Err(Diagnostic::new(
+            Err(Diagnostic::coded(
+                codes::PARSE_EXPECTED,
                 self.span(),
                 format!("expected end of input, found {}", self.peek().describe()),
             ))
         }
     }
 
-    // ---- top level -----------------------------------------------------
+    // ---- error recovery -------------------------------------------------
 
-    fn description(&mut self) -> Result<Description> {
-        let mut desc = Description::default();
-        while self.eat_keyword(Keyword::Import) {
-            let span = self.span();
-            match self.bump().kind {
-                TokenKind::Str(s) => desc.imports.push(s),
-                other => {
-                    return Err(Diagnostic::new(
-                        span,
-                        format!("expected import string, found {}", other.describe()),
-                    ))
+    fn at_eof(&self) -> bool {
+        self.peek() == &TokenKind::Eof
+    }
+
+    /// True once the error budget is spent; the parse is winding down.
+    fn capped(&self) -> bool {
+        self.errors.len() >= MAX_ERRORS
+    }
+
+    /// Records a diagnostic. On hitting [`MAX_ERRORS`] the parser gives up
+    /// on recovery: one final cap notice is recorded and the cursor jumps
+    /// to end of input so every loop drains. Exact duplicates of the most
+    /// recent diagnostic (same code, span, and message) are dropped —
+    /// stalled recovery would otherwise repeat itself.
+    fn record(&mut self, e: Diagnostic) {
+        if self.capped() {
+            return;
+        }
+        if self.errors.last() == Some(&e) {
+            return;
+        }
+        self.errors.push(e);
+        if self.errors.len() == MAX_ERRORS {
+            self.errors.push(
+                Diagnostic::coded(
+                    codes::PARSE_TOO_MANY_ERRORS,
+                    self.span(),
+                    format!("too many syntax errors ({MAX_ERRORS}); giving up on this file"),
+                )
+                .with_fixit("fix the earlier errors and re-run"),
+            );
+            self.pos = self.tokens.len() - 1;
+        }
+    }
+
+    /// Records `e`, then skips to the next top-level definition keyword
+    /// (`InstructionSet` / `Core`), past a `;` at brace depth zero, or to
+    /// end of input. The keywords are reserved and never legal inside a
+    /// definition body, so they are a sync point at *any* depth — a stray
+    /// unbalanced `{` before them must not swallow the rest of the file.
+    fn recover_top_level(&mut self, e: Diagnostic) {
+        self.record(e);
+        let mut depth = 0u32;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Keyword(Keyword::InstructionSet | Keyword::Core) => break,
+                TokenKind::Punct(Punct::Semi) if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::RBrace) => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
                 }
             }
-            self.expect_punct(Punct::Semi)?;
+        }
+    }
+
+    /// Records `e`, then re-synchronizes inside a brace-delimited item
+    /// list: past a `;` at relative depth zero, after the `}` that closes
+    /// a `{` skipped during recovery, or *before* a `}` at depth zero
+    /// (which closes the enclosing list and belongs to the caller).
+    ///
+    /// `loop_start` is the cursor position at the top of the caller's loop
+    /// iteration; if recovery lands back on it without reaching a `}` or
+    /// end of input, one token is force-consumed so the caller always
+    /// makes progress.
+    fn recover_item(&mut self, e: Diagnostic, loop_start: usize) {
+        self.record(e);
+        let mut depth = 0u32;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Punct(Punct::Semi) if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::RBrace) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if self.pos == loop_start
+            && !matches!(self.peek(), TokenKind::Eof | TokenKind::Punct(Punct::RBrace))
+        {
+            self.bump();
+        }
+    }
+
+    /// Records an "expected `}`" diagnostic for a list that ran into end
+    /// of input.
+    fn unclosed(&mut self) {
+        self.record(
+            Diagnostic::coded(
+                codes::PARSE_EXPECTED,
+                self.span(),
+                "expected `}` before end of input",
+            )
+            .with_fixit("add the missing closing brace"),
+        );
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn description(&mut self) -> Description {
+        let mut desc = Description::default();
+        while self.eat_keyword(Keyword::Import) {
+            if let Err(e) = self.import_tail(&mut desc) {
+                self.recover_top_level(e);
+            }
         }
         loop {
             match self.peek() {
                 TokenKind::Keyword(Keyword::InstructionSet) => {
                     let span = self.span();
                     self.bump();
-                    let (name, _) = self.expect_ident()?;
-                    let extends = if self.eat_keyword(Keyword::Extends) {
-                        Some(self.expect_ident()?.0)
-                    } else {
-                        None
-                    };
-                    let body = self.isa_body()?;
-                    desc.instruction_sets.push(IsaDef {
-                        name,
-                        extends,
-                        body,
-                        span,
-                    });
+                    match self.isa_def(span) {
+                        Ok(d) => desc.instruction_sets.push(d),
+                        Err(e) => self.recover_top_level(e),
+                    }
                 }
                 TokenKind::Keyword(Keyword::Core) => {
                     let span = self.span();
                     self.bump();
-                    let (name, _) = self.expect_ident()?;
-                    let mut provides = Vec::new();
-                    if self.eat_keyword(Keyword::Provides) {
-                        provides.push(self.expect_ident()?.0);
-                        while self.eat_punct(Punct::Comma) {
-                            provides.push(self.expect_ident()?.0);
-                        }
+                    match self.core_def(span) {
+                        Ok(d) => desc.cores.push(d),
+                        Err(e) => self.recover_top_level(e),
                     }
-                    let body = self.isa_body()?;
-                    desc.cores.push(CoreDef {
-                        name,
-                        provides,
-                        body,
-                        span,
-                    });
                 }
                 TokenKind::Eof => break,
                 other => {
-                    return Err(Diagnostic::new(
+                    let e = Diagnostic::coded(
+                        codes::PARSE_EXPECTED,
                         self.span(),
                         format!(
                             "expected `InstructionSet` or `Core`, found {}",
                             other.describe()
                         ),
-                    ))
+                    );
+                    self.bump();
+                    self.recover_top_level(e);
                 }
             }
         }
-        Ok(desc)
+        desc
+    }
+
+    /// Parses the remainder of one `import "...";` after the keyword.
+    fn import_tail(&mut self, desc: &mut Description) -> Result<()> {
+        let span = self.span();
+        match self.bump().kind {
+            TokenKind::Str(s) => desc.imports.push(s),
+            other => {
+                return Err(Diagnostic::coded(
+                    codes::PARSE_EXPECTED,
+                    span,
+                    format!("expected import string, found {}", other.describe()),
+                ))
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(())
+    }
+
+    /// Parses the remainder of one `InstructionSet` after the keyword.
+    fn isa_def(&mut self, span: Span) -> Result<IsaDef> {
+        let (name, _) = self.expect_ident()?;
+        let extends = if self.eat_keyword(Keyword::Extends) {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        let body = self.isa_body()?;
+        Ok(IsaDef {
+            name,
+            extends,
+            body,
+            span,
+        })
+    }
+
+    /// Parses the remainder of one `Core` after the keyword.
+    fn core_def(&mut self, span: Span) -> Result<CoreDef> {
+        let (name, _) = self.expect_ident()?;
+        let mut provides = Vec::new();
+        if self.eat_keyword(Keyword::Provides) {
+            provides.push(self.expect_ident()?.0);
+            while self.eat_punct(Punct::Comma) {
+                provides.push(self.expect_ident()?.0);
+            }
+        }
+        let body = self.isa_body()?;
+        Ok(CoreDef {
+            name,
+            provides,
+            body,
+            span,
+        })
     }
 
     fn isa_body(&mut self) -> Result<IsaBody> {
@@ -211,55 +425,97 @@ impl Parser {
                     self.bump();
                     self.expect_punct(Punct::LBrace)?;
                     while !self.eat_punct(Punct::RBrace) {
-                        let mut decls = self.state_decl()?;
-                        body.state.append(&mut decls);
+                        if self.at_eof() {
+                            self.unclosed();
+                            break;
+                        }
+                        let start = self.pos;
+                        match self.state_decl() {
+                            Ok(mut decls) => body.state.append(&mut decls),
+                            Err(e) => self.recover_item(e, start),
+                        }
                     }
                 }
                 TokenKind::Keyword(Keyword::Instructions) => {
                     self.bump();
                     self.expect_punct(Punct::LBrace)?;
                     while !self.eat_punct(Punct::RBrace) {
-                        body.instructions.push(self.instruction()?);
+                        if self.at_eof() {
+                            self.unclosed();
+                            break;
+                        }
+                        let start = self.pos;
+                        match self.instruction() {
+                            Ok(i) => body.instructions.push(i),
+                            Err(e) => self.recover_item(e, start),
+                        }
                     }
                 }
                 TokenKind::Keyword(Keyword::Always) => {
                     self.bump();
                     self.expect_punct(Punct::LBrace)?;
                     while !self.eat_punct(Punct::RBrace) {
-                        let span = self.span();
-                        let (name, _) = self.expect_ident()?;
-                        self.expect_punct(Punct::LBrace)?;
-                        let behavior = self.block_body()?;
-                        body.always_blocks.push(AlwaysDef {
-                            name,
-                            behavior,
-                            span,
-                        });
+                        if self.at_eof() {
+                            self.unclosed();
+                            break;
+                        }
+                        let start = self.pos;
+                        match self.always_def() {
+                            Ok(a) => body.always_blocks.push(a),
+                            Err(e) => self.recover_item(e, start),
+                        }
                     }
                 }
                 TokenKind::Keyword(Keyword::Functions) => {
                     self.bump();
                     self.expect_punct(Punct::LBrace)?;
                     while !self.eat_punct(Punct::RBrace) {
-                        body.functions.push(self.function()?);
+                        if self.at_eof() {
+                            self.unclosed();
+                            break;
+                        }
+                        let start = self.pos;
+                        match self.function() {
+                            Ok(f) => body.functions.push(f),
+                            Err(e) => self.recover_item(e, start),
+                        }
                     }
                 }
                 TokenKind::Punct(Punct::RBrace) => {
                     self.bump();
                     break;
                 }
+                TokenKind::Eof => {
+                    self.unclosed();
+                    break;
+                }
                 other => {
-                    return Err(Diagnostic::new(
+                    let e = Diagnostic::coded(
+                        codes::PARSE_EXPECTED,
                         self.span(),
                         format!(
                             "expected an ISA section or `}}`, found {}",
                             other.describe()
                         ),
-                    ))
+                    );
+                    let start = self.pos;
+                    self.recover_item(e, start);
                 }
             }
         }
         Ok(body)
+    }
+
+    fn always_def(&mut self) -> Result<AlwaysDef> {
+        let span = self.span();
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let behavior = self.block_body()?;
+        Ok(AlwaysDef {
+            name,
+            behavior,
+            span,
+        })
     }
 
     // ---- architectural state --------------------------------------------
@@ -388,7 +644,8 @@ impl Parser {
             // bare `signed` / `unsigned` == 32-bit int
             (s, 32)
         } else {
-            return Err(Diagnostic::new(
+            return Err(Diagnostic::coded(
+                codes::PARSE_BAD_TYPE,
                 span,
                 format!("expected a type, found {}", self.peek().describe()),
             ));
@@ -432,10 +689,12 @@ impl Parser {
                 TokenKind::Int { value, width } => {
                     self.bump();
                     if width.is_none() {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(
+                            codes::PARSE_BAD_ENCODING,
                             span,
                             "encoding constants must be sized Verilog-style literals (e.g. 7'b0001011)",
-                        ));
+                        )
+                        .with_fixit("write the constant with an explicit size, e.g. 7'd0"));
                     }
                     pieces.push(EncPiece::Const { value, span });
                 }
@@ -447,15 +706,18 @@ impl Parser {
                     let lo = self.const_u32()?;
                     self.expect_punct(Punct::RBracket)?;
                     if lo > hi {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(
+                            codes::PARSE_BAD_ENCODING,
                             span,
                             format!("encoding field range [{hi}:{lo}] is reversed"),
-                        ));
+                        )
+                        .with_fixit(format!("write it as [{lo}:{hi}]")));
                     }
                     pieces.push(EncPiece::Field { name, hi, lo, span });
                 }
                 other => {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(
+                        codes::PARSE_BAD_ENCODING,
                         span,
                         format!(
                             "expected encoding constant or field, found {}",
@@ -476,9 +738,10 @@ impl Parser {
         let span = self.span();
         match self.bump().kind {
             TokenKind::Int { value, .. } => value.try_to_u64().map(|v| v as u32).ok_or_else(|| {
-                Diagnostic::new(span, "integer constant too large")
+                Diagnostic::coded(codes::PARSE_BAD_ENCODING, span, "integer constant too large")
             }),
-            other => Err(Diagnostic::new(
+            other => Err(Diagnostic::coded(
+                codes::PARSE_BAD_ENCODING,
                 span,
                 format!("expected integer constant, found {}", other.describe()),
             )),
@@ -522,10 +785,23 @@ impl Parser {
     // ---- statements ----------------------------------------------------------
 
     /// Parses statements until the matching `}` (which is consumed).
+    ///
+    /// Statement errors are recorded and recovery resumes at the next `;`
+    /// or brace boundary, so one bad statement costs itself, not the
+    /// block. The `Result` is kept for signature symmetry; the body itself
+    /// never fails.
     fn block_body(&mut self) -> Result<Block> {
         let mut stmts = Vec::new();
         while !self.eat_punct(Punct::RBrace) {
-            stmts.push(self.stmt()?);
+            if self.at_eof() {
+                self.unclosed();
+                break;
+            }
+            let start = self.pos;
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(e) => self.recover_item(e, start),
+            }
         }
         Ok(Block { stmts })
     }
@@ -863,7 +1139,11 @@ impl Parser {
     fn enter(&mut self) -> Result<()> {
         self.depth += 1;
         if self.depth > MAX_NESTING {
-            return Err(Diagnostic::new(self.span(), "nesting too deep"));
+            return Err(Diagnostic::coded(
+                codes::PARSE_NESTING,
+                self.span(),
+                "nesting too deep",
+            ));
         }
         Ok(())
     }
@@ -957,7 +1237,11 @@ impl Parser {
         let alias = self.type_expr()?;
         match alias.width {
             WidthSpec::Fixed(w) => Ok((alias.signed, Some(WidthSpec::Fixed(w)))),
-            WidthSpec::Expr(_) => Err(Diagnostic::new(span, "malformed cast type")),
+            WidthSpec::Expr(_) => Err(Diagnostic::coded(
+                codes::PARSE_BAD_TYPE,
+                span,
+                "malformed cast type",
+            )),
         }
     }
 
@@ -1031,7 +1315,8 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 Ok(e)
             }
-            other => Err(Diagnostic::new(
+            other => Err(Diagnostic::coded(
+                codes::PARSE_EXPECTED,
                 span,
                 format!("expected expression, found {}", other.describe()),
             )),
@@ -1267,5 +1552,99 @@ InstructionSet s {
         let d = &desc.instruction_sets[0].body.state[0];
         assert!(d.is_const);
         assert!(matches!(d.init, Some(Initializer::List(ref v)) if v.len() == 4));
+    }
+
+    #[test]
+    fn recovery_reports_independent_statement_errors() {
+        // Two broken statements in separate instructions plus one good
+        // instruction: both errors surface in one pass and the good
+        // instruction still parses.
+        let src = r#"
+InstructionSet r extends RV32I {
+  instructions {
+    a {
+      encoding: 25'd0 :: 7'b0001011;
+      behavior: { X[1] = ; }
+    }
+    b {
+      encoding: 25'd1 :: 7'b0001011;
+      behavior: { unsigned<8> v = 0; v = v + 1; }
+    }
+    c {
+      encoding: 25'd2 :: 7'b0001011;
+      behavior: { = 3; }
+    }
+  }
+}
+"#;
+        let out = parse_all(src);
+        assert_eq!(out.errors.len(), 2, "{:?}", out.errors);
+        assert!(out.errors.iter().all(|e| e.code == codes::PARSE_EXPECTED));
+        let isa = &out.description.instruction_sets[0];
+        let names: Vec<_> = isa.body.instructions.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.contains(&"b"), "good instruction survives: {names:?}");
+    }
+
+    #[test]
+    fn recovery_keeps_later_top_level_definitions() {
+        let src = r#"
+InstructionSet broken extends {
+InstructionSet fine extends RV32I {
+  instructions {
+    i { encoding: 25'd0 :: 7'b0001011; behavior: { } }
+  }
+}
+"#;
+        let out = parse_all(src);
+        assert!(!out.errors.is_empty());
+        let names: Vec<_> = out
+            .description
+            .instruction_sets
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(names.contains(&"fine"), "{names:?}");
+    }
+
+    #[test]
+    fn parse_returns_the_first_recorded_error() {
+        let src = "InstructionSet x { instructions { i { encoding: 0 :: 7'b0001011; behavior: { } } } }";
+        let first = parse(src).unwrap_err();
+        let all = parse_all(src);
+        assert_eq!(first, all.errors[0]);
+        assert_eq!(first.code, codes::PARSE_BAD_ENCODING);
+    }
+
+    #[test]
+    fn error_count_is_capped() {
+        // A long run of garbage must terminate with a bounded error list
+        // ending in the cap notice.
+        let src = "InstructionSet g { instructions { ".to_string() + &"? ; ".repeat(500) + "} }";
+        let out = parse_all(&src);
+        assert!(out.errors.len() <= MAX_ERRORS + 1, "{}", out.errors.len());
+        assert_eq!(
+            out.errors.last().unwrap().code,
+            codes::PARSE_TOO_MANY_ERRORS
+        );
+    }
+
+    #[test]
+    fn unterminated_blocks_report_missing_brace() {
+        let out = parse_all("InstructionSet a { instructions { i { encoding: 7'd0");
+        assert!(!out.errors.is_empty());
+        assert!(
+            out.errors.iter().any(|e| e.message.contains("expected `}`")
+                || e.message.contains("end of input")),
+            "{:?}",
+            out.errors
+        );
+    }
+
+    #[test]
+    fn clean_sources_report_no_errors_through_parse_all() {
+        let src = "Core VexRiscv provides RV32I, zol { }";
+        let out = parse_all(src);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.description.cores[0].name, "VexRiscv");
     }
 }

@@ -10,11 +10,11 @@
 
 use crate::ast;
 use crate::ast::{AssignOp, BinOp, StorageClass, UnOp, WidthSpec};
-use crate::error::{Diagnostic, Result, Span};
+use crate::error::{codes, Diagnostic, Result, Span};
 use crate::tast::*;
 use crate::types::IntType;
 use bits::ApInt;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Flattened (post-inheritance) input to semantic analysis, produced by
 /// [`crate::elab`].
@@ -31,30 +31,72 @@ pub struct SemaInput {
     pub functions: Vec<ast::FuncDef>,
 }
 
+/// A semantic analysis with recovery: the module built from everything
+/// that checked cleanly, plus every independent error found in one pass.
+#[derive(Debug)]
+pub struct SemaOutput {
+    /// Registers, functions, instructions and always-blocks that passed
+    /// all checks. A unit (function/instruction/always) with any error is
+    /// dropped, so poison placeholders never reach lowering.
+    pub module: TypedModule,
+    /// All recorded diagnostics, in traversal order of discovery.
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Runs semantic analysis over a flattened description, accumulating
+/// errors instead of stopping at the first one.
+///
+/// Containment is per declaration and per unit: a bad parameter,
+/// register, function, instruction or always-block costs itself, not the
+/// analysis. Inside a body, a bad statement costs that statement; a
+/// declaration that fails still binds its name as *poisoned*, and later
+/// uses of poisoned names are silently typed as [`ExprKind::Poison`]
+/// instead of cascading follow-on errors.
+pub fn analyze_all(input: SemaInput) -> SemaOutput {
+    let mut sema = Sema::default();
+    let mut errors = Vec::new();
+    sema.module.name = input.name.clone();
+    sema.resolve_params(&input, &mut errors);
+    sema.build_registers(&input, &mut errors);
+    sema.collect_function_signatures(&input, &mut errors);
+    for f in &input.functions {
+        // A function whose signature failed to resolve was already
+        // reported; there is nothing to check its body against.
+        if !sema.func_sigs.contains_key(&f.name) {
+            continue;
+        }
+        if let Some(func) = sema.check_function(f, &mut errors) {
+            sema.module.functions.push(func);
+        }
+    }
+    for i in &input.instructions {
+        if let Some(instr) = sema.check_instruction(i, &mut errors) {
+            sema.module.instructions.push(instr);
+        }
+    }
+    for a in &input.always_blocks {
+        if let Some(blk) = sema.check_always(a, &mut errors) {
+            sema.module.always_blocks.push(blk);
+        }
+    }
+    SemaOutput {
+        module: sema.module,
+        errors,
+    }
+}
+
 /// Runs semantic analysis over a flattened description.
 ///
 /// # Errors
 ///
 /// Returns the first type or name-resolution error.
 pub fn analyze(input: SemaInput) -> Result<TypedModule> {
-    let mut sema = Sema::default();
-    sema.module.name = input.name.clone();
-    sema.resolve_params(&input)?;
-    sema.build_registers(&input)?;
-    sema.collect_function_signatures(&input)?;
-    for f in &input.functions {
-        let func = sema.check_function(f)?;
-        sema.module.functions.push(func);
+    let mut out = analyze_all(input);
+    if out.errors.is_empty() {
+        Ok(out.module)
+    } else {
+        Err(out.errors.remove(0))
     }
-    for i in &input.instructions {
-        let instr = sema.check_instruction(i)?;
-        sema.module.instructions.push(instr);
-    }
-    for a in &input.always_blocks {
-        let blk = sema.check_always(a)?;
-        sema.module.always_blocks.push(blk);
-    }
-    Ok(sema.module)
 }
 
 #[derive(Default)]
@@ -79,16 +121,29 @@ struct Ctx<'a> {
     scopes: Vec<HashMap<String, LocalId>>,
     ret: Option<IntType>,
     sema: &'a Sema,
+    /// Statement-level errors recorded during body checking.
+    errors: Vec<Diagnostic>,
+    /// Locals whose declaration failed; uses are typed as poison instead
+    /// of cascading "unknown name" / lossy-conversion errors.
+    poisoned: HashSet<usize>,
 }
 
 impl Sema {
     // ---- parameters and registers --------------------------------------
 
-    fn resolve_params(&mut self, input: &SemaInput) -> Result<()> {
+    fn resolve_params(&mut self, input: &SemaInput, errors: &mut Vec<Diagnostic>) {
         for (decl, _) in &input.state {
             if decl.storage != StorageClass::Param {
                 continue;
             }
+            if let Err(e) = self.resolve_param(decl, input) {
+                errors.push(e);
+            }
+        }
+    }
+
+    fn resolve_param(&mut self, decl: &ast::StateDecl, input: &SemaInput) -> Result<()> {
+        {
             let ty = self.eval_type(&decl.ty)?;
             let override_expr = input
                 .param_overrides
@@ -99,13 +154,13 @@ impl Sema {
                 (Some(e), _) => e,
                 (None, Some(ast::Initializer::Single(e))) => e,
                 (None, Some(ast::Initializer::List(_))) => {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_NOT_CONST,
                         decl.span,
                         format!("parameter `{}` cannot have a list initializer", decl.name),
                     ))
                 }
                 (None, None) => {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_NOT_CONST,
                         decl.span,
                         format!("parameter `{}` has no value", decl.name),
                     ))
@@ -123,7 +178,7 @@ impl Sema {
         Ok(())
     }
 
-    fn build_registers(&mut self, input: &SemaInput) -> Result<()> {
+    fn build_registers(&mut self, input: &SemaInput, errors: &mut Vec<Diagnostic>) {
         for (decl, origin) in &input.state {
             if decl.storage == StorageClass::Param {
                 continue;
@@ -133,13 +188,21 @@ impl Sema {
                 // keep the first definition.
                 continue;
             }
+            if let Err(e) = self.build_register(decl, origin) {
+                errors.push(e);
+            }
+        }
+    }
+
+    fn build_register(&mut self, decl: &ast::StateDecl, origin: &str) -> Result<()> {
+        {
             let ty = self.eval_type(&decl.ty)?;
             let elems = match &decl.extent {
                 None => 1u64,
                 Some(e) => {
                     let (v, _) = self.eval_const(e)?;
                     v.try_to_u64().filter(|&n| n >= 1).ok_or_else(|| {
-                        Diagnostic::new(decl.span, "register array extent out of range")
+                        Diagnostic::coded(codes::SEMA_BAD_WIDTH, decl.span, "register array extent out of range")
                     })?
                 }
             };
@@ -154,7 +217,7 @@ impl Sema {
                     .checked_mul(elems)
                     .is_none_or(|bits| bits > MAX_STATE_BITS)
             {
-                return Err(Diagnostic::new(
+                return Err(Diagnostic::coded(codes::SEMA_BAD_WIDTH,
                     decl.span,
                     format!(
                         "register `{}` would occupy more than {} bits of storage",
@@ -170,7 +233,7 @@ impl Sema {
                 }
                 Some(ast::Initializer::List(items)) => {
                     if items.len() as u64 > elems {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(codes::SEMA_TYPE_MISMATCH,
                             decl.span,
                             format!(
                                 "initializer has {} elements but `{}` holds {elems}",
@@ -199,7 +262,7 @@ impl Sema {
                 _ => None,
             };
             if decl.is_const && init.is_none() {
-                return Err(Diagnostic::new(
+                return Err(Diagnostic::coded(codes::SEMA_NOT_CONST,
                     decl.span,
                     format!("const register `{}` must be initialized", decl.name),
                 ));
@@ -212,28 +275,34 @@ impl Sema {
                 is_const: decl.is_const,
                 init,
                 builtin,
-                origin: origin.clone(),
+                origin: origin.to_owned(),
             });
         }
         Ok(())
     }
 
-    fn collect_function_signatures(&mut self, input: &SemaInput) -> Result<()> {
+    fn collect_function_signatures(&mut self, input: &SemaInput, errors: &mut Vec<Diagnostic>) {
         for f in &input.functions {
-            let ret = match &f.ret {
-                None => None,
-                Some(t) => Some(self.eval_type(t)?),
-            };
-            let mut params = Vec::new();
-            for (t, _) in &f.params {
-                params.push(self.eval_type(t)?);
+            if let Err(e) = self.collect_function_signature(f) {
+                errors.push(e);
             }
-            if self.func_sigs.insert(f.name.clone(), (ret, params)).is_some() {
-                return Err(Diagnostic::new(
-                    f.span,
-                    format!("function `{}` defined more than once", f.name),
-                ));
-            }
+        }
+    }
+
+    fn collect_function_signature(&mut self, f: &ast::FuncDef) -> Result<()> {
+        let ret = match &f.ret {
+            None => None,
+            Some(t) => Some(self.eval_type(t)?),
+        };
+        let mut params = Vec::new();
+        for (t, _) in &f.params {
+            params.push(self.eval_type(t)?);
+        }
+        if self.func_sigs.insert(f.name.clone(), (ret, params)).is_some() {
+            return Err(Diagnostic::coded(codes::SEMA_DUPLICATE,
+                f.span,
+                format!("function `{}` defined more than once", f.name),
+            ));
         }
         Ok(())
     }
@@ -247,7 +316,7 @@ impl Sema {
                 let (v, _) = self.eval_const(e)?;
                 v.try_to_u64()
                     .filter(|&w| w >= 1 && w <= bits::MAX_WIDTH as u64)
-                    .ok_or_else(|| Diagnostic::new(t.span, "type width out of range"))?
+                    .ok_or_else(|| Diagnostic::coded(codes::SEMA_BAD_WIDTH, t.span, "type width out of range"))?
                     as u32
             }
         };
@@ -269,7 +338,7 @@ impl Sema {
                 .get(name)
                 .map(|(t, v)| (v.clone(), *t))
                 .ok_or_else(|| {
-                    Diagnostic::new(
+                    Diagnostic::coded(codes::SEMA_NOT_CONST,
                         e.span,
                         format!("`{name}` is not a compile-time constant"),
                     )
@@ -291,7 +360,7 @@ impl Sema {
                 let (lv, lt) = self.eval_const(lhs)?;
                 let (rv, rt) = self.eval_const(rhs)?;
                 eval_binary(*op, &lv, lt, &rv, rt)
-                    .ok_or_else(|| Diagnostic::new(e.span, "unsupported constant operator"))
+                    .ok_or_else(|| Diagnostic::coded(codes::SEMA_NOT_CONST, e.span, "unsupported constant operator"))
             }
             ast::ExprKind::Cast {
                 signed,
@@ -305,7 +374,7 @@ impl Sema {
                     Some(WidthSpec::Expr(we)) => {
                         let (wv, _) = self.eval_const(we)?;
                         wv.try_to_u64().filter(|&w| w >= 1).ok_or_else(|| {
-                            Diagnostic::new(e.span, "cast width out of range")
+                            Diagnostic::coded(codes::SEMA_BAD_WIDTH, e.span, "cast width out of range")
                         })? as u32
                     }
                 };
@@ -327,7 +396,7 @@ impl Sema {
                     self.eval_const(then_val)
                 }
             }
-            _ => Err(Diagnostic::new(
+            _ => Err(Diagnostic::coded(codes::SEMA_NOT_CONST,
                 e.span,
                 "expression is not a compile-time constant",
             )),
@@ -336,22 +405,31 @@ impl Sema {
 
     // ---- bodies -------------------------------------------------------------
 
-    fn check_instruction(&self, i: &ast::InstrDef) -> Result<Instruction> {
-        let encoding = self.check_encoding(i)?;
-        let mut ctx = Ctx {
-            kind: BodyKind::Instruction,
-            fields: encoding
-                .fields
-                .iter()
-                .map(|f| (f.name.clone(), f.width))
-                .collect(),
-            locals: Vec::new(),
-            scopes: vec![HashMap::new()],
-            ret: None,
-            sema: self,
+    /// Checks one instruction; returns `None` (with the errors appended)
+    /// if anything in it failed, so a broken unit is dropped whole and
+    /// poison placeholders never reach lowering.
+    fn check_instruction(
+        &self,
+        i: &ast::InstrDef,
+        errors: &mut Vec<Diagnostic>,
+    ) -> Option<Instruction> {
+        let encoding = match self.check_encoding(i) {
+            Ok(e) => e,
+            Err(e) => {
+                errors.push(e);
+                return None;
+            }
         };
-        let behavior = ctx.check_block(&i.behavior)?;
-        Ok(Instruction {
+        let mut ctx = Ctx::new(BodyKind::Instruction, self);
+        ctx.fields = encoding
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.width))
+            .collect();
+        let behavior = ctx.check_block(&i.behavior).unwrap_or_default();
+        let clean = ctx.errors.is_empty();
+        errors.append(&mut ctx.errors);
+        clean.then(|| Instruction {
             name: i.name.clone(),
             encoding,
             behavior,
@@ -360,17 +438,12 @@ impl Sema {
         })
     }
 
-    fn check_always(&self, a: &ast::AlwaysDef) -> Result<AlwaysBlock> {
-        let mut ctx = Ctx {
-            kind: BodyKind::Always,
-            fields: HashMap::new(),
-            locals: Vec::new(),
-            scopes: vec![HashMap::new()],
-            ret: None,
-            sema: self,
-        };
-        let behavior = ctx.check_block(&a.behavior)?;
-        Ok(AlwaysBlock {
+    fn check_always(&self, a: &ast::AlwaysDef, errors: &mut Vec<Diagnostic>) -> Option<AlwaysBlock> {
+        let mut ctx = Ctx::new(BodyKind::Always, self);
+        let behavior = ctx.check_block(&a.behavior).unwrap_or_default();
+        let clean = ctx.errors.is_empty();
+        errors.append(&mut ctx.errors);
+        clean.then(|| AlwaysBlock {
             name: a.name.clone(),
             behavior,
             locals: ctx.locals,
@@ -378,23 +451,21 @@ impl Sema {
         })
     }
 
-    fn check_function(&self, f: &ast::FuncDef) -> Result<Function> {
+    fn check_function(&self, f: &ast::FuncDef, errors: &mut Vec<Diagnostic>) -> Option<Function> {
         let (ret, param_tys) = self.func_sigs[&f.name].clone();
-        let mut ctx = Ctx {
-            kind: BodyKind::Function,
-            fields: HashMap::new(),
-            locals: Vec::new(),
-            scopes: vec![HashMap::new()],
-            ret,
-            sema: self,
-        };
+        let mut ctx = Ctx::new(BodyKind::Function, self);
+        ctx.ret = ret;
         let mut params = Vec::new();
         for ((_, name), ty) in f.params.iter().zip(param_tys) {
-            let id = ctx.declare_local(name.clone(), ty, f.span)?;
-            params.push(id);
+            match ctx.declare_local(name.clone(), ty, f.span) {
+                Ok(id) => params.push(id),
+                Err(e) => ctx.errors.push(e),
+            }
         }
-        let body = ctx.check_block(&f.body)?;
-        Ok(Function {
+        let body = ctx.check_block(&f.body).unwrap_or_default();
+        let clean = ctx.errors.is_empty();
+        errors.append(&mut ctx.errors);
+        clean.then(|| Function {
             name: f.name.clone(),
             ret,
             params,
@@ -413,7 +484,7 @@ impl Sema {
                 }
                 ast::EncPiece::Field { name, hi, lo, span } => {
                     if self.module.register(name).is_some() {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(codes::SEMA_DUPLICATE,
                             *span,
                             format!("encoding field `{name}` collides with a register"),
                         ));
@@ -435,7 +506,7 @@ impl Sema {
         }
         let enc = Encoding { pieces, fields };
         if enc.width() != 32 {
-            return Err(Diagnostic::new(
+            return Err(Diagnostic::coded(codes::SEMA_BAD_WIDTH,
                 i.span,
                 format!(
                     "instruction `{}` encoding is {} bits wide, expected 32",
@@ -547,9 +618,22 @@ pub fn eval_binary(
 }
 
 impl<'a> Ctx<'a> {
+    fn new(kind: BodyKind, sema: &'a Sema) -> Self {
+        Ctx {
+            kind,
+            fields: HashMap::new(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret: None,
+            sema,
+            errors: Vec::new(),
+            poisoned: HashSet::new(),
+        }
+    }
+
     fn declare_local(&mut self, name: String, ty: IntType, span: Span) -> Result<LocalId> {
         if self.scopes.last().unwrap().contains_key(&name) {
-            return Err(Diagnostic::new(
+            return Err(Diagnostic::coded(codes::SEMA_DUPLICATE,
                 span,
                 format!("`{name}` is already declared in this scope"),
             ));
@@ -572,17 +656,40 @@ impl<'a> Ctx<'a> {
 
     fn check_block(&mut self, b: &ast::Block) -> Result<Block> {
         self.scopes.push(HashMap::new());
-        let result = self.check_stmts(&b.stmts);
+        let stmts = self.check_stmts(&b.stmts);
         self.scopes.pop();
-        Ok(Block { stmts: result? })
+        Ok(Block { stmts })
     }
 
-    fn check_stmts(&mut self, stmts: &[ast::Stmt]) -> Result<Vec<Stmt>> {
+    /// Checks a statement list with containment: a bad statement records
+    /// its error and is dropped, and checking continues with the next one
+    /// so every independent error in a body surfaces in one pass.
+    fn check_stmts(&mut self, stmts: &[ast::Stmt]) -> Vec<Stmt> {
         let mut out = Vec::new();
         for s in stmts {
-            out.push(self.check_stmt(s)?);
+            match self.check_stmt(s) {
+                Ok(t) => out.push(t),
+                Err(e) => {
+                    self.errors.push(e);
+                    self.poison_decl(s);
+                }
+            }
         }
-        Ok(out)
+        out
+    }
+
+    /// After a failed declaration, still binds the name — as *poisoned* —
+    /// so later uses don't cascade into spurious "unknown name" errors.
+    fn poison_decl(&mut self, s: &ast::Stmt) {
+        if let ast::Stmt::Decl { ty, name, span, .. } = s {
+            let ty = self
+                .sema
+                .eval_type(ty)
+                .unwrap_or_else(|_| IntType::unsigned(32));
+            if let Ok(id) = self.declare_local(name.clone(), ty, *span) {
+                self.poisoned.insert(id.0);
+            }
+        }
     }
 
     fn check_stmt(&mut self, s: &ast::Stmt) -> Result<Stmt> {
@@ -612,6 +719,18 @@ impl<'a> Ctx<'a> {
             } => {
                 let (lv, target_ty) = self.check_lvalue(target)?;
                 let rhs = self.check_expr(value)?;
+                if matches!(&lv, LValue::Local(id) if self.poisoned.contains(&id.0)) {
+                    // Assignment to a poisoned local: the declaration error
+                    // was reported and its type may be wrong, so skip the
+                    // conversion check (the rhs was still checked above).
+                    return Ok(Stmt::Assign {
+                        target: lv,
+                        value: Expr {
+                            ty: target_ty,
+                            kind: ExprKind::Poison,
+                        },
+                    });
+                }
                 let value = if *op == AssignOp::Set {
                     self.coerce_assign(rhs, target_ty, *span)?
                 } else {
@@ -695,7 +814,7 @@ impl<'a> Ctx<'a> {
                     let cond = match cond {
                         Some(c) => self.check_expr(c)?,
                         None => {
-                            return Err(Diagnostic::new(
+                            return Err(Diagnostic::coded(codes::SEMA_TYPE_MISMATCH,
                                 *span,
                                 "for-loops must have a condition (loops are unrolled during synthesis)",
                             ))
@@ -759,7 +878,7 @@ impl<'a> Ctx<'a> {
             }
             ast::Stmt::Spawn { body, span } => {
                 if self.kind != BodyKind::Instruction {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_PURITY,
                         *span,
                         "spawn-blocks are only allowed inside instruction behavior",
                     ));
@@ -775,14 +894,14 @@ impl<'a> Ctx<'a> {
                         _ => unreachable!(),
                     }
                 }
-                _ => Err(Diagnostic::new(
+                _ => Err(Diagnostic::coded(codes::SEMA_TYPE_MISMATCH,
                     *span,
                     "expression statement has no effect",
                 )),
             },
             ast::Stmt::Return { value, span } => {
                 if self.kind != BodyKind::Function {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_RETURN,
                         *span,
                         "return is only allowed inside functions",
                     ));
@@ -795,10 +914,10 @@ impl<'a> Ctx<'a> {
                         Some(self.coerce_assign(v, rt, *span)?)
                     }
                     (None, Some(_)) => {
-                        return Err(Diagnostic::new(*span, "void function returns a value"))
+                        return Err(Diagnostic::coded(codes::SEMA_BAD_RETURN, *span, "void function returns a value"))
                     }
                     (Some(_), None) => {
-                        return Err(Diagnostic::new(*span, "missing return value"))
+                        return Err(Diagnostic::coded(codes::SEMA_BAD_RETURN, *span, "missing return value"))
                     }
                 };
                 Ok(Stmt::Return { value })
@@ -817,17 +936,26 @@ impl<'a> Ctx<'a> {
     /// Checks that `value` may be implicitly assigned to `target_ty` (the
     /// lossless rule), wrapping it in a widening cast when the types differ.
     fn coerce_assign(&self, value: Expr, target_ty: IntType, span: Span) -> Result<Expr> {
+        if matches!(value.kind, ExprKind::Poison) {
+            // A poisoned source was already reported; don't pile a
+            // conversion error on top.
+            return Ok(Expr {
+                ty: target_ty,
+                kind: ExprKind::Poison,
+            });
+        }
         if value.ty == target_ty {
             return Ok(value);
         }
         if !target_ty.can_losslessly_hold(value.ty) {
-            return Err(Diagnostic::new(
+            return Err(Diagnostic::coded(codes::SEMA_LOSSY_ASSIGN,
                 span,
                 format!(
                     "implicit conversion from {} to {} may lose information; use an explicit cast",
                     value.ty, target_ty
                 ),
-            ));
+            )
+            .with_fixit(format!("write `({target_ty}) ...` to truncate explicitly")));
         }
         Ok(Expr {
             ty: target_ty,
@@ -847,7 +975,7 @@ impl<'a> Ctx<'a> {
                 if let Some((reg, r)) = self.sema.module.register(name) {
                     self.check_state_access(r, e.span)?;
                     if r.elems > 1 {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                             e.span,
                             format!("register array `{name}` needs an index to be assigned"),
                         ));
@@ -855,30 +983,30 @@ impl<'a> Ctx<'a> {
                     let ty = r.ty;
                     return Ok((LValue::Reg { reg, index: None }, ty));
                 }
-                Err(Diagnostic::new(
+                Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                     e.span,
                     format!("cannot assign to `{name}`"),
                 ))
             }
             ast::ExprKind::Index { base, index } => {
                 let ast::ExprKind::Ident(name) = &base.kind else {
-                    return Err(Diagnostic::new(e.span, "invalid assignment target"));
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE, e.span, "invalid assignment target"));
                 };
                 let Some((reg, r)) = self.sema.module.register(name) else {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                         e.span,
                         format!("cannot index-assign `{name}`"),
                     ));
                 };
                 self.check_state_access(r, e.span)?;
                 if r.elems <= 1 {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                         e.span,
                         format!("`{name}` is not a register array"),
                     ));
                 }
                 if r.is_const {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                         e.span,
                         format!("cannot assign to const register `{name}`"),
                     ));
@@ -900,14 +1028,14 @@ impl<'a> Ctx<'a> {
                     if let Some((reg, r)) = self.sema.module.register(name) {
                         self.check_state_access(r, e.span)?;
                         if r.elems <= 1 {
-                            return Err(Diagnostic::new(
+                            return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                                 e.span,
                                 format!("`{name}` is not a register array"),
                             ));
                         }
                         let elemw = r.ty.width;
                         let elems = range_extent(hi, lo).ok_or_else(|| {
-                            Diagnostic::new(
+                            Diagnostic::coded(codes::SEMA_BAD_RANGE,
                                 e.span,
                                 "range bounds must be constants or share a base with constant offsets",
                             )
@@ -918,7 +1046,7 @@ impl<'a> Ctx<'a> {
                     }
                     if let Some(id) = self.lookup_local(name) {
                         let width = range_extent(hi, lo).ok_or_else(|| {
-                            Diagnostic::new(
+                            Diagnostic::coded(codes::SEMA_BAD_RANGE,
                                 e.span,
                                 "range bounds must be constants or share a base with constant offsets",
                             )
@@ -934,9 +1062,9 @@ impl<'a> Ctx<'a> {
                         ));
                     }
                 }
-                Err(Diagnostic::new(e.span, "invalid assignment target"))
+                Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE, e.span, "invalid assignment target"))
             }
-            _ => Err(Diagnostic::new(e.span, "invalid assignment target")),
+            _ => Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE, e.span, "invalid assignment target")),
         }
     }
 
@@ -944,7 +1072,7 @@ impl<'a> Ctx<'a> {
     /// pure so they can be inlined unconditionally).
     fn check_state_access(&self, r: &Register, span: Span) -> Result<()> {
         if self.kind == BodyKind::Function && !r.is_const {
-            return Err(Diagnostic::new(
+            return Err(Diagnostic::coded(codes::SEMA_PURITY,
                 span,
                 format!(
                     "functions may not access architectural state (`{}`)",
@@ -1005,8 +1133,19 @@ impl<'a> Ctx<'a> {
             | BinOp::LogOr => IntType::bool_ty(),
             BinOp::Concat => lt.concat_result(rt),
         };
+        if matches!(lhs.kind, ExprKind::Poison) || matches!(rhs.kind, ExprKind::Poison) {
+            // Poisoned operands fold to poison; the result type may be
+            // nonsense, so skip the width check too.
+            return Ok(Expr {
+                ty: IntType {
+                    signed: ty.signed,
+                    width: ty.width.min(bits::MAX_WIDTH),
+                },
+                kind: ExprKind::Poison,
+            });
+        }
         if ty.width > bits::MAX_WIDTH {
-            return Err(Diagnostic::new(span, "operator result width too large"));
+            return Err(Diagnostic::coded(codes::SEMA_BAD_WIDTH, span, "operator result width too large"));
         }
         Ok(Expr {
             ty,
@@ -1023,6 +1162,14 @@ impl<'a> Ctx<'a> {
             ast::ExprKind::Int { value, .. } => Ok(Expr::constant(value.clone(), false)),
             ast::ExprKind::Ident(name) => {
                 if let Some(id) = self.lookup_local(name) {
+                    if self.poisoned.contains(&id.0) {
+                        // The declaration already failed and was reported;
+                        // type this use as poison instead of cascading.
+                        return Ok(Expr {
+                            ty: self.locals[id.0].ty,
+                            kind: ExprKind::Poison,
+                        });
+                    }
                     return Ok(Expr {
                         ty: self.locals[id.0].ty,
                         kind: ExprKind::Local(id),
@@ -1043,7 +1190,7 @@ impl<'a> Ctx<'a> {
                 if let Some((reg, r)) = self.sema.module.register(name) {
                     self.check_state_access(r, e.span)?;
                     if r.elems > 1 {
-                        return Err(Diagnostic::new(
+                        return Err(Diagnostic::coded(codes::SEMA_BAD_LVALUE,
                             e.span,
                             format!("register array `{name}` must be indexed"),
                         ));
@@ -1053,7 +1200,7 @@ impl<'a> Ctx<'a> {
                         kind: ExprKind::ReadReg { reg, index: None },
                     });
                 }
-                Err(Diagnostic::new(e.span, format!("unknown name `{name}`")))
+                Err(Diagnostic::coded(codes::SEMA_UNKNOWN_NAME, e.span, format!("unknown name `{name}`")))
             }
             ast::ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.check_expr(lhs)?;
@@ -1117,7 +1264,7 @@ impl<'a> Ctx<'a> {
                                 self.check_state_access(r, e.span)?;
                                 let elemw = r.ty.width;
                                 let elems = range_extent(hi, lo).ok_or_else(|| {
-                                    Diagnostic::new(
+                                    Diagnostic::coded(codes::SEMA_BAD_RANGE,
                                         e.span,
                                         "range bounds must be constants or share a base with constant offsets",
                                     )
@@ -1137,14 +1284,14 @@ impl<'a> Ctx<'a> {
                 }
                 // Bit-range on a scalar value.
                 let width = range_extent(hi, lo).ok_or_else(|| {
-                    Diagnostic::new(
+                    Diagnostic::coded(codes::SEMA_BAD_RANGE,
                         e.span,
                         "range bounds must be constants or share a base with constant offsets",
                     )
                 })? as u32;
                 let base = self.check_expr(base)?;
-                if width > base.ty.width {
-                    return Err(Diagnostic::new(
+                if width > base.ty.width && !matches!(base.kind, ExprKind::Poison) {
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_WIDTH,
                         e.span,
                         format!(
                             "bit range of width {width} exceeds operand width {}",
@@ -1175,7 +1322,7 @@ impl<'a> Ctx<'a> {
                         let (wv, _) = self.sema.eval_const(we)?;
                         wv.try_to_u64()
                             .filter(|&w| w >= 1 && w <= bits::MAX_WIDTH as u64)
-                            .ok_or_else(|| Diagnostic::new(e.span, "cast width out of range"))?
+                            .ok_or_else(|| Diagnostic::coded(codes::SEMA_BAD_WIDTH, e.span, "cast width out of range"))?
                             as u32
                     }
                 };
@@ -1209,13 +1356,13 @@ impl<'a> Ctx<'a> {
             }
             ast::ExprKind::Call { callee, args } => {
                 let Some((ret, param_tys)) = self.sema.func_sigs.get(callee).cloned() else {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_CALL,
                         e.span,
                         format!("unknown function `{callee}`"),
                     ));
                 };
                 if args.len() != param_tys.len() {
-                    return Err(Diagnostic::new(
+                    return Err(Diagnostic::coded(codes::SEMA_BAD_CALL,
                         e.span,
                         format!(
                             "function `{callee}` expects {} arguments, got {}",
@@ -1230,7 +1377,7 @@ impl<'a> Ctx<'a> {
                     typed_args.push(self.coerce_assign(v, pt, a.span)?);
                 }
                 let ty = ret.ok_or_else(|| {
-                    Diagnostic::new(
+                    Diagnostic::coded(codes::SEMA_BAD_CALL,
                         e.span,
                         format!("void function `{callee}` used as a value"),
                     )

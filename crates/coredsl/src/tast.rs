@@ -393,6 +393,14 @@ pub enum ExprKind {
     },
     /// Pure helper-function call.
     Call { callee: String, args: Vec<Expr> },
+    /// Placeholder for an expression that failed semantic analysis.
+    ///
+    /// Poison exists so multi-error analysis can keep type-checking the
+    /// surrounding code without cascading follow-on errors; any unit whose
+    /// body still contains poison is dropped from the module before
+    /// lowering. Downstream consumers treat an escaped poison node as an
+    /// internal fault, never a crash.
+    Poison,
 }
 
 impl Expr {

@@ -232,6 +232,7 @@ impl<'a> Printer<'a> {
             }
             ExprKind::Local(id) => format!("@l{}", id.0),
             ExprKind::Field(name) => format!("%{name}"),
+            ExprKind::Poison => "<poison>".to_string(),
             ExprKind::ReadReg { reg, index } => {
                 let name = self.module.registers[reg.0].name.clone();
                 let v = self.fresh();

@@ -432,6 +432,9 @@ impl<'a, 'b> FrameState<'a, 'b> {
                     message: format!("void function `{callee}` used as a value"),
                 })
             }
+            ExprKind::Poison => {
+                return err("poisoned expression survived semantic analysis (compiler bug)")
+            }
         };
         debug_assert_eq!(
             v.width(),

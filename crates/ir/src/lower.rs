@@ -1059,6 +1059,9 @@ impl<'a> Ctx<'a> {
                 Ok(self.push(OpKind::Mux, vec![c, t, f], e.ty.width))
             }
             ExprKind::Call { callee, args } => self.inline_call(callee, args),
+            ExprKind::Poison => {
+                self.err("poisoned expression survived semantic analysis (compiler bug)")
+            }
         }
     }
 

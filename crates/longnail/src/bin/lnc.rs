@@ -6,6 +6,7 @@
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
 //!            [--trace] [--metrics-out <path>] [--report] [--xcheck]
 //!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]
+//!            [--keep-going] [--fault-plan <path>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -39,10 +40,22 @@
 //! --report prints the per-unit compile report (schedule, hardware, and
 //! solver statistics) to stdout instead of writing artifacts.
 //!
+//! --keep-going (matrix only) grades a batch by what survived: cells
+//! are always compiled independently (one faulting cell never stops the
+//! others), and with this flag a partially successful batch exits 3
+//! instead of 1/2, reserving the failure codes for batches where *every*
+//! cell failed.
+//!
+//! --fault-plan injects deterministic faults (panics at stage
+//! boundaries, forced parse errors, solver-budget exhaustion, poisoned
+//! frontend-cache entries) into the cells a plan file names — see
+//! `longnail::faults` for the line format. Chaos testing only.
+//!
 //! Diagnostics go to stderr. Exit codes: 0 — clean or warnings only;
 //! 1 — at least one unit failed to compile (artifacts for the remaining
 //! units are still written); 2 — an internal compiler fault (verifier,
-//! netlist lint, or a contained panic).
+//! netlist lint, or a contained panic); 3 — partial success under
+//! --keep-going (some cells failed, at least one compiled).
 //! ```
 
 use longnail::driver::{builtin_datasheet, eval_datasheets, MatrixResult, EVAL_CORES};
@@ -64,6 +77,8 @@ struct Args {
     matrix: bool,
     jobs: usize,
     xcheck: bool,
+    keep_going: bool,
+    fault_plan: Option<PathBuf>,
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -79,6 +94,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut matrix = false;
     let mut jobs = 1usize;
     let mut xcheck = false;
+    let mut keep_going = false;
+    let mut fault_plan = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,6 +120,12 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--matrix" => matrix = true,
             "--xcheck" => xcheck = true,
+            "--keep-going" => keep_going = true,
+            "--fault-plan" => {
+                fault_plan = Some(PathBuf::from(
+                    args.next().ok_or("--fault-plan needs a value")?,
+                ));
+            }
             "--trace" => trace = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
@@ -129,6 +152,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
             return Err("--matrix targets every evaluation core; drop --core".into());
         }
     } else {
+        if keep_going {
+            return Err("--keep-going only applies to --matrix batches".into());
+        }
         if input.is_none() {
             return Err("missing input file".into());
         }
@@ -152,6 +178,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         matrix,
         jobs,
         xcheck,
+        keep_going,
+        fault_plan,
     })
 }
 
@@ -160,7 +188,8 @@ fn usage() {
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
          [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
          [--trace] [--metrics-out <path>] [--report] [--xcheck]\n\
-         \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]",
+         \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck] \
+         [--keep-going] [--fault-plan <path>]",
         EVAL_CORES.join("|")
     );
 }
@@ -182,6 +211,7 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
     let matrix: MatrixResult = ln.compile_matrix(&isaxes, &cores, args.jobs);
     let wall = t0.elapsed();
     let mut worst = 0u8;
+    let (mut failed_cells, mut clean_cells) = (0usize, 0usize);
     for entry in &matrix.entries {
         let cell_dir = args.out.join(format!("{}_{}", entry.isax, entry.core));
         if let Err(e) = std::fs::create_dir_all(&cell_dir) {
@@ -191,21 +221,39 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
         let compiled = match &entry.outcome {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("error: {}×{}: {e}", entry.isax, entry.core);
-                worst = worst.max(1);
+                if e.frontend_errors.is_empty() {
+                    eprintln!("{}: {}×{}: {e}", e.severity, entry.isax, entry.core);
+                } else {
+                    for d in &e.frontend_errors {
+                        eprintln!("error: {}×{}: [frontend] {d}", entry.isax, entry.core);
+                    }
+                }
+                worst = worst.max(if e.severity == Severity::Fault { 2 } else { 1 });
+                failed_cells += 1;
                 continue;
             }
         };
         if !compiled.diagnostics.is_empty() {
-            for d in &compiled.diagnostics.events {
-                eprintln!("{}×{}: {d}", entry.isax, entry.core);
-            }
+            eprint!(
+                "{}",
+                compiled
+                    .diagnostics
+                    .render()
+                    .lines()
+                    .map(|l| format!("{}×{}: {l}\n", entry.isax, entry.core))
+                    .collect::<String>()
+            );
         }
         worst = worst.max(match compiled.diagnostics.worst() {
             Some(Severity::Fault) => 2,
             Some(Severity::Error) => 1,
             _ => 0,
         });
+        if compiled.diagnostics.has_errors() {
+            failed_cells += 1;
+        } else {
+            clean_cells += 1;
+        }
         for g in &compiled.graphs {
             let path = cell_dir.join(format!("{}_{}.sv", compiled.name, g.name));
             if let Err(e) = std::fs::write(&path, &g.verilog) {
@@ -280,6 +328,20 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
         matrix.cache_misses,
         wall.as_secs_f64() * 1e3
     );
+    if matrix.cell_faults > 0 || matrix.errors_recovered > 0 {
+        eprintln!(
+            "degraded: {} = {}, {} = {}",
+            telemetry::metrics::DEGRADE_CELL_FAULTS,
+            matrix.cell_faults,
+            telemetry::metrics::DEGRADE_ERRORS_RECOVERED,
+            matrix.errors_recovered
+        );
+    }
+    // --keep-going grades the batch by what survived: a partial success
+    // exits 3, and the hard failure codes mean *nothing* compiled.
+    if args.keep_going && worst > 0 && failed_cells > 0 && clean_cells > 0 {
+        return ExitCode::from(3);
+    }
     match worst {
         0 => ExitCode::SUCCESS,
         1 => ExitCode::FAILURE,
@@ -301,6 +363,22 @@ fn main() -> ExitCode {
     let mut ln = Longnail::new();
     if let Some(b) = args.budget {
         ln.work_limit = b;
+    }
+    if let Some(path) = &args.fault_plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match longnail::FaultPlan::parse(&text) {
+            Ok(plan) => ln.fault_plan = Some(plan),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if args.matrix {
         return run_matrix(&ln, &args);
@@ -351,8 +429,20 @@ fn main() -> ExitCode {
     })) {
         Ok(Ok(c)) => c,
         Ok(Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            // A frontend failure carries every accumulated coded
+            // diagnostic — report them all, not just the first.
+            if e.frontend_errors.len() > 1 {
+                for d in &e.frontend_errors {
+                    eprintln!("error: [frontend] {d}");
+                }
+            } else {
+                eprintln!("error: {e}");
+            }
+            return if e.severity == Severity::Fault {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            };
         }
         Err(payload) => {
             let msg = payload
@@ -493,6 +583,18 @@ mod tests {
             .xcheck);
         assert!(parse(&["--matrix", "--xcheck", "--jobs", "2"]).unwrap().xcheck);
         assert!(!parse(&["--matrix"]).unwrap().xcheck);
+    }
+
+    #[test]
+    fn keep_going_and_fault_plan_parse_in_matrix_mode() {
+        let a = parse(&["--matrix", "--keep-going", "--fault-plan", "plan.txt"]).unwrap();
+        assert!(a.keep_going);
+        assert_eq!(a.fault_plan, Some(PathBuf::from("plan.txt")));
+        assert!(!parse(&["--matrix"]).unwrap().keep_going);
+        assert!(parse(&["x.core_desc", "--core", "ORCA", "--keep-going"])
+            .unwrap_err()
+            .contains("--matrix"));
+        assert!(parse(&["--matrix", "--fault-plan"]).is_err());
     }
 
     #[test]

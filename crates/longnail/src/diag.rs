@@ -48,6 +48,11 @@ pub struct DiagEvent {
     /// Telemetry span (by raw id) that was open when the event fired, so
     /// trace consumers can line diagnostics up with pipeline stages.
     pub trace_span: Option<u64>,
+    /// Stable machine-readable code (`LN0xxx`), when the frontend
+    /// assigned one.
+    pub code: Option<&'static str>,
+    /// Suggested fix, when the frontend provided one.
+    pub fixit: Option<String>,
     pub message: String,
 }
 
@@ -60,7 +65,14 @@ impl fmt::Display for DiagEvent {
         if let Some(span) = &self.span {
             write!(f, " at {span}")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(code) = self.code {
+            write!(f, " [{code}]")?;
+        }
+        if let Some(fixit) = &self.fixit {
+            write!(f, "; help: {fixit}")?;
+        }
+        Ok(())
     }
 }
 
@@ -95,8 +107,17 @@ impl Diagnostics {
             unit: unit.map(str::to_owned),
             span,
             trace_span: self.current_trace_span,
+            code: None,
+            fixit: None,
             message: message.into(),
         });
+    }
+
+    /// Records a fully built event (used for frontend diagnostics that
+    /// carry codes and fix-its), re-stamping its trace span.
+    pub fn push_event(&mut self, mut event: DiagEvent) {
+        event.trace_span = self.current_trace_span;
+        self.events.push(event);
     }
 
     /// Records a warning.
@@ -139,13 +160,7 @@ impl Diagnostics {
     /// first raised in.
     pub fn replay(&mut self, events: &[DiagEvent]) {
         for e in events {
-            self.push(
-                e.severity,
-                e.stage,
-                e.unit.as_deref(),
-                e.span,
-                e.message.clone(),
-            );
+            self.push_event(e.clone());
         }
     }
 
@@ -173,11 +188,30 @@ impl Diagnostics {
 
     /// Renders the full report, one event per line, with a trailing
     /// summary when anything was recorded.
+    ///
+    /// Events are rendered in a deterministic order — pipeline stage,
+    /// then unit, then source span — *not* raise order, which varies
+    /// with `--jobs N` interleaving. Identical cascaded events (same
+    /// everything but the trace span) collapse into one line with a
+    /// repeat count; the summary still counts every raw event.
     pub fn render(&self) -> String {
         use fmt::Write;
         let mut out = String::new();
-        for e in &self.events {
-            let _ = writeln!(out, "{e}");
+        let mut sorted: Vec<&DiagEvent> = self.events.iter().collect();
+        sorted.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+        let mut i = 0;
+        while i < sorted.len() {
+            let e = sorted[i];
+            let mut n = 1;
+            while i + n < sorted.len() && same_event(e, sorted[i + n]) {
+                n += 1;
+            }
+            let _ = if n == 1 {
+                writeln!(out, "{e}")
+            } else {
+                writeln!(out, "{e} (x{n})")
+            };
+            i += n;
         }
         if !self.events.is_empty() {
             let counts = [Severity::Fault, Severity::Error, Severity::Warning]
@@ -192,6 +226,48 @@ impl Diagnostics {
         }
         out
     }
+}
+
+/// Rank of a stage in the pipeline; ad-hoc stage names (`schedule`,
+/// `verify`, ...) sort after the telemetry pipeline stages, then
+/// alphabetically.
+fn stage_rank(stage: &str) -> usize {
+    telemetry::STAGES
+        .iter()
+        .position(|s| *s == stage)
+        .unwrap_or(telemetry::STAGES.len())
+}
+
+type SortKey<'a> = (
+    usize,
+    &'a str,
+    &'a Option<String>,
+    Option<(u32, u32)>,
+    Severity,
+    &'a str,
+);
+
+fn sort_key(e: &DiagEvent) -> SortKey<'_> {
+    (
+        stage_rank(e.stage),
+        e.stage,
+        &e.unit,
+        e.span.map(|s| (s.line, s.col)),
+        e.severity,
+        &e.message,
+    )
+}
+
+/// Event identity for de-duplication: everything except the trace span,
+/// which legitimately differs between cascaded copies of one error.
+fn same_event(a: &DiagEvent, b: &DiagEvent) -> bool {
+    a.severity == b.severity
+        && a.stage == b.stage
+        && a.unit == b.unit
+        && a.span == b.span
+        && a.code == b.code
+        && a.fixit == b.fixit
+        && a.message == b.message
 }
 
 #[cfg(test)]
@@ -236,5 +312,55 @@ mod tests {
         assert!(report.contains("`bad`"), "{report}");
         assert!(report.contains("3:7"), "{report}");
         assert!(report.contains("1 error"), "{report}");
+    }
+
+    #[test]
+    fn rendering_shows_codes_and_fixits() {
+        let mut d = Diagnostics::default();
+        d.push_event(DiagEvent {
+            severity: Severity::Error,
+            stage: "frontend",
+            unit: Some("bad".into()),
+            span: Some(Span::new(2, 4)),
+            trace_span: None,
+            code: Some("LN0304"),
+            fixit: Some("use an explicit cast".into()),
+            message: "lossy conversion".into(),
+        });
+        let report = d.render();
+        assert!(report.contains("[LN0304]"), "{report}");
+        assert!(report.contains("help: use an explicit cast"), "{report}");
+    }
+
+    #[test]
+    fn render_order_is_deterministic_not_raise_order() {
+        // Raise events in two different orders; the report must come out
+        // identical (stage rank, then unit, then span).
+        let mut a = Diagnostics::default();
+        a.error("rtl", Some("zeta"), None, "late stage");
+        a.warn("frontend", Some("alpha"), Some(Span::new(9, 1)), "early");
+        a.warn("frontend", Some("alpha"), Some(Span::new(2, 1)), "earlier");
+        let mut b = Diagnostics::default();
+        b.warn("frontend", Some("alpha"), Some(Span::new(2, 1)), "earlier");
+        b.error("rtl", Some("zeta"), None, "late stage");
+        b.warn("frontend", Some("alpha"), Some(Span::new(9, 1)), "early");
+        assert_eq!(a.render(), b.render());
+        let report = a.render();
+        let fe = report.find("earlier").unwrap();
+        let rtl = report.find("late stage").unwrap();
+        assert!(fe < rtl, "frontend events must precede rtl ones: {report}");
+    }
+
+    #[test]
+    fn identical_cascaded_events_are_deduplicated() {
+        let mut d = Diagnostics::default();
+        for trace in [Some(1), Some(2), None] {
+            d.set_trace_span(trace);
+            d.error("lower", Some("u"), Some(Span::new(1, 1)), "same problem");
+        }
+        let report = d.render();
+        assert_eq!(report.matches("same problem").count(), 1, "{report}");
+        assert!(report.contains("(x3)"), "{report}");
+        assert!(report.contains("3 error(s)"), "{report}");
     }
 }

@@ -6,8 +6,9 @@
 //! (§4.3) → hardware construction and SystemVerilog emission (§4.5) →
 //! SCAIE-V configuration file (§4.6).
 
-use crate::diag::{DiagEvent, Diagnostics};
-use coredsl::error::Span;
+use crate::diag::{DiagEvent, Diagnostics, Severity};
+use crate::faults::{FaultKind, FaultPlan};
+use coredsl::error::{codes, Diagnostic, Span};
 use coredsl::tast::TypedModule;
 use coredsl::Frontend;
 use eda::TechLibrary;
@@ -57,6 +58,53 @@ pub struct FlowError {
     /// Flow stage that failed (`frontend`, `lower`, `schedule`, ...).
     pub stage: &'static str,
     pub message: String,
+    /// How bad the failure is: [`Severity::Error`] for rejected input,
+    /// [`Severity::Fault`] for internal failures (contained panics,
+    /// poisoned caches) — drives the exit code and matrix accounting.
+    pub severity: Severity,
+    /// The full coded diagnostic list behind a `frontend` failure. The
+    /// frontend accumulates independent errors instead of stopping at
+    /// the first one; `message` summarizes, this field carries them all.
+    pub frontend_errors: Vec<Diagnostic>,
+}
+
+impl FlowError {
+    /// An ordinary stage error (exit-code-1 territory).
+    pub fn error(stage: &'static str, message: impl Into<String>) -> Self {
+        FlowError {
+            stage,
+            message: message.into(),
+            severity: Severity::Error,
+            frontend_errors: Vec::new(),
+        }
+    }
+
+    /// An internal fault (contained panic, poisoned state; exit code 2).
+    pub fn fault(stage: &'static str, message: impl Into<String>) -> Self {
+        FlowError {
+            stage,
+            message: message.into(),
+            severity: Severity::Fault,
+            frontend_errors: Vec::new(),
+        }
+    }
+
+    /// A frontend failure carrying every accumulated coded diagnostic.
+    /// The summary message is the first diagnostic (matching the old
+    /// fail-fast behavior) plus a count of the rest.
+    pub fn frontend(errors: Vec<Diagnostic>) -> Self {
+        let message = match errors.as_slice() {
+            [] => "frontend failed without diagnostics".to_string(),
+            [only] => only.to_string(),
+            [first, rest @ ..] => format!("{first} (and {} more error(s))", rest.len()),
+        };
+        FlowError {
+            stage: "frontend",
+            message,
+            severity: Severity::Error,
+            frontend_errors: errors,
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -66,6 +114,24 @@ impl fmt::Display for FlowError {
 }
 
 impl std::error::Error for FlowError {}
+
+thread_local! {
+    /// Pipeline stage the current thread's compilation is inside,
+    /// updated at every stage-span boundary. When a panic is contained
+    /// (matrix isolation, `lnc`'s top-level catch), this is the stage
+    /// context the resulting fault diagnostic is attributed to.
+    static CURRENT_STAGE: std::cell::Cell<&'static str> =
+        const { std::cell::Cell::new("frontend") };
+}
+
+/// The stage boundary most recently crossed on this thread.
+pub fn current_stage() -> &'static str {
+    CURRENT_STAGE.with(|c| c.get())
+}
+
+fn set_stage(stage: &'static str) {
+    CURRENT_STAGE.with(|c| c.set(stage));
+}
 
 /// One compiled instruction or `always`-block.
 #[derive(Debug, Clone)]
@@ -153,6 +219,9 @@ pub struct Longnail {
     /// flow degrades to the verified ASAP fallback scheduler and records a
     /// warning instead of failing.
     pub work_limit: u64,
+    /// Deterministic fault-injection plan (chaos testing). `None` — the
+    /// default — injects nothing and costs one branch per stage boundary.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Longnail {
@@ -169,6 +238,19 @@ impl Longnail {
             frontend: Frontend::new(),
             chain_depth: DEFAULT_CHAIN_DEPTH,
             work_limit: Budget::DEFAULT_LIMIT,
+            fault_plan: None,
+        }
+    }
+
+    /// Crosses a stage boundary: records the stage for panic attribution
+    /// and fires a planned [`FaultKind::Panic`] when this `(unit, core)`
+    /// cell is targeted at this stage.
+    fn stage_boundary(&self, unit: &str, core: &str, stage: &'static str) {
+        set_stage(stage);
+        if let Some(plan) = &self.fault_plan {
+            if plan.panic_at(unit, core, stage) {
+                panic!("injected fault: panic at stage `{stage}` of `{unit}` for `{core}`");
+            }
         }
     }
 
@@ -210,6 +292,27 @@ impl Longnail {
         datasheet: &VirtualDatasheet,
         cache: &FrontendCache,
     ) -> Result<CompiledIsax, FlowError> {
+        if let Some(plan) = &self.fault_plan {
+            if plan.fault(unit, &datasheet.core, FaultKind::PoisonCache).is_some() {
+                // Genuinely poison the slot mutex — exactly the state a
+                // worker that crashed mid-compute leaves behind — then
+                // fail this cell. Peers sharing the entry must recover
+                // through the cache's poison-tolerant locking.
+                set_stage("frontend");
+                cache.poison_entry(src, unit);
+                return Err(FlowError::fault(
+                    "frontend",
+                    format!("injected fault: frontend cache entry for `{unit}` poisoned"),
+                ));
+            }
+            if plan.fault(unit, &datasheet.core, FaultKind::ParseError).is_some() {
+                // Bypass the shared cache: the injected frontend failure
+                // must stay in this cell, not be cached for every core
+                // that asks for this (healthy) source.
+                let artifacts = self.frontend_artifacts_for(src, unit, Some(&datasheet.core))?;
+                return Ok(self.compile_artifacts(&artifacts, datasheet));
+            }
+        }
         let artifacts = cache.get_or_compute(src, unit, self)?;
         Ok(self.compile_artifacts(&artifacts, datasheet))
     }
@@ -241,21 +344,55 @@ impl Longnail {
     ///
     /// # Errors
     ///
-    /// Returns a [`FlowError`] if the frontend rejects the source.
-    /// Per-unit lowering problems are captured inside the artifacts and
-    /// replayed into each compilation's diagnostics instead.
+    /// Returns a [`FlowError`] if the frontend rejects the source; its
+    /// `frontend_errors` field carries *every* accumulated coded
+    /// diagnostic, not just the first. Per-unit lowering problems are
+    /// captured inside the artifacts and replayed into each
+    /// compilation's diagnostics instead.
     pub fn frontend_artifacts(
         &self,
         src: &str,
         unit: &str,
     ) -> Result<FrontendArtifacts, FlowError> {
-        let module = self
-            .frontend
-            .compile_str(src, unit)
-            .map_err(|e| FlowError {
-                stage: "frontend",
-                message: e.to_string(),
-            })?;
+        self.frontend_artifacts_for(src, unit, None)
+    }
+
+    /// [`Longnail::frontend_artifacts`] with an optional target-core
+    /// context for fault injection. The cache-shared path passes `None`
+    /// (injection is per-cell, never per-cache-entry).
+    fn frontend_artifacts_for(
+        &self,
+        src: &str,
+        unit: &str,
+        core: Option<&str>,
+    ) -> Result<FrontendArtifacts, FlowError> {
+        if let Some(core) = core {
+            self.stage_boundary(unit, core, "frontend");
+            if let Some(plan) = &self.fault_plan {
+                if plan.fault(unit, core, FaultKind::ParseError).is_some() {
+                    return Err(FlowError::frontend(vec![Diagnostic::coded(
+                        codes::PARSE_EXPECTED,
+                        Span::new(1, 1),
+                        "injected fault: forced parse error",
+                    )
+                    .in_source(unit)]));
+                }
+            }
+        } else {
+            set_stage("frontend");
+        }
+        let out = self.frontend.compile_str_all(src, unit);
+        if !out.errors.is_empty() {
+            return Err(FlowError::frontend(out.errors));
+        }
+        let module = out
+            .module
+            .ok_or_else(|| FlowError::error("frontend", "elaboration produced no module"))?;
+        if let Some(core) = core {
+            self.stage_boundary(unit, core, "lower");
+        } else {
+            set_stage("lower");
+        }
         Ok(lower_artifacts(module))
     }
 
@@ -274,6 +411,7 @@ impl Longnail {
         let root = tel.start_span("compile");
         tel.attr(root, "core", &datasheet.core);
         let stats = module.stats();
+        self.stage_boundary(&module.name, &datasheet.core, "frontend");
         let fe = tel.start_span("frontend");
         tel.counter(fe, metrics::FRONTEND_INSTRUCTIONS, stats.instructions as u64);
         tel.counter(fe, metrics::FRONTEND_ALWAYS, stats.always_blocks as u64);
@@ -281,6 +419,7 @@ impl Longnail {
         tel.end_span(fe);
         tel.attr(root, "isax", &module.name);
         let mut diagnostics = Diagnostics::default();
+        self.stage_boundary(&module.name, &datasheet.core, "lower");
         let lower_span = tel.start_span("lower");
         diagnostics.set_trace_span(Some(lower_span.0));
         diagnostics.replay(&artifacts.lower_events);
@@ -293,17 +432,28 @@ impl Longnail {
             .chain(module.always_blocks.iter().map(|a| (a.name.clone(), a.span)))
             .collect();
         let mut graphs = Vec::new();
-        for graph in &lil.graphs {
+        for (gi, graph) in lil.graphs.iter().enumerate() {
             let unit_span = tel.start_unit_span("unit", Some(&graph.name));
             diagnostics.set_trace_span(Some(unit_span.0));
-            match self.compile_graph(graph, lil, datasheet, &mut diagnostics, &mut tel, unit_span)
-            {
+            // Cell-level fault injection fires once per compilation, on
+            // the first unit, so a faulted cell degrades to exactly one
+            // diagnostic.
+            let inject = gi == 0;
+            match self.compile_graph(
+                graph,
+                lil,
+                datasheet,
+                &mut diagnostics,
+                &mut tel,
+                unit_span,
+                inject,
+            ) {
                 Ok(cg) => graphs.push(cg),
                 Err(e) => {
                     let span = spans.get(&graph.name).copied();
                     // The netlist lint guards compiler-constructed hardware;
                     // its findings are internal faults, not user errors.
-                    if e.stage == "netlist" {
+                    if e.severity == Severity::Fault || e.stage == "netlist" {
                         diagnostics.fault(e.stage, Some(&graph.name), span, e.message);
                     } else {
                         diagnostics.error(e.stage, Some(&graph.name), span, e.message);
@@ -314,6 +464,7 @@ impl Longnail {
             tel.end_span(unit_span);
         }
         diagnostics.set_trace_span(None);
+        self.stage_boundary(&module.name, &datasheet.core, "config");
         let config_span = tel.start_span("config");
         let config = build_config(lil, &graphs);
         tel.counter(
@@ -327,6 +478,13 @@ impl Longnail {
             config.registers.len() as u64,
         );
         tel.end_span(config_span);
+        // Errors that were contained to their unit instead of aborting
+        // the compilation. Omitted (not zero) on clean runs so a clean
+        // trace stays byte-identical to pre-degradation baselines.
+        let recovered = diagnostics.of(Severity::Error).count() as u64;
+        if recovered > 0 {
+            tel.counter(root, metrics::DEGRADE_ERRORS_RECOVERED, recovered);
+        }
         tel.end_span(root);
         // Mirror the diagnostics into the trace, each linked to the span
         // that was open when it fired.
@@ -373,29 +531,63 @@ impl Longnail {
             .flat_map(|i| (0..cores.len()).map(move |c| (i, c)))
             .collect();
         let pool = Pool::new(jobs);
-        let outcomes = pool.run(cells.len(), |k| {
+        let outcomes = pool.run_isolated(cells.len(), |k| {
             let (i, c) = cells[k];
             let (_, unit, src) = &isaxes[i];
-            self.compile_cached(src, unit, &cores[c], &cache)
+            // First containment layer: a panic anywhere in this cell's
+            // flow becomes a Fault-severity outcome attributed to the
+            // stage boundary the thread last crossed, and every other
+            // cell completes exactly as in a clean run.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.compile_cached(src, unit, &cores[c], &cache)
+            }))
+            .unwrap_or_else(|p| {
+                Err(FlowError::fault(
+                    current_stage(),
+                    format!("compiler panicked: {}", pool::panic_message(p.as_ref())),
+                ))
+            })
         });
-        let entries = cells
+        let entries: Vec<MatrixEntry> = cells
             .iter()
             .zip(outcomes)
             .map(|(&(i, c), outcome)| MatrixEntry {
                 isax: isaxes[i].0.clone(),
                 unit: isaxes[i].1.clone(),
                 core: cores[c].core.clone(),
-                outcome,
+                // Second containment layer: the pool's own isolation
+                // catches anything that escaped the handler above.
+                outcome: outcome.unwrap_or_else(|p| {
+                    Err(FlowError::fault(
+                        "matrix",
+                        format!("compiler panicked: {}", p.message),
+                    ))
+                }),
             })
             .collect();
+        let cell_faults = entries
+            .iter()
+            .filter(|e| matches!(&e.outcome, Err(f) if f.severity == Severity::Fault))
+            .count() as u64;
+        let errors_recovered = entries
+            .iter()
+            .map(|e| match &e.outcome {
+                Ok(c) => c.diagnostics.of(Severity::Error).count() as u64,
+                Err(f) if f.severity == Severity::Fault => 0,
+                Err(f) => f.frontend_errors.len().max(1) as u64,
+            })
+            .sum();
         MatrixResult {
             entries,
             jobs: pool.workers(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            cell_faults,
+            errors_recovered,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compile_graph(
         &self,
         graph: &Graph,
@@ -404,10 +596,12 @@ impl Longnail {
         diagnostics: &mut Diagnostics,
         tel: &mut Telemetry,
         unit_span: SpanId,
+        inject: bool,
     ) -> Result<CompiledGraph, FlowError> {
         let is_always = graph.kind == GraphKind::Always;
 
         // --- LongnailProblem construction ---
+        self.stage_boundary(&lil.name, &datasheet.core, "problem");
         let problem_span = tel.start_span("problem");
         let chain_limit = if datasheet.clock_ns > 0.0 {
             (datasheet.clock_ns / UNIT_NS).max(2.0)
@@ -450,6 +644,21 @@ impl Longnail {
         tel.end_span(problem_span);
 
         // --- ILP solve (resilient facade) ---
+        self.stage_boundary(&lil.name, &datasheet.core, "solve");
+        if inject {
+            if let Some(plan) = &self.fault_plan {
+                if plan
+                    .fault(&lil.name, &datasheet.core, FaultKind::BudgetExhaustion)
+                    .is_some()
+                {
+                    return Err(FlowError::error(
+                        "solve",
+                        "injected fault: solver work budget exhausted before a schedule \
+                         was found",
+                    ));
+                }
+            }
+        }
         let solve_span = tel.start_span("solve");
         let budget = Budget::new(self.work_limit);
         let result = schedule_resilient(&mut problem, &budget);
@@ -459,10 +668,7 @@ impl Longnail {
         tel.counter(solve_span, metrics::SOLVER_ROUNDS, budget.count(WorkKind::Round));
         tel.counter(solve_span, metrics::SOLVER_WORK_USED, budget.used());
         tel.counter(solve_span, metrics::SOLVER_WORK_LIMIT, budget.limit());
-        let outcome = result.map_err(|e| FlowError {
-            stage: "schedule",
-            message: e.to_string(),
-        })?;
+        let outcome = result.map_err(|e| FlowError::error("schedule", e.to_string()))?;
         if let Some(deg) = &outcome.degradation {
             tel.counter(solve_span, metrics::SCHED_FALLBACK, 1);
             if matches!(deg.reason, DegradationReason::BudgetExhausted(_)) {
@@ -489,6 +695,7 @@ impl Longnail {
         tel.end_span(solve_span);
 
         // --- Per-write-interface mode selection (§4.3) and overall mode ---
+        self.stage_boundary(&lil.name, &datasheet.core, "modes");
         let modes_span = tel.start_span("modes");
         let mut mode = if is_always {
             ExecutionMode::Always
@@ -507,9 +714,8 @@ impl Longnail {
             }
             if !is_always && mode_relevant(&op.kind) {
                 let iface = lil_iface_op(&op.kind).expect("interface op");
-                let timing = datasheet.timing(&iface).ok_or_else(|| FlowError {
-                    stage: "modes",
-                    message: format!("datasheet lacks {} timing", iface.key()),
+                let timing = datasheet.timing(&iface).ok_or_else(|| {
+                    FlowError::error("modes", format!("datasheet lacks {} timing", iface.key()))
                 })?;
                 let m = select_mode(
                     stage,
@@ -533,6 +739,7 @@ impl Longnail {
         tel.end_span(modes_span);
 
         // --- Hardware construction and lint ---
+        self.stage_boundary(&lil.name, &datasheet.core, "rtl");
         let rtl_span = tel.start_span("rtl");
         let ds = datasheet.clone();
         let read_latency = move |kind: &OpKind| -> u32 {
@@ -544,14 +751,14 @@ impl Longnail {
         let built = build_graph_module(graph, lil, &start_time, &read_latency);
         // Netlist lint: last gate before SystemVerilog leaves the compiler.
         if let Err(issues) = lint_module(&built.module) {
-            return Err(FlowError {
-                stage: "netlist",
-                message: issues
+            return Err(FlowError::fault(
+                "netlist",
+                issues
                     .iter()
                     .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join("; "),
-            });
+            ));
         }
         tel.counter(rtl_span, metrics::RTL_CELLS, built.module.nets.len() as u64);
         tel.counter(rtl_span, metrics::RTL_REG_BITS, built.module.register_bits());
@@ -566,6 +773,7 @@ impl Longnail {
         tel.end_span(rtl_span);
 
         // --- SystemVerilog emission ---
+        self.stage_boundary(&lil.name, &datasheet.core, "verilog");
         let verilog_span = tel.start_span("verilog");
         let verilog = emit_verilog(&built.module);
         tel.counter(verilog_span, metrics::VERILOG_BYTES, verilog.len() as u64);
@@ -610,13 +818,15 @@ impl Longnail {
                 // §4.4: all interface constraints pinned to stage 0.
                 return Ok(OperatorType::combinational(&name, 0.0).with_window(0, Some(0)));
             }
-            let timing = datasheet.timing(&iface).ok_or_else(|| FlowError {
-                stage: "schedule",
-                message: format!(
-                    "virtual datasheet of `{}` lacks an entry for {}",
-                    datasheet.core,
-                    iface.key()
-                ),
+            let timing = datasheet.timing(&iface).ok_or_else(|| {
+                FlowError::error(
+                    "schedule",
+                    format!(
+                        "virtual datasheet of `{}` lacks an entry for {}",
+                        datasheet.core,
+                        iface.key()
+                    ),
+                )
             })?;
             // §4.2: WrRD / RdMem / WrMem get latest = ∞ to unlock the
             // tightly-coupled and decoupled variants.
@@ -767,7 +977,7 @@ impl FrontendCache {
 
     /// Distinct `(source, unit)` pairs held.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache poisoned").len()
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// True when nothing has been cached yet.
@@ -778,6 +988,11 @@ impl FrontendCache {
     /// Returns the cached artifacts for `(src, unit)`, computing them with
     /// `ln`'s frontend on first access. Concurrent requests for the same
     /// key block on the first one rather than duplicating the work.
+    ///
+    /// Poison-tolerant: a peer that panicked while holding a lock (its
+    /// cell is already lost to a fault diagnostic) must not take every
+    /// later cell down with it. A poisoned mutex is re-entered; an entry
+    /// the crashed peer never finished is simply recomputed.
     ///
     /// # Errors
     ///
@@ -794,10 +1009,10 @@ impl FrontendCache {
             unit: unit.to_string(),
         };
         let slot = {
-            let mut slots = self.slots.lock().expect("cache poisoned");
+            let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
             Arc::clone(slots.entry(key).or_default())
         };
-        let mut ready = slot.ready.lock().expect("cache slot poisoned");
+        let mut ready = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(result) = &*ready {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return result.clone();
@@ -806,6 +1021,26 @@ impl FrontendCache {
         let result = ln.frontend_artifacts(src, unit).map(Arc::new);
         *ready = Some(result.clone());
         result
+    }
+
+    /// Deliberately poisons the entry mutex for `(src, unit)` — a panic
+    /// while the lock is held, exactly the state a worker that crashed
+    /// mid-compute leaves behind. Fault injection uses this to prove
+    /// that peers sharing the entry recover instead of cascading.
+    pub fn poison_entry(&self, src: &str, unit: &str) {
+        let key = CacheKey {
+            source_hash: source_hash(src),
+            unit: unit.to_string(),
+        };
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let _ = std::thread::spawn(move || {
+            let _guard = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
+            panic!("injected fault: poisoning frontend cache entry");
+        })
+        .join();
     }
 }
 
@@ -836,6 +1071,12 @@ pub struct MatrixResult {
     pub cache_hits: u64,
     /// Frontend-cache misses (distinct ISAX sources actually compiled).
     pub cache_misses: u64,
+    /// Cells whose outcome is a [`Severity::Fault`] failure (contained
+    /// panics, poisoned caches) — the `degrade.cell_faults` counter.
+    pub cell_faults: u64,
+    /// Error-severity problems that were contained (to a unit or a cell)
+    /// instead of aborting the batch — `degrade.errors_recovered`.
+    pub errors_recovered: u64,
 }
 
 impl MatrixResult {

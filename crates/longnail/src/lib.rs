@@ -24,13 +24,15 @@
 
 pub mod diag;
 pub mod driver;
+pub mod faults;
 pub mod golden;
 pub mod isax_lib;
 pub mod xcheck;
 
 pub use diag::{DiagEvent, Diagnostics, Severity};
 pub use driver::{
-    CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts, FrontendCache, Longnail,
-    MatrixEntry, MatrixResult,
+    current_stage, CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts, FrontendCache,
+    Longnail, MatrixEntry, MatrixResult,
 };
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use xcheck::{xcheck_compiled, xcheck_compiled_with, XCheckOptions, XCheckReport, XCheckUnit};

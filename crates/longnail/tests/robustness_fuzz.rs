@@ -12,6 +12,7 @@
 use longnail::driver::builtin_datasheet;
 use longnail::isax_lib::STATIC_ISAXES;
 use longnail::Longnail;
+use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Deterministic SplitMix64 so failures reproduce across runs.
@@ -190,4 +191,46 @@ fn adversarial_sources_never_panic() {
     }
     std::panic::set_hook(default_hook);
     assert!(panicked.is_empty(), "adversarial case(s) {panicked:?} panicked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    /// Multi-error property: the frontend over arbitrarily mutated or
+    /// truncated CoreDSL never panics, and whenever it rejects the input
+    /// every accumulated diagnostic carries a stable `LN0xxx` code.
+    #[test]
+    fn rejected_mutants_always_carry_coded_diagnostics(
+        isax_idx in 0usize..STATIC_ISAXES.len(),
+        seed: u64,
+    ) {
+        let isax = &STATIC_ISAXES[isax_idx];
+        let mut rng = Rng(seed | 1);
+        let mutant = mutate(isax.source, &mut rng);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            coredsl::Frontend::new().compile_str_all(&mutant, isax.unit)
+        }));
+        std::panic::set_hook(default_hook);
+        let Ok(out) = outcome else {
+            return Err(TestCaseError::fail(format!(
+                "frontend panicked on mutant of {}:\n{mutant}",
+                isax.name
+            )));
+        };
+        // Rejection without a diagnostic (or with an uncoded one) is a
+        // graceful-degradation bug: batch consumers key on the codes.
+        prop_assert!(
+            out.module.is_some() || !out.errors.is_empty(),
+            "mutant rejected silently:\n{mutant}"
+        );
+        for d in &out.errors {
+            prop_assert!(
+                d.code.len() == 6
+                    && d.code.starts_with("LN")
+                    && d.code[2..].bytes().all(|b| b.is_ascii_digit()),
+                "uncoded diagnostic `{d}` for mutant:\n{mutant}"
+            );
+        }
+    }
 }

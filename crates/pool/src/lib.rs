@@ -22,6 +22,36 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+/// A captured panic from one isolated job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// Best-effort panic message (see [`panic_message`]).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+///
+/// `panic!("...")` payloads are `&str` or `String`; anything else (a
+/// custom `panic_any` value) degrades to a placeholder rather than being
+/// lost.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// A fixed-width scoped thread pool.
 ///
 /// The pool is a value, not a resource: threads are spawned per
@@ -85,7 +115,7 @@ impl Pool {
                                     // Stop the whole pool: park the queue
                                     // past the end so peers drain quickly.
                                     next.store(jobs, Ordering::Relaxed);
-                                    panic = Some(p);
+                                    panic = Some((i, p));
                                     break;
                                 }
                             }
@@ -99,19 +129,20 @@ impl Pool {
                 .map(|h| h.join().expect("pool worker thread itself panicked"))
                 .collect()
         });
-        // Merge by stable job index, never by completion order.
+        // Merge by stable job index, never by completion order. Workers
+        // race, so several can each observe a panic; re-raising the one
+        // with the *lowest job index* (not the first worker's) keeps the
+        // propagated panic deterministic for any worker count.
         let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-        let mut first_panic = None;
+        let mut panics: Vec<(usize, PanicPayload)> = Vec::new();
         for out in worker_outputs {
             for (i, v) in out.claimed {
                 debug_assert!(slots[i].is_none(), "job {i} ran twice");
                 slots[i] = Some(v);
             }
-            if first_panic.is_none() {
-                first_panic = out.panic;
-            }
+            panics.extend(out.panic);
         }
-        if let Some(p) = first_panic {
+        if let Some((_, p)) = panics.into_iter().min_by_key(|(i, _)| *i) {
             resume_unwind(p);
         }
         slots
@@ -120,11 +151,35 @@ impl Pool {
             .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} was never claimed")))
             .collect()
     }
+
+    /// Runs `f(i)` for every `i in 0..jobs` with per-job panic isolation:
+    /// a panicking job yields `Err(JobPanic)` in its slot (with the
+    /// captured panic message) while **every other job still runs**,
+    /// unlike [`Pool::run`], which stops the queue on the first panic.
+    ///
+    /// Results come back in index order, so output is byte-identical for
+    /// any worker count. This is the execution mode batch drivers use to
+    /// turn one faulting cell into one diagnostic instead of losing the
+    /// whole batch.
+    pub fn run_isolated<T, F>(&self, jobs: usize, f: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(jobs, |i| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| JobPanic {
+                index: i,
+                message: panic_message(p.as_ref()),
+            })
+        })
+    }
 }
+
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 struct WorkerOutput<T> {
     claimed: Vec<(usize, T)>,
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    panic: Option<(usize, PanicPayload)>,
 }
 
 /// Convenience wrapper: `run_indexed(jobs, workers, f)` ==
@@ -211,6 +266,77 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("job four exploded"), "{msg}");
+    }
+
+    #[test]
+    fn propagated_panic_is_the_lowest_index_one() {
+        // With many workers several jobs panic concurrently; the one that
+        // propagates must be job 2 (lowest index), not whichever worker
+        // happened to merge first.
+        for _ in 0..20 {
+            let result = std::panic::catch_unwind(|| {
+                Pool::new(4).run(12, |i| {
+                    if i >= 2 {
+                        panic!("job {i} exploded");
+                    }
+                    i
+                })
+            });
+            let payload = result.expect_err("panic must propagate");
+            let msg = panic_message(payload.as_ref());
+            assert_eq!(msg, "job 2 exploded");
+        }
+    }
+
+    #[test]
+    fn isolated_mode_keeps_other_jobs_alive() {
+        for workers in [1, 2, 4] {
+            let got = Pool::new(workers).run_isolated(10, |i| {
+                if i == 3 {
+                    panic!("cell three fell over");
+                }
+                i * 10
+            });
+            assert_eq!(got.len(), 10);
+            for (i, r) in got.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 3 => assert_eq!(*v, i * 10),
+                    Err(p) if i == 3 => {
+                        assert_eq!(p.index, 3);
+                        assert_eq!(p.message, "cell three fell over");
+                    }
+                    other => panic!("job {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_mode_captures_string_payloads_and_formats() {
+        let got = Pool::new(1).run_isolated(2, |i| {
+            if i == 0 {
+                std::panic::panic_any(format!("dynamic {i}"));
+            }
+            i
+        });
+        let p = got[0].as_ref().unwrap_err();
+        assert_eq!(p.message, "dynamic 0");
+        assert_eq!(p.to_string(), "job 0 panicked: dynamic 0");
+        assert_eq!(got[1], Ok(1));
+    }
+
+    #[test]
+    fn non_string_panic_payloads_degrade_gracefully() {
+        let got = Pool::new(2).run_isolated(3, |i| {
+            if i == 1 {
+                std::panic::panic_any(42_u32);
+            }
+            i
+        });
+        assert_eq!(
+            got[1].as_ref().unwrap_err().message,
+            "<non-string panic payload>"
+        );
     }
 
     #[test]

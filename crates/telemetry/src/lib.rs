@@ -94,6 +94,13 @@ pub mod metrics {
     pub const XCHECK_X_OUTPUT_BITS: &str = "xcheck.x_output_bits";
     /// X-check: static X-hazard lint findings (counter).
     pub const XCHECK_LINT_FINDINGS: &str = "xcheck.lint_findings";
+    /// Matrix cells degraded to a fault diagnostic by a contained panic
+    /// or poisoned shared state (counter, batch summary).
+    pub const DEGRADE_CELL_FAULTS: &str = "degrade.cell_faults";
+    /// Error-severity problems contained to their unit or cell instead
+    /// of aborting the compilation (counter, per `compile` span and in
+    /// the batch summary).
+    pub const DEGRADE_ERRORS_RECOVERED: &str = "degrade.errors_recovered";
 }
 
 /// The eight pipeline stages of the Longnail flow, in order. The driver
