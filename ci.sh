@@ -79,8 +79,13 @@ InstructionSet X_DOTP extends RV32I {
 EOF
 cargo run -q --release -p longnail --bin lnc -- \
     "$smoke_dir/dotp.core_desc" --core ORCA --unit X_DOTP \
-    --report --metrics-out "$smoke_dir/dotp.jsonl" | grep -q "compile report"
+    --report --metrics-out "$smoke_dir/dotp.jsonl" \
+    --profile-folded "$smoke_dir/dotp.folded" | grep -q "compile report"
 grep -q '"ev":"span_start".*"name":"solve"' "$smoke_dir/dotp.jsonl"
+# Folded stacks: every line is "frame(;frame)* <count>" and the solve
+# stage shows up under the compile root.
+awk 'NF != 2 || $2 !~ /^[0-9]+$/ { bad = 1 } END { exit bad }' "$smoke_dir/dotp.folded"
+grep -q ';solve ' "$smoke_dir/dotp.folded"
 
 echo "== determinism + xcheck: lnc --matrix --jobs 4 is byte-identical to --jobs 1"
 # --xcheck doubles as the four-state oracle gate: any interp/xsim
@@ -99,6 +104,21 @@ diff "$smoke_dir/m1.stdout" "$smoke_dir/m4.stdout"
 [ "$(find "$smoke_dir/m1" -name xcheck.jsonl | wc -l)" -eq 32 ]
 grep -qx "xcheck: 32 cell(s), 0 mismatch(es), 0 X output bit(s), 0 hazard(s)" \
     "$smoke_dir/m1.stdout"
+
+# The root matrix_summary.json rides inside the diff -r above: the
+# stripped projection must be byte-identical for any worker count.
+[ -f "$smoke_dir/m1/matrix_summary.json" ]
+grep -q '"schema": "longnail-matrix-summary/1"' "$smoke_dir/m1/matrix_summary.json"
+
+echo "== smoke: lnc --matrix --summary prints the stage table and writes folded stacks"
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --summary --profile-folded "$smoke_dir/matrix.folded" \
+    --out "$smoke_dir/msum" > "$smoke_dir/msum.stdout"
+grep -q "== matrix summary: 32 cell(s), 4 job(s) ==" "$smoke_dir/msum.stdout"
+grep -q "critical path:" "$smoke_dir/msum.stdout"
+grep -q "cache: 8 miss(es), 24 hit(s)" "$smoke_dir/msum.stdout"
+awk 'NF != 2 || $2 !~ /^[0-9]+$/ { bad = 1 } END { exit bad }' "$smoke_dir/matrix.folded"
+grep -q '^matrix;cell:' "$smoke_dir/matrix.folded"
 
 echo "== chaos: injected fault degrades one cell, leaves the rest byte-identical"
 # Inject a contained panic at the rtl stage of one cell and rerun the full
@@ -121,5 +141,13 @@ for d in "$smoke_dir/m4"/*/; do
     [ "$cell" = "dotprod_ORCA" ] && continue
     diff -r "$smoke_dir/m4/$cell" "$smoke_dir/mchaos/$cell"
 done
+
+echo "== bench gate: deterministic work counters vs BENCH_baseline.json"
+# cargo run -p bench rewrites BENCH_compile.json (gitignored) and compares
+# its deterministic section textually against the checked-in baseline.
+# Hard failure on any counter change; wall-time drift only warns. When a
+# work-counter change is intentional, refresh the baseline with:
+#   cp BENCH_compile.json BENCH_baseline.json
+cargo run -q --release -p bench -- --check BENCH_baseline.json
 
 echo "== ci.sh: all checks passed"

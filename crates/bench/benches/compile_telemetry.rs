@@ -2,11 +2,10 @@
 //! ISAX compiled for every evaluation core, reporting wall-clock time and
 //! the deterministic solver-work counters from the telemetry trace.
 //!
-//! Besides the per-pair console lines (via the in-tree criterion stub's
-//! timing loop), the run writes `BENCH_compile.json` — a machine-readable
-//! summary of wall time and solver pivot/node/round totals per ISAX × core
-//! — into the current directory. The file is gitignored; downstream
-//! tooling (EXPERIMENTS.md plots, regression tracking) consumes it.
+//! This target reports to the console only. The machine-readable
+//! `BENCH_compile.json` (and the baseline gate over its deterministic
+//! work counters) is owned by the `bench` binary — `cargo run -p bench`
+//! — so the two writers can never race on the file.
 //!
 //! The trailing `matrix` object compares the whole 8 × 4 evaluation matrix
 //! compiled serially (`--jobs 1`) against the worker pool (`--jobs 4`),
@@ -16,7 +15,6 @@
 use criterion::black_box;
 use longnail::driver::{builtin_datasheet, eval_datasheets, EVAL_CORES};
 use longnail::{isax_lib, Longnail};
-use std::fmt::Write as _;
 use std::time::Instant;
 use telemetry::metrics;
 
@@ -29,7 +27,6 @@ struct Row {
     wall_ns: u128,
     pivots: u64,
     nodes: u64,
-    rounds: u64,
     fallbacks: u64,
 }
 
@@ -60,7 +57,6 @@ fn main() {
                 wall_ns,
                 pivots: trace.counter_total(metrics::SOLVER_PIVOTS),
                 nodes: trace.counter_total(metrics::SOLVER_NODES),
-                rounds: trace.counter_total(metrics::SOLVER_ROUNDS),
                 fallbacks: trace.counter_total(metrics::SCHED_FALLBACK),
             };
             println!(
@@ -75,23 +71,6 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"isax\": \"{}\", \"core\": \"{}\", \"wall_ns\": {}, \
-             \"solver_pivots\": {}, \"solver_nodes\": {}, \"solver_rounds\": {}, \
-             \"fallbacks\": {}}}{}",
-            r.isax,
-            r.core,
-            r.wall_ns,
-            r.pivots,
-            r.nodes,
-            r.rounds,
-            r.fallbacks,
-            if i + 1 == rows.len() { "" } else { "," }
-        );
-    }
     let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
     let total_pivots: u64 = rows.iter().map(|r| r.pivots).sum();
 
@@ -132,31 +111,11 @@ fn main() {
         serial.cache_hits, serial.cache_misses
     );
 
-    let _ = write!(
-        json,
-        "  ],\n  \"matrix\": {{\"cells\": {}, \"jobs\": 4, \"uncached_wall_ns\": {}, \
-         \"serial_wall_ns\": {}, \"parallel_wall_ns\": {}, \"cache_speedup\": {:.3}, \
-         \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}},\n  \
-         \"totals\": {{\"pairs\": {}, \"wall_ns\": {}, \"solver_pivots\": {}}}\n}}\n",
-        serial.entries.len(),
-        uncached_ns,
-        serial_ns,
-        parallel_ns,
-        cache_speedup,
-        speedup,
-        serial.cache_hits,
-        serial.cache_misses,
+    println!(
+        "bench: totals                    {} ISAX x core pair(s), {} ns, {} total solver \
+         pivots (machine-readable output: cargo run -p bench)",
         rows.len(),
         total_ns,
-        total_pivots
-    );
-    // cargo runs benches with the package directory as cwd; anchor the
-    // output at the workspace root where the .gitignore expects it.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
-    std::fs::write(out, json).expect("write BENCH_compile.json");
-    println!(
-        "wrote BENCH_compile.json: {} ISAX x core pair(s), {} total solver pivots",
-        rows.len(),
         total_pivots
     );
 }

@@ -1,0 +1,270 @@
+//! `cargo run -p bench` — the deterministic perf-regression gate.
+//!
+//! Compiles the full 8×4 evaluation matrix (through the shared frontend
+//! cache, serially and with 4 workers) and writes `BENCH_compile.json` at
+//! the workspace root with two sections:
+//!
+//! * `deterministic` — work counters that are a pure function of the
+//!   input and the algorithms: solver pivots / branch-and-bound nodes /
+//!   repair rounds, cache hit/miss totals, degradation counters, and the
+//!   per-stage op counters summed across the matrix, plus a per-cell
+//!   solver-work breakdown. Byte-identical on every run of the same code.
+//! * `wall` — wall-clock timings and the cache/pool speedups.
+//!   Machine- and load-dependent, informational only.
+//!
+//! With `--check <baseline>` the freshly measured `deterministic` section
+//! is compared **textually** against the checked-in `BENCH_baseline.json`:
+//! any divergence (a solver change, a cache regression, a new fallback) is
+//! a hard failure naming the first differing line, with the update command
+//! to run when the change is intentional. Wall-time drift beyond
+//! ±[`WALL_TOLERANCE`] only warns — timings are not gate-worthy.
+
+use longnail::driver::eval_datasheets;
+use longnail::{isax_lib, Longnail};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use telemetry::aggregate;
+
+/// Allowed relative wall-time drift against the baseline before the
+/// (non-fatal) drift warning fires.
+const WALL_TOLERANCE: f64 = 0.5;
+
+/// Workspace-root path of the freshly written benchmark result.
+const BENCH_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Runs the matrix benchmark and renders `BENCH_compile.json`.
+fn bench_json() -> String {
+    let isaxes = isax_lib::all_isaxes();
+    let cores = eval_datasheets();
+    let ln = Longnail::new();
+    let t0 = Instant::now();
+    let serial = ln.compile_matrix(&isaxes, &cores, 1);
+    let serial_ns = elapsed_ns(t0);
+    let t0 = Instant::now();
+    let parallel = ln.compile_matrix(&isaxes, &cores, 4);
+    let parallel_ns = elapsed_ns(t0);
+    // The cache totals are part of the determinism contract: identical
+    // for every worker count.
+    assert_eq!(serial.cache_hits, parallel.cache_hits);
+    assert_eq!(serial.cache_misses, parallel.cache_misses);
+
+    let cell_traces: Vec<(String, &telemetry::Trace)> = serial
+        .entries
+        .iter()
+        .filter_map(|e| {
+            e.outcome
+                .as_ref()
+                .ok()
+                .map(|c| (format!("{}_{}", e.isax, e.core), &c.trace))
+        })
+        .collect();
+    let summary = aggregate::summarize(&cell_traces);
+
+    let mut json = String::from("{\n  \"schema\": \"longnail-bench/2\",\n");
+    json.push_str("  \"deterministic\": {\n");
+    let _ = writeln!(json, "    \"cells\": {},", serial.entries.len());
+    let _ = writeln!(json, "    \"cache_hits\": {},", serial.cache_hits);
+    let _ = writeln!(json, "    \"cache_misses\": {},", serial.cache_misses);
+    let _ = writeln!(json, "    \"cell_faults\": {},", serial.cell_faults);
+    let _ = writeln!(json, "    \"errors_recovered\": {},", serial.errors_recovered);
+    json.push_str("    \"counters\": {\n");
+    for (i, (name, value)) in summary.counters.iter().enumerate() {
+        let _ = write!(json, "      \"{name}\": {value}");
+        json.push_str(if i + 1 == summary.counters.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("    },\n    \"per_cell\": [\n");
+    for (i, (cell, trace)) in cell_traces.iter().enumerate() {
+        use telemetry::metrics as m;
+        let _ = write!(
+            json,
+            "      {{\"cell\": \"{cell}\", \"pivots\": {}, \"nodes\": {}, \"rounds\": {}, \
+             \"fallbacks\": {}, \"ops\": {}, \"verilog_bytes\": {}}}",
+            trace.counter_total(m::SOLVER_PIVOTS),
+            trace.counter_total(m::SOLVER_NODES),
+            trace.counter_total(m::SOLVER_ROUNDS),
+            trace.counter_total(m::SCHED_FALLBACK),
+            trace.counter_total(m::PROBLEM_OPS),
+            trace.counter_total(m::VERILOG_BYTES),
+        );
+        json.push_str(if i + 1 == cell_traces.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("    ]\n  },\n");
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    let _ = write!(
+        json,
+        "  \"wall\": {{\"serial_wall_ns\": {serial_ns}, \"parallel_wall_ns\": {parallel_ns}, \
+         \"speedup\": {speedup:.3}}}\n}}\n"
+    );
+    json
+}
+
+/// Extracts the `"key": {{...}}` object (balanced braces) from `json`.
+fn extract_section(json: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = json.find(&marker)?;
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the first `"key": <u64>` scalar from `json`.
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = json.find(&marker)? + marker.len();
+    let digits: String = json[start..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// First line where the two texts differ, as `(line_no, got, want)`.
+fn first_diff(got: &str, want: &str) -> Option<(usize, String, String)> {
+    let mut g = got.lines();
+    let mut w = want.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (g.next(), w.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => {}
+            (a, b) => {
+                return Some((
+                    line,
+                    a.unwrap_or("<end of file>").to_string(),
+                    b.unwrap_or("<end of file>").to_string(),
+                ))
+            }
+        }
+    }
+}
+
+fn check_against(current: &str, baseline_path: &str) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench gate: cannot read baseline {baseline_path}: {e}");
+            eprintln!("bench gate: create it with: cp BENCH_compile.json BENCH_baseline.json");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(got), Some(want)) = (
+        extract_section(current, "deterministic"),
+        extract_section(&baseline, "deterministic"),
+    ) else {
+        eprintln!("bench gate: missing `deterministic` section (schema mismatch?)");
+        eprintln!("bench gate: regenerate with: cp BENCH_compile.json BENCH_baseline.json");
+        return ExitCode::FAILURE;
+    };
+    if got != want {
+        let (line, g, w) = first_diff(&got, &want).expect("sections differ");
+        eprintln!("bench gate: FAIL — deterministic work counters diverge from baseline");
+        eprintln!("bench gate: first difference (line {line} of the section):");
+        eprintln!("bench gate:   measured: {}", g.trim());
+        eprintln!("bench gate:   baseline: {}", w.trim());
+        eprintln!(
+            "bench gate: if this perf/work change is intentional, update the baseline with:"
+        );
+        eprintln!("bench gate:   cp BENCH_compile.json BENCH_baseline.json");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: deterministic counters match the baseline");
+    // Wall drift: machine-dependent, warn-only.
+    if let (Some(cur), Some(base)) = (
+        extract_u64(current, "parallel_wall_ns"),
+        extract_u64(&baseline, "parallel_wall_ns"),
+    ) {
+        if base > 0 {
+            let drift = (cur as f64 - base as f64) / base as f64;
+            if drift.abs() > WALL_TOLERANCE {
+                eprintln!(
+                    "bench gate: warning: parallel wall time drifted {:+.0}% vs baseline \
+                     ({cur} ns vs {base} ns) — informational, not a failure",
+                    drift * 100.0
+                );
+            } else {
+                println!(
+                    "bench gate: wall time within tolerance ({:+.0}% vs baseline)",
+                    drift * 100.0
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: cargo run -p bench [-- --check <BENCH_baseline.json>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = bench_json();
+    if let Err(e) = std::fs::write(BENCH_OUT, &json) {
+        eprintln!("error: cannot write {BENCH_OUT}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote BENCH_compile.json");
+    match baseline {
+        Some(path) => check_against(&json, &path),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\n  \"deterministic\": {\n    \"cells\": 32,\n    \
+         \"counters\": {\n      \"a\": 1\n    }\n  },\n  \
+         \"wall\": {\"parallel_wall_ns\": 1200, \"speedup\": 2.5}\n}\n";
+
+    #[test]
+    fn extract_section_balances_nested_braces() {
+        let det = extract_section(SAMPLE, "deterministic").unwrap();
+        assert!(det.starts_with('{') && det.ends_with('}'));
+        assert!(det.contains("\"cells\": 32"));
+        assert!(det.contains("\"a\": 1"));
+        assert!(!det.contains("wall"));
+        assert!(extract_section(SAMPLE, "missing").is_none());
+    }
+
+    #[test]
+    fn extract_u64_reads_scalars() {
+        assert_eq!(extract_u64(SAMPLE, "parallel_wall_ns"), Some(1200));
+        assert_eq!(extract_u64(SAMPLE, "cells"), Some(32));
+        assert_eq!(extract_u64(SAMPLE, "speedup"), Some(2)); // integer prefix
+        assert_eq!(extract_u64(SAMPLE, "nope"), None);
+    }
+
+    #[test]
+    fn first_diff_names_the_line() {
+        assert_eq!(first_diff("a\nb\nc", "a\nb\nc"), None);
+        let (line, g, w) = first_diff("a\nX\nc", "a\nb\nc").unwrap();
+        assert_eq!((line, g.as_str(), w.as_str()), (2, "X", "b"));
+        let (line, g, _) = first_diff("a\nb\nextra", "a\nb").unwrap();
+        assert_eq!((line, g.as_str()), (3, "extra"));
+    }
+}

@@ -4,9 +4,11 @@
 //! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
 //!            [--unit <InstructionSet>] [--out <dir>]
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
-//!            [--trace] [--metrics-out <path>] [--report] [--xcheck]
+//!            [--trace] [--metrics-out <path>] [--profile-folded <path>]
+//!            [--report] [--xcheck]
 //!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]
-//!            [--keep-going] [--fault-plan <path>]
+//!            [--keep-going] [--fault-plan <path>] [--summary] [--verbose]
+//!            [--trace] [--metrics-out <path>] [--profile-folded <path>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -35,10 +37,22 @@
 //! ASAP fallback and a warning is reported.
 //!
 //! Observability: --trace prints the hierarchical stage-span tree with
-//! wall-clock timings to stderr; --metrics-out writes the full telemetry
-//! event stream (spans, counters, gauges, diagnostics) as JSON lines;
-//! --report prints the per-unit compile report (schedule, hardware, and
-//! solver statistics) to stdout instead of writing artifacts.
+//! wall-clock timings to stderr (in --matrix mode, the merged matrix
+//! tree); --metrics-out writes the full telemetry event stream (spans,
+//! counters, gauges, diagnostics) as JSON lines — in --matrix mode the
+//! *merged, unstripped* matrix trace with per-cell spans nested under a
+//! root `matrix` span; --profile-folded writes an inferno/flamegraph-
+//! compatible folded-stack profile (`compile;frontend 1234` lines, self
+//! time in ns); --report prints the per-unit compile report (schedule,
+//! hardware, and solver statistics) to stdout instead of writing
+//! artifacts (single-file mode only).
+//!
+//! Matrix observability: every --matrix run writes matrix_summary.json
+//! (the deterministic, timing-stripped aggregation — byte-identical for
+//! every --jobs value) into --out; --summary additionally prints the
+//! full per-stage min/p50/p95/max table with the critical-path cell,
+//! cache attribution, and per-worker pool utilization to stdout;
+//! --verbose emits a one-line progress summary per cell to stderr.
 //!
 //! --keep-going (matrix only) grades a batch by what survived: cells
 //! are always compiled independently (one faulting cell never stops the
@@ -79,6 +93,9 @@ struct Args {
     xcheck: bool,
     keep_going: bool,
     fault_plan: Option<PathBuf>,
+    summary: bool,
+    verbose: bool,
+    profile_folded: Option<PathBuf>,
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -96,6 +113,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut xcheck = false;
     let mut keep_going = false;
     let mut fault_plan = None;
+    let mut summary = false;
+    let mut verbose = false;
+    let mut profile_folded = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -133,6 +153,13 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 ));
             }
             "--report" => report = true,
+            "--summary" => summary = true,
+            "--verbose" => verbose = true,
+            "--profile-folded" => {
+                profile_folded = Some(PathBuf::from(
+                    args.next().ok_or("--profile-folded needs a value")?,
+                ));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"))
@@ -151,9 +178,26 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         if core.is_some() {
             return Err("--matrix targets every evaluation core; drop --core".into());
         }
+        if unit.is_some() {
+            return Err("--matrix compiles every builtin ISAX unit; drop --unit".into());
+        }
+        if emit.is_some() {
+            return Err("--emit prints one representation; it does not apply to --matrix".into());
+        }
+        if report {
+            return Err(
+                "--report is the single-compilation report; use --summary for a matrix".into(),
+            );
+        }
     } else {
         if keep_going {
             return Err("--keep-going only applies to --matrix batches".into());
+        }
+        if summary {
+            return Err("--summary aggregates a matrix; use --report for one compilation".into());
+        }
+        if verbose {
+            return Err("--verbose reports per-cell matrix progress; drop it or add --matrix".into());
         }
         if input.is_none() {
             return Err("missing input file".into());
@@ -180,6 +224,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         xcheck,
         keep_going,
         fault_plan,
+        summary,
+        verbose,
+        profile_folded,
     })
 }
 
@@ -187,9 +234,10 @@ fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
          [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
-         [--trace] [--metrics-out <path>] [--report] [--xcheck]\n\
+         [--trace] [--metrics-out <path>] [--profile-folded <path>] [--report] [--xcheck]\n\
          \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck] \
-         [--keep-going] [--fault-plan <path>]",
+         [--keep-going] [--fault-plan <path>] [--summary] [--verbose] \
+         [--trace] [--metrics-out <path>] [--profile-folded <path>]",
         EVAL_CORES.join("|")
     );
 }
@@ -230,6 +278,12 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
                 }
                 worst = worst.max(if e.severity == Severity::Fault { 2 } else { 1 });
                 failed_cells += 1;
+                if args.verbose {
+                    eprintln!(
+                        "cell {}_{}: failed [{}] {}",
+                        entry.isax, entry.core, e.stage, e.message
+                    );
+                }
                 continue;
             }
         };
@@ -279,6 +333,22 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
             entry.core,
             compiled.graphs.len()
         );
+        if args.verbose {
+            let stage_spans: usize = telemetry::STAGES
+                .iter()
+                .map(|s| compiled.trace.span_count(s))
+                .sum();
+            eprintln!(
+                "cell {}_{}: ok {} unit(s), {} stage span(s), {} cache hit(s)",
+                entry.isax,
+                entry.core,
+                compiled.graphs.len(),
+                stage_spans,
+                compiled
+                    .trace
+                    .counter_total(telemetry::metrics::CACHE_FRONTEND_HIT)
+            );
+        }
     }
     if args.xcheck {
         // Fan the per-cell differential checks across the same worker
@@ -317,6 +387,91 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
             "xcheck: {cells} cell(s), {mism} mismatch(es), {xbits} X output bit(s), \
              {hazards} hazard(s)"
         );
+    }
+    // --- Matrix observability: aggregation, summary, merged trace ---
+    let cell_traces: Vec<(String, &telemetry::Trace)> = matrix
+        .entries
+        .iter()
+        .filter_map(|e| {
+            e.outcome
+                .as_ref()
+                .ok()
+                .map(|c| (format!("{}_{}", e.isax, e.core), &c.trace))
+        })
+        .collect();
+    let mut summary = telemetry::aggregate::summarize(&cell_traces);
+    // Batch-level fields come from the authoritative MatrixResult (failed
+    // cells have no trace for the aggregator to see).
+    summary.cells = matrix.entries.len() as u64;
+    summary.jobs = matrix.jobs as u64;
+    summary.cache_hits = matrix.cache_hits;
+    summary.cache_misses = matrix.cache_misses;
+    summary.cell_faults = matrix.cell_faults;
+    summary.errors_recovered = matrix.errors_recovered;
+    summary.pool_wall_ns = matrix.pool_stats.wall_ns;
+    for (w, ws) in matrix.pool_stats.per_worker.iter().enumerate() {
+        summary.pool.push(telemetry::aggregate::PoolWorkerSummary {
+            jobs: ws.jobs,
+            busy_ns: ws.busy_ns,
+            utilization: matrix.pool_stats.utilization(w),
+        });
+    }
+    // matrix_summary.json is the deterministic projection — part of the
+    // artifact tree ci.sh diffs across --jobs values.
+    let summary_path = args.out.join("matrix_summary.json");
+    if let Err(e) = std::fs::write(&summary_path, summary.stripped().to_json()) {
+        eprintln!("error: cannot write {}: {e}", summary_path.display());
+        return ExitCode::FAILURE;
+    }
+    if args.summary {
+        print!("{}", summary.render());
+    }
+    if args.trace || args.metrics_out.is_some() || args.profile_folded.is_some() {
+        use telemetry::metrics;
+        let matrix_counters = vec![
+            (metrics::CACHE_FRONTEND_HIT.to_string(), matrix.cache_hits),
+            (metrics::CACHE_FRONTEND_MISS.to_string(), matrix.cache_misses),
+            (
+                metrics::POOL_QUEUE_WAIT_NS.to_string(),
+                matrix.pool_stats.queue_wait_total_ns(),
+            ),
+            (
+                metrics::POOL_RUN_NS.to_string(),
+                matrix.pool_stats.run_total_ns(),
+            ),
+            (metrics::POOL_WALL_NS.to_string(), matrix.pool_stats.wall_ns),
+        ];
+        let matrix_gauges: Vec<(String, f64)> = (0..matrix.pool_stats.per_worker.len())
+            .map(|w| {
+                (
+                    metrics::POOL_WORKER_UTILIZATION.to_string(),
+                    matrix.pool_stats.utilization(w),
+                )
+            })
+            .collect();
+        let merged = telemetry::aggregate::merge_traces(
+            &cell_traces,
+            &matrix_counters,
+            &matrix_gauges,
+            matrix.pool_stats.wall_ns,
+        );
+        if args.trace {
+            eprint!("{}", telemetry::report::render_tree(&merged));
+        }
+        if let Some(path) = &args.metrics_out {
+            // The merged stream keeps full timings and the pool/cache
+            // metrics — the *unstripped* matrix view.
+            if let Err(e) = std::fs::write(path, merged.to_jsonl()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &args.profile_folded {
+            if let Err(e) = std::fs::write(path, telemetry::folded::render_folded(&merged)) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // Wall time is nondeterministic; keep it off stdout so stdout stays
     // comparable across runs.
@@ -466,6 +621,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &args.profile_folded {
+        if let Err(e) = std::fs::write(path, telemetry::folded::render_folded(&compiled.trace)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if args.xcheck {
         let report = longnail::xcheck_compiled(&compiled);
         for p in report.problems() {
@@ -595,6 +756,42 @@ mod tests {
             .unwrap_err()
             .contains("--matrix"));
         assert!(parse(&["--matrix", "--fault-plan"]).is_err());
+    }
+
+    #[test]
+    fn summary_and_verbose_are_matrix_only() {
+        let a = parse(&["--matrix", "--summary", "--verbose"]).unwrap();
+        assert!(a.summary && a.verbose);
+        assert!(parse(&["x", "--core", "ORCA", "--summary"])
+            .unwrap_err()
+            .contains("--report"));
+        assert!(parse(&["x", "--core", "ORCA", "--verbose"])
+            .unwrap_err()
+            .contains("--matrix"));
+    }
+
+    #[test]
+    fn matrix_rejects_single_compilation_flags() {
+        assert!(parse(&["--matrix", "--emit", "sv"])
+            .unwrap_err()
+            .contains("--emit"));
+        assert!(parse(&["--matrix", "--report"])
+            .unwrap_err()
+            .contains("--summary"));
+        assert!(parse(&["--matrix", "--unit", "X"])
+            .unwrap_err()
+            .contains("--unit"));
+    }
+
+    #[test]
+    fn profile_folded_parses_in_both_modes() {
+        let a = parse(&["x", "--core", "ORCA", "--profile-folded", "p.folded"]).unwrap();
+        assert_eq!(a.profile_folded, Some(PathBuf::from("p.folded")));
+        let m = parse(&["--matrix", "--profile-folded", "m.folded", "--metrics-out", "m.jsonl"])
+            .unwrap();
+        assert_eq!(m.profile_folded, Some(PathBuf::from("m.folded")));
+        assert_eq!(m.metrics_out, Some(PathBuf::from("m.jsonl")));
+        assert!(parse(&["--matrix", "--profile-folded"]).is_err());
     }
 
     #[test]

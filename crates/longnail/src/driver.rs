@@ -28,7 +28,8 @@ use sched::{schedule_resilient, Budget, WorkKind};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::Instant;
 use telemetry::{metrics, SpanId, Telemetry, Trace};
 
 /// Abstract combinational-delay unit assigned to every "real" logic level.
@@ -313,8 +314,9 @@ impl Longnail {
                 return Ok(self.compile_artifacts(&artifacts, datasheet));
             }
         }
-        let artifacts = cache.get_or_compute(src, unit, self)?;
-        Ok(self.compile_artifacts(&artifacts, datasheet))
+        let (result, lookup) = cache.get_or_compute_traced(src, unit, self);
+        let artifacts = result?;
+        Ok(self.compile_artifacts_with_cache(&artifacts, datasheet, Some(&lookup)))
     }
 
     /// Compiles an already type-checked module for the given target core.
@@ -405,11 +407,34 @@ impl Longnail {
         artifacts: &FrontendArtifacts,
         datasheet: &VirtualDatasheet,
     ) -> CompiledIsax {
+        self.compile_artifacts_with_cache(artifacts, datasheet, None)
+    }
+
+    /// [`Longnail::compile_artifacts`] plus optional cache attribution:
+    /// the matrix path passes what its [`FrontendCache`] lookup observed
+    /// so the cell's root span carries `cache.frontend.*` counters. The
+    /// names are nondeterministic under concurrency (which cell wins the
+    /// miss is a race), so [`Trace::stripped`] drops them — an uncached
+    /// trace and a cached one stay byte-identical after stripping.
+    fn compile_artifacts_with_cache(
+        &self,
+        artifacts: &FrontendArtifacts,
+        datasheet: &VirtualDatasheet,
+        cache: Option<&CacheLookup>,
+    ) -> CompiledIsax {
         let module = &artifacts.module;
         let lil = &artifacts.lil;
         let mut tel = Telemetry::new();
         let root = tel.start_span("compile");
         tel.attr(root, "core", &datasheet.core);
+        if let Some(lookup) = cache {
+            tel.counter(root, metrics::CACHE_FRONTEND_HIT, u64::from(lookup.hit));
+            tel.counter(root, metrics::CACHE_FRONTEND_MISS, u64::from(!lookup.hit));
+            if lookup.waited {
+                tel.counter(root, metrics::CACHE_FRONTEND_WAIT, 1);
+                tel.counter(root, metrics::CACHE_FRONTEND_WAIT_NS, lookup.wait_ns);
+            }
+        }
         let stats = module.stats();
         self.stage_boundary(&module.name, &datasheet.core, "frontend");
         let fe = tel.start_span("frontend");
@@ -531,7 +556,7 @@ impl Longnail {
             .flat_map(|i| (0..cores.len()).map(move |c| (i, c)))
             .collect();
         let pool = Pool::new(jobs);
-        let outcomes = pool.run_isolated(cells.len(), |k| {
+        let (outcomes, pool_stats) = pool.run_isolated_with_stats(cells.len(), |k| {
             let (i, c) = cells[k];
             let (_, unit, src) = &isaxes[i];
             // First containment layer: a panic anywhere in this cell's
@@ -584,6 +609,7 @@ impl Longnail {
             cache_misses: cache.misses(),
             cell_faults,
             errors_recovered,
+            pool_stats,
         }
     }
 
@@ -1004,6 +1030,21 @@ impl FrontendCache {
         unit: &str,
         ln: &Longnail,
     ) -> Result<Arc<FrontendArtifacts>, FlowError> {
+        self.get_or_compute_traced(src, unit, ln).0
+    }
+
+    /// [`FrontendCache::get_or_compute`] plus what the lookup observed
+    /// from the requesting cell's point of view: hit vs miss, and whether
+    /// (and how long) it blocked on a slot a concurrent peer was busy
+    /// computing. The totals stay deterministic (exactly one miss per
+    /// distinct key); the *attribution* — which cell got the miss — is a
+    /// race, which is why these feed nondeterministic `cache.*` metrics.
+    pub fn get_or_compute_traced(
+        &self,
+        src: &str,
+        unit: &str,
+        ln: &Longnail,
+    ) -> (Result<Arc<FrontendArtifacts>, FlowError>, CacheLookup) {
         let key = CacheKey {
             source_hash: source_hash(src),
             unit: unit.to_string(),
@@ -1012,15 +1053,31 @@ impl FrontendCache {
             let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
             Arc::clone(slots.entry(key).or_default())
         };
-        let mut ready = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
+        let mut lookup = CacheLookup::default();
+        let mut ready = match slot.ready.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                // A peer holds the slot — either computing this very
+                // entry or briefly reading it. Block as before, but
+                // remember the wait so the cell's trace can attribute
+                // the stall.
+                lookup.waited = true;
+                let blocked = Instant::now();
+                let guard = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
+                lookup.wait_ns = blocked.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                guard
+            }
+        };
         if let Some(result) = &*ready {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return result.clone();
+            lookup.hit = true;
+            return (result.clone(), lookup);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = ln.frontend_artifacts(src, unit).map(Arc::new);
         *ready = Some(result.clone());
-        result
+        (result, lookup)
     }
 
     /// Deliberately poisons the entry mutex for `(src, unit)` — a panic
@@ -1042,6 +1099,19 @@ impl FrontendCache {
         })
         .join();
     }
+}
+
+/// What one [`FrontendCache`] lookup observed, from the requesting
+/// cell's point of view. Feeds the `cache.frontend.*` trace counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheLookup {
+    /// True when the entry was already computed (hit); false when this
+    /// lookup ran the frontend (miss).
+    pub hit: bool,
+    /// True when the lookup blocked on a slot a concurrent peer held.
+    pub waited: bool,
+    /// Nanoseconds spent blocked acquiring the slot.
+    pub wait_ns: u64,
 }
 
 /// One cell of a compiled matrix: one ISAX targeted at one core.
@@ -1077,6 +1147,11 @@ pub struct MatrixResult {
     /// Error-severity problems that were contained (to a unit or a cell)
     /// instead of aborting the batch — `degrade.errors_recovered`.
     pub errors_recovered: u64,
+    /// What the worker pool observed about its own scheduling: wall time,
+    /// queue-wait vs run split per cell, per-worker load. Wall-clock- and
+    /// scheduling-dependent — informational only, never part of the
+    /// deterministic artifacts.
+    pub pool_stats: pool::RunStats,
 }
 
 impl MatrixResult {

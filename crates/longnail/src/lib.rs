@@ -31,8 +31,8 @@ pub mod xcheck;
 
 pub use diag::{DiagEvent, Diagnostics, Severity};
 pub use driver::{
-    current_stage, CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts, FrontendCache,
-    Longnail, MatrixEntry, MatrixResult,
+    current_stage, CacheLookup, CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts,
+    FrontendCache, Longnail, MatrixEntry, MatrixResult,
 };
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use xcheck::{xcheck_compiled, xcheck_compiled_with, XCheckOptions, XCheckReport, XCheckUnit};

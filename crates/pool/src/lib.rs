@@ -21,6 +21,75 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Scheduling statistics for one job, observed by the worker that ran it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Worker (0-based spawn index) that claimed the job. Scheduling-
+    /// dependent: any worker may claim any job.
+    pub worker: usize,
+    /// Nanoseconds between the run starting and this job being claimed —
+    /// how long the job sat in the queue behind other work.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds the job's closure ran.
+    pub run_ns: u64,
+}
+
+/// Aggregate statistics for one worker thread across a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker claimed and ran.
+    pub jobs: u64,
+    /// Nanoseconds this worker spent inside job closures.
+    pub busy_ns: u64,
+}
+
+/// Everything a run observed about its own scheduling: wall time,
+/// per-job queue-wait vs run split, and per-worker load. All fields are
+/// wall-clock- and scheduling-dependent — callers must keep them out of
+/// deterministic artifacts (the telemetry layer names them `pool.*` and
+/// strips them for exactly this reason).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Wall time of the whole run.
+    pub wall_ns: u64,
+    /// Per-job statistics, in job-index order (one entry per job that
+    /// ran to completion or isolated-panic; empty after a propagated
+    /// panic, which unwinds past the stats).
+    pub per_job: Vec<JobStats>,
+    /// Per-worker statistics, indexed by worker. Length is the number of
+    /// workers that actually spawned (`min(workers, jobs)`, or 1 for the
+    /// inline path).
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl RunStats {
+    /// Total nanoseconds jobs waited in the queue before being claimed.
+    pub fn queue_wait_total_ns(&self) -> u64 {
+        self.per_job.iter().map(|j| j.queue_wait_ns).sum()
+    }
+
+    /// Total nanoseconds spent running job closures (summed across
+    /// workers, so it can exceed `wall_ns`).
+    pub fn run_total_ns(&self) -> u64 {
+        self.per_job.iter().map(|j| j.run_ns).sum()
+    }
+
+    /// Fraction of the run's wall time `worker` spent inside jobs, 0..=1.
+    pub fn utilization(&self, worker: usize) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.per_worker
+            .get(worker)
+            .map_or(0.0, |w| w.busy_ns as f64 / self.wall_ns as f64)
+    }
+}
 
 /// A captured panic from one isolated job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,24 +162,76 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_with_stats(jobs, f).0
+    }
+
+    /// Like [`Pool::run`], additionally returning the [`RunStats`] the
+    /// run observed about itself: queue-wait vs run time per job and
+    /// per-worker load. The result vector is identical to `run`'s —
+    /// stats ride alongside, they never perturb the index-ordered merge.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first observed panic from `f` (lowest job index)
+    /// after all workers have drained; the stats unwind with it.
+    pub fn run_with_stats<T, F>(&self, jobs: usize, f: F) -> (Vec<T>, RunStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let started = Instant::now();
         if self.workers == 1 || jobs <= 1 {
-            return (0..jobs).map(f).collect();
+            let mut results = Vec::with_capacity(jobs);
+            let mut per_job = Vec::with_capacity(jobs);
+            let mut busy_ns = 0u64;
+            for i in 0..jobs {
+                let queue_wait_ns = elapsed_ns(started);
+                let job_started = Instant::now();
+                results.push(f(i));
+                let run_ns = elapsed_ns(job_started);
+                busy_ns += run_ns;
+                per_job.push(JobStats {
+                    worker: 0,
+                    queue_wait_ns,
+                    run_ns,
+                });
+            }
+            let stats = RunStats {
+                wall_ns: elapsed_ns(started),
+                per_job,
+                per_worker: vec![WorkerStats {
+                    jobs: jobs as u64,
+                    busy_ns,
+                }],
+            };
+            return (results, stats);
         }
         let next = AtomicUsize::new(0);
         let threads = self.workers.min(jobs);
         let worker_outputs: Vec<WorkerOutput<T>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut claimed: Vec<(usize, T)> = Vec::new();
+                .map(|w| {
+                    let (f, next) = (&f, &next);
+                    scope.spawn(move || {
+                        let mut claimed: Vec<(usize, T, JobStats)> = Vec::new();
                         let mut panic = None;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs {
                                 break;
                             }
+                            let queue_wait_ns = elapsed_ns(started);
+                            let job_started = Instant::now();
                             match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                                Ok(v) => claimed.push((i, v)),
+                                Ok(v) => claimed.push((
+                                    i,
+                                    v,
+                                    JobStats {
+                                        worker: w,
+                                        queue_wait_ns,
+                                        run_ns: elapsed_ns(job_started),
+                                    },
+                                )),
                                 Err(p) => {
                                     // Stop the whole pool: park the queue
                                     // past the end so peers drain quickly.
@@ -133,23 +254,34 @@ impl Pool {
         // race, so several can each observe a panic; re-raising the one
         // with the *lowest job index* (not the first worker's) keeps the
         // propagated panic deterministic for any worker count.
-        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        let mut slots: Vec<Option<(T, JobStats)>> = (0..jobs).map(|_| None).collect();
         let mut panics: Vec<(usize, PanicPayload)> = Vec::new();
-        for out in worker_outputs {
-            for (i, v) in out.claimed {
+        let mut per_worker = vec![WorkerStats::default(); threads];
+        for (w, out) in worker_outputs.into_iter().enumerate() {
+            for (i, v, js) in out.claimed {
                 debug_assert!(slots[i].is_none(), "job {i} ran twice");
-                slots[i] = Some(v);
+                per_worker[w].jobs += 1;
+                per_worker[w].busy_ns += js.run_ns;
+                slots[i] = Some((v, js));
             }
             panics.extend(out.panic);
         }
         if let Some((_, p)) = panics.into_iter().min_by_key(|(i, _)| *i) {
             resume_unwind(p);
         }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} was never claimed")))
-            .collect()
+        let mut results = Vec::with_capacity(jobs);
+        let mut per_job = Vec::with_capacity(jobs);
+        for (i, s) in slots.into_iter().enumerate() {
+            let (v, js) = s.unwrap_or_else(|| panic!("job {i} was never claimed"));
+            results.push(v);
+            per_job.push(js);
+        }
+        let stats = RunStats {
+            wall_ns: elapsed_ns(started),
+            per_job,
+            per_worker,
+        };
+        (results, stats)
     }
 
     /// Runs `f(i)` for every `i in 0..jobs` with per-job panic isolation:
@@ -166,7 +298,22 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.run(jobs, |i| {
+        self.run_isolated_with_stats(jobs, f).0
+    }
+
+    /// Like [`Pool::run_isolated`], additionally returning [`RunStats`].
+    /// Isolated jobs never unwind the pool, so `per_job` always has one
+    /// entry per job — a panicking job's `run_ns` covers up to the panic.
+    pub fn run_isolated_with_stats<T, F>(
+        &self,
+        jobs: usize,
+        f: F,
+    ) -> (Vec<Result<T, JobPanic>>, RunStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_with_stats(jobs, |i| {
             catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| JobPanic {
                 index: i,
                 message: panic_message(p.as_ref()),
@@ -178,7 +325,7 @@ impl Pool {
 type PanicPayload = Box<dyn std::any::Any + Send>;
 
 struct WorkerOutput<T> {
-    claimed: Vec<(usize, T)>,
+    claimed: Vec<(usize, T, JobStats)>,
     panic: Option<(usize, PanicPayload)>,
 }
 
@@ -337,6 +484,65 @@ mod tests {
             got[1].as_ref().unwrap_err().message,
             "<non-string panic payload>"
         );
+    }
+
+    #[test]
+    fn stats_account_for_every_job_inline_and_threaded() {
+        for workers in [1, 4] {
+            let (got, stats) = Pool::new(workers).run_with_stats(9, |i| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            });
+            assert_eq!(got, (0..9).collect::<Vec<_>>(), "workers = {workers}");
+            assert_eq!(stats.per_job.len(), 9);
+            let claimed: u64 = stats.per_worker.iter().map(|w| w.jobs).sum();
+            assert_eq!(claimed, 9);
+            assert!(stats.wall_ns > 0);
+            // Every job slept ≥ 1 ms, so run time is visible everywhere.
+            assert!(stats.per_job.iter().all(|j| j.run_ns > 0));
+            assert!(stats.run_total_ns() > 0);
+            let busy: u64 = stats.per_worker.iter().map(|w| w.busy_ns).sum();
+            assert_eq!(busy, stats.run_total_ns());
+            // Workers are 0-based spawn indices within range.
+            let spawned = stats.per_worker.len();
+            assert_eq!(spawned, workers.min(9));
+            assert!(stats.per_job.iter().all(|j| j.worker < spawned));
+            for w in 0..spawned {
+                assert!(stats.utilization(w) <= 1.0 + f64::EPSILON);
+            }
+        }
+    }
+
+    #[test]
+    fn later_jobs_wait_longer_on_one_worker() {
+        let (_, stats) = Pool::new(1).run_with_stats(3, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        // Serial queue: job 2 cannot have waited less than job 0.
+        assert!(stats.per_job[2].queue_wait_ns >= stats.per_job[0].queue_wait_ns);
+        assert!(stats.queue_wait_total_ns() >= stats.per_job[2].queue_wait_ns);
+    }
+
+    #[test]
+    fn isolated_stats_cover_panicking_jobs_too() {
+        let (got, stats) = Pool::new(2).run_isolated_with_stats(6, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+        assert!(got[2].is_err());
+        // Isolation means the panicking job still yields a stats entry.
+        assert_eq!(stats.per_job.len(), 6);
+        assert_eq!(stats.per_worker.iter().map(|w| w.jobs).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn utilization_is_zero_for_empty_runs() {
+        let (got, stats) = Pool::new(4).run_with_stats(0, |i| i);
+        assert!(got.is_empty());
+        assert_eq!(stats.utilization(0), 0.0);
+        assert_eq!(stats.queue_wait_total_ns(), 0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Folded-stack profile export (`lnc --profile-folded`).
+//!
+//! The folded format is the interchange representation consumed by
+//! `inferno`, Brendan Gregg's `flamegraph.pl`, and speedscope: one line
+//! per unique span stack, frames joined by `;`, followed by a space and
+//! the *self* time (span duration minus its direct children) in
+//! nanoseconds:
+//!
+//! ```text
+//! compile;frontend 1234
+//! compile;unit:dotp;solve 5678
+//! ```
+//!
+//! Unit spans render as `unit:<name>` so the per-instruction breakdown
+//! survives flattening. Frames are sanitized (space → `_`, `;` → `:`)
+//! to keep the line grammar unambiguous, stacks with the same frames are
+//! summed, and lines are sorted lexicographically so the export is
+//! deterministic given the same trace.
+
+use crate::{EventKind, SpanId, Trace};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write;
+
+/// Makes a span name safe to use as one frame of a folded line.
+fn sanitize(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| match c {
+            ' ' => '_',
+            ';' => ':',
+            '\n' | '\t' => '_',
+            c => c,
+        })
+        .collect()
+}
+
+struct Node {
+    parent: Option<SpanId>,
+    frame: String,
+    dur_ns: u64,
+    child_ns: u64,
+}
+
+/// Renders `trace` as folded stacks with self-time counts.
+pub fn render_folded(trace: &Trace) -> String {
+    let mut order: Vec<SpanId> = Vec::new();
+    let mut nodes: HashMap<SpanId, Node> = HashMap::new();
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::SpanStart {
+                id,
+                parent,
+                name,
+                unit,
+            } => {
+                let frame = match unit {
+                    Some(u) => sanitize(&format!("{name}:{u}")),
+                    None => sanitize(name),
+                };
+                order.push(*id);
+                nodes.insert(
+                    *id,
+                    Node {
+                        parent: *parent,
+                        frame,
+                        dur_ns: 0,
+                        child_ns: 0,
+                    },
+                );
+            }
+            EventKind::SpanEnd { id, dur_ns } => {
+                if let Some(n) = nodes.get_mut(id) {
+                    n.dur_ns = *dur_ns;
+                }
+                let parent = nodes.get(id).and_then(|n| n.parent);
+                if let Some(p) = parent {
+                    let d = *dur_ns;
+                    if let Some(pn) = nodes.get_mut(&p) {
+                        pn.child_ns += d;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for id in order {
+        let mut frames: Vec<&str> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            match nodes.get(&c) {
+                Some(n) => {
+                    frames.push(&n.frame);
+                    cur = n.parent;
+                }
+                None => break,
+            }
+        }
+        frames.reverse();
+        let node = &nodes[&id];
+        let self_ns = node.dur_ns.saturating_sub(node.child_ns);
+        *stacks.entry(frames.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, self_ns) in stacks {
+        let _ = writeln!(out, "{stack} {self_ns}");
+    }
+    out
+}
+
+/// Parses folded lines back into `(frames, count)` pairs — the inverse of
+/// [`render_folded`] (used by tests to validate nesting round-trips and
+/// by nothing else; real consumers are the flamegraph tools).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn parse_folded(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no count field", lineno + 1))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {}: bad count `{count}`", lineno + 1))?;
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("line {}: empty frame", lineno + 1));
+        }
+        out.push((stack.split(';').map(str::to_owned).collect(), count));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, TraceEvent};
+
+    /// A trace with hand-set durations so self-time math is checkable:
+    /// compile (100) → frontend (30), unit `dotp` (50) → solve (20).
+    fn fixed() -> Trace {
+        let mut t = Telemetry::new();
+        let root = t.start_span("compile");
+        let fe = t.start_span("frontend");
+        t.end_span(fe);
+        let u = t.start_unit_span("unit", Some("dotp"));
+        let s = t.start_span("solve");
+        t.end_span(s);
+        t.end_span(u);
+        t.end_span(root);
+        let mut trace = t.finish();
+        let durs: HashMap<u64, u64> = [(root.0, 100), (fe.0, 30), (u.0, 50), (s.0, 20)]
+            .into_iter()
+            .collect();
+        for TraceEvent { kind, .. } in &mut trace.events {
+            if let EventKind::SpanEnd { id, dur_ns } = kind {
+                *dur_ns = durs[&id.0];
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let folded = render_folded(&fixed());
+        let lines: Vec<&str> = folded.lines().collect();
+        // Sorted lexicographically; compile self = 100 - 30 - 50 = 20,
+        // unit self = 50 - 20 = 30, leaves keep their full time.
+        assert_eq!(
+            lines,
+            vec![
+                "compile 20",
+                "compile;frontend 30",
+                "compile;unit:dotp 30",
+                "compile;unit:dotp;solve 20",
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trips_span_nesting() {
+        let trace = fixed();
+        let parsed = parse_folded(&render_folded(&trace)).unwrap();
+        // Every line is well-formed and the total equals the root span's
+        // duration (self times partition the wall clock).
+        let total: u64 = parsed.iter().map(|(_, c)| c).sum();
+        assert_eq!(Some(total), trace.span_duration_ns("compile"));
+        // The solve stack reconstructs the full nesting path.
+        let solve = parsed
+            .iter()
+            .find(|(frames, _)| frames.last().map(String::as_str) == Some("solve"))
+            .unwrap();
+        assert_eq!(solve.0, vec!["compile", "unit:dotp", "solve"]);
+        assert_eq!(solve.1, 20);
+    }
+
+    #[test]
+    fn frames_are_sanitized_and_repeats_sum() {
+        let mut t = Telemetry::new();
+        let root = t.start_span("com pile;x");
+        for _ in 0..2 {
+            let s = t.start_span("solve");
+            t.end_span(s);
+        }
+        t.end_span(root);
+        let mut trace = t.finish();
+        for TraceEvent { kind, .. } in &mut trace.events {
+            if let EventKind::SpanEnd { id, dur_ns } = kind {
+                *dur_ns = if id.0 == 1 { 10 } else { 4 };
+            }
+        }
+        let folded = render_folded(&trace);
+        assert!(folded.contains("com_pile:x 2\n"), "{folded}");
+        // Two solve spans of 4 ns fold into one summed line.
+        assert!(folded.contains("com_pile:x;solve 8\n"), "{folded}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_folded("justonefield").is_err());
+        assert!(parse_folded("a;b notanumber").is_err());
+        assert!(parse_folded("a;;b 3").is_err());
+        assert!(parse_folded("a;b 3\n\na 1\n").unwrap().len() == 2);
+    }
+}

@@ -23,6 +23,8 @@
 //! two traces of the same compilation are identical after stripping, which
 //! is how tests compare runs.
 
+pub mod aggregate;
+pub mod folded;
 pub mod json;
 pub mod report;
 
@@ -101,6 +103,41 @@ pub mod metrics {
     /// of aborting the compilation (counter, per `compile` span and in
     /// the batch summary).
     pub const DEGRADE_ERRORS_RECOVERED: &str = "degrade.errors_recovered";
+    /// Frontend-cache lookup by this cell found a computed entry (counter,
+    /// 0/1 per cell root span). `cache.*` names are scheduling-dependent
+    /// under concurrency and therefore dropped by [`super::Trace::stripped`].
+    pub const CACHE_FRONTEND_HIT: &str = "cache.frontend.hit";
+    /// Frontend-cache lookup by this cell computed the entry (counter,
+    /// 0/1 per cell root span; nondeterministic attribution, see above).
+    pub const CACHE_FRONTEND_MISS: &str = "cache.frontend.miss";
+    /// This cell blocked on a slot a concurrent peer held (counter, 0/1).
+    pub const CACHE_FRONTEND_WAIT: &str = "cache.frontend.wait_on_slot";
+    /// Nanoseconds this cell spent blocked on the slot (counter).
+    pub const CACHE_FRONTEND_WAIT_NS: &str = "cache.frontend.wait_ns";
+    /// Jobs a pool worker ran (counter, one per worker; `pool.*` names
+    /// are scheduling-dependent and dropped by [`super::Trace::stripped`]).
+    pub const POOL_WORKER_JOBS: &str = "pool.worker.jobs";
+    /// Nanoseconds a pool worker spent running jobs (counter, per worker).
+    pub const POOL_WORKER_BUSY_NS: &str = "pool.worker.busy_ns";
+    /// Fraction of the pool's wall time a worker spent running jobs
+    /// (gauge, per worker).
+    pub const POOL_WORKER_UTILIZATION: &str = "pool.worker.utilization";
+    /// Total nanoseconds jobs waited in the queue before being claimed
+    /// (counter, whole run).
+    pub const POOL_QUEUE_WAIT_NS: &str = "pool.queue_wait_ns";
+    /// Total nanoseconds jobs spent running (counter, whole run).
+    pub const POOL_RUN_NS: &str = "pool.run_ns";
+    /// Wall time of the whole pool run (counter).
+    pub const POOL_WALL_NS: &str = "pool.wall_ns";
+}
+
+/// True for metric names whose *values or attribution* depend on worker
+/// scheduling (queue timing, which cell raced a shared cache slot first).
+/// [`Trace::stripped`] — the deterministic projection — drops counter,
+/// gauge, and attr events with these names, the same way it zeroes the
+/// wall-clock `dur_ns` fields.
+pub fn is_nondeterministic(name: &str) -> bool {
+    name.starts_with("pool.") || name.starts_with("cache.")
 }
 
 /// The eight pipeline stages of the Longnail flow, in order. The driver
@@ -303,17 +340,31 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// A copy with every `dur_ns` zeroed — the deterministic projection of
-    /// the trace. Two compilations of the same input produce identical
-    /// stripped traces.
+    /// The deterministic projection of the trace: every `dur_ns` is
+    /// zeroed, and counter/gauge/attr events with
+    /// [nondeterministic names](is_nondeterministic) (`pool.*`, `cache.*` —
+    /// whose values or per-cell attribution depend on worker scheduling)
+    /// are dropped, with `seq` renumbered to stay dense. Two compilations
+    /// of the same input produce identical stripped traces.
     pub fn stripped(&self) -> Trace {
-        let mut t = self.clone();
-        for e in &mut t.events {
+        let mut events: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| match &e.kind {
+                EventKind::Counter { name, .. }
+                | EventKind::Gauge { name, .. }
+                | EventKind::Attr { name, .. } => !is_nondeterministic(name),
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = i as u64;
             if let EventKind::SpanEnd { dur_ns, .. } = &mut e.kind {
                 *dur_ns = 0;
             }
         }
-        t
+        Trace { events }
     }
 
     /// Span-start events, in order.
@@ -360,14 +411,28 @@ impl Trace {
 
     /// Wall-clock duration of the first span with this name, if closed.
     pub fn span_duration_ns(&self, name: &str) -> Option<u64> {
-        let id = self
+        self.span_durations_ns(name).first().copied()
+    }
+
+    /// Wall-clock durations of *every* closed span with this name, in
+    /// span-start order. Matrix-mode traces open the per-unit stages once
+    /// per unit; [`span_duration_ns`](Trace::span_duration_ns) sees only
+    /// the first, this sees them all (the aggregator's view).
+    pub fn span_durations_ns(&self, name: &str) -> Vec<u64> {
+        let ids: Vec<SpanId> = self
             .span_starts()
-            .find(|&(_, _, n, _)| n == name)
-            .map(|(id, _, _, _)| id)?;
-        self.events.iter().find_map(|e| match &e.kind {
-            EventKind::SpanEnd { id: i, dur_ns } if *i == id => Some(*dur_ns),
-            _ => None,
-        })
+            .filter(|&(_, _, n, _)| n == name)
+            .map(|(id, _, _, _)| id)
+            .collect();
+        let ends: std::collections::HashMap<SpanId, u64> = self
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SpanEnd { id, dur_ns } => Some((*id, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        ids.iter().filter_map(|id| ends.get(id).copied()).collect()
     }
 
     /// Serializes the trace as JSON lines, one event per line.
@@ -491,6 +556,50 @@ mod tests {
         assert_eq!(stripped.span_duration_ns("compile"), Some(0));
         assert_eq!(stripped.counter_total("c"), 3);
         assert_eq!(stripped.events.len(), trace.events.len());
+    }
+
+    #[test]
+    fn span_durations_sees_every_repeated_span() {
+        let mut t = Telemetry::new();
+        let root = t.start_span("compile");
+        for unit in ["a", "b", "c"] {
+            let u = t.start_unit_span("unit", Some(unit));
+            let s = t.start_span("solve");
+            t.end_span(s);
+            t.end_span(u);
+        }
+        t.end_span(root);
+        let trace = t.finish();
+        assert_eq!(trace.span_durations_ns("solve").len(), 3);
+        assert_eq!(trace.span_durations_ns("frontend").len(), 0);
+        // The singular accessor is the first of the plural one.
+        assert_eq!(
+            trace.span_duration_ns("solve"),
+            trace.span_durations_ns("solve").first().copied()
+        );
+    }
+
+    #[test]
+    fn stripping_drops_nondeterministic_metrics_and_renumbers() {
+        let mut t = Telemetry::new();
+        let s = t.start_span("compile");
+        t.counter(s, metrics::CACHE_FRONTEND_HIT, 1);
+        t.counter(s, "solver.pivots", 9);
+        t.gauge(s, metrics::POOL_WORKER_UTILIZATION, 0.5);
+        t.attr(s, "pool.worker", "w0");
+        t.end_span(s);
+        let trace = t.finish();
+        let stripped = trace.stripped();
+        assert_eq!(stripped.counter_total(metrics::CACHE_FRONTEND_HIT), 0);
+        assert_eq!(stripped.counter_total("solver.pivots"), 9);
+        assert!(stripped.gauges(metrics::POOL_WORKER_UTILIZATION).is_empty());
+        assert_eq!(stripped.events.len(), 3); // start, pivots, end
+        for (i, e) in stripped.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq must stay dense after filtering");
+        }
+        // Round trip still holds on the filtered stream.
+        let back = Trace::from_jsonl(&stripped.to_jsonl()).unwrap();
+        assert_eq!(back, stripped);
     }
 
     #[test]
