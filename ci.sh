@@ -150,4 +150,20 @@ echo "== bench gate: deterministic work counters vs BENCH_baseline.json"
 #   cp BENCH_compile.json BENCH_baseline.json
 cargo run -q --release -p bench -- --check BENCH_baseline.json
 
+echo "== gate: presolve + warm starts keep solver.pivots <= 40% of the cold-solver total"
+# The pre-warm-start matrix cost 6904 pivots; presolve (ASAP bound
+# propagation kills phase 1) plus dual-simplex warm rounds must hold the
+# baseline at or below 40% of that (<= 2761). A regression past this
+# ceiling means the warm path silently fell back to cold solves.
+pivots=$(sed -n 's/^[[:space:]]*"solver\.pivots": \([0-9][0-9]*\).*/\1/p' BENCH_baseline.json | head -1)
+if [ -z "$pivots" ]; then
+    echo "error: solver.pivots counter missing from BENCH_baseline.json" >&2
+    exit 1
+fi
+if [ "$pivots" -gt 2761 ]; then
+    echo "error: solver.pivots = $pivots exceeds the warm-start ceiling of 2761 (40% of the cold 6904)" >&2
+    exit 1
+fi
+echo "solver.pivots = $pivots (ceiling 2761)"
+
 echo "== ci.sh: all checks passed"

@@ -20,12 +20,18 @@ use std::fmt;
 /// expense of each step so a single limit governs all layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkKind {
-    /// One simplex pivot (tableau row reduction).
+    /// One simplex pivot (tableau row reduction) — primal or dual, and
+    /// including phase-1 artificial drive-out pivots, so the pivot counter
+    /// reflects every tableau row reduction actually performed.
     Pivot,
-    /// One branch-and-bound node (model clone + LP re-solve).
+    /// One branch-and-bound node (bound-delta child + warm LP re-solve).
     Node,
-    /// One lazy-constraint repair round (full ILP re-solve).
+    /// One lazy-constraint repair round (ILP re-solve with added rows).
     Round,
+    /// One presolve charge — a batch of
+    /// [`PRESOLVE_BATCH`](crate::presolve::PRESOLVE_BATCH) constraint
+    /// propagation visits (bound tightening before the first pivot).
+    Presolve,
 }
 
 impl WorkKind {
@@ -35,6 +41,7 @@ impl WorkKind {
             WorkKind::Pivot => 1,
             WorkKind::Node => 32,
             WorkKind::Round => 256,
+            WorkKind::Presolve => 1,
         }
     }
 }
@@ -45,6 +52,7 @@ impl fmt::Display for WorkKind {
             WorkKind::Pivot => "simplex pivot",
             WorkKind::Node => "branch-and-bound node",
             WorkKind::Round => "repair round",
+            WorkKind::Presolve => "presolve propagation batch",
         })
     }
 }
@@ -82,10 +90,11 @@ impl std::error::Error for Exhausted {}
 pub struct Budget {
     limit: u64,
     used: Cell<u64>,
-    /// Completed steps per kind (pivots, nodes, rounds) — the solver
-    /// metrics telemetry reads after a solve. A step whose charge failed
-    /// is not counted: the counters describe work actually performed.
-    counts: [Cell<u64>; 3],
+    /// Completed steps per kind (pivots, nodes, rounds, presolve batches)
+    /// — the solver metrics telemetry reads after a solve. A step whose
+    /// charge failed is not counted: the counters describe work actually
+    /// performed.
+    counts: [Cell<u64>; 4],
 }
 
 const fn kind_index(kind: WorkKind) -> usize {
@@ -93,6 +102,7 @@ const fn kind_index(kind: WorkKind) -> usize {
         WorkKind::Pivot => 0,
         WorkKind::Node => 1,
         WorkKind::Round => 2,
+        WorkKind::Presolve => 3,
     }
 }
 
@@ -108,7 +118,7 @@ impl Budget {
         Budget {
             limit,
             used: Cell::new(0),
-            counts: [Cell::new(0), Cell::new(0), Cell::new(0)],
+            counts: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
         }
     }
 

@@ -1,0 +1,268 @@
+//! Warm-started incremental solving across lazy-constraint rounds.
+//!
+//! The scheduling repair loop solves the same model repeatedly, each
+//! round adding a handful of `<=` rows (chain breakers) — previously by
+//! rebuilding and re-solving the whole model from scratch. An
+//! [`Incremental`] keeps the presolve reduction and the final simplex
+//! basis of the previous solve; each added row is rewritten into the
+//! reduced space, appended to the live tableau
+//! ([`crate::simplex`]`::Simplex::add_le_row`), and repaired with a
+//! dual-simplex pass from the old optimum instead of a full two-phase
+//! solve. Integrality is then re-established by the shared
+//! branch-and-bound driver ([`crate::branch_bound`]).
+//!
+//! The warm path is exact: it reaches a true optimum of the updated
+//! model (dual simplex terminates at primal+dual feasibility), just via
+//! a different — much shorter — pivot sequence.
+
+use crate::branch_bound;
+use crate::budget::Budget;
+use crate::model::{Model, Solution, SolveError, VarId};
+use crate::presolve::{self, Presolve, Presolved, RowReduction};
+use crate::rational::Rational;
+use crate::simplex::Simplex;
+
+/// State of the warm solver across rounds.
+enum State {
+    /// No solve has happened yet.
+    Fresh,
+    /// Presolve fixed every variable; the "basis" is the fixed point.
+    Fixed(Vec<Rational>),
+    /// A presolve reduction plus the optimal tableau of the last solve.
+    Warm(Box<Presolved>, Box<Simplex>),
+}
+
+/// An ILP that accepts added `<=` rows between solves and re-optimizes
+/// from the previous basis.
+pub struct Incremental {
+    model: Model,
+    state: State,
+    /// Rows added since the last solve, in original variable space.
+    pending: Vec<(Vec<(VarId, Rational)>, Rational)>,
+    /// Sticky infeasibility: once proved, every later solve fails fast.
+    infeasible: bool,
+}
+
+impl Incremental {
+    /// Wraps a fully built model. Rows already present solve cold on the
+    /// first [`Incremental::solve`]; rows added afterwards solve warm.
+    pub fn new(model: Model) -> Self {
+        Incremental {
+            model,
+            state: State::Fresh,
+            pending: Vec::new(),
+            infeasible: false,
+        }
+    }
+
+    /// The model including every added row (for exact feasibility checks).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Adds a `<=` row with integer coefficients, like
+    /// [`Model::constraint_le`]; it takes effect at the next
+    /// [`Incremental::solve`].
+    pub fn add_le(&mut self, terms: &[(VarId, i64)], rhs: i64) {
+        self.model.constraint_le(terms, rhs);
+        self.pending.push((
+            terms
+                .iter()
+                .map(|&(v, c)| (v, Rational::int(c as i128)))
+                .collect(),
+            Rational::int(rhs as i128),
+        ));
+    }
+
+    /// Solves the current model: cold (presolve + two-phase simplex +
+    /// branch-and-bound) on the first call, warm (dual-simplex
+    /// re-optimization of the added rows from the previous basis) after.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::solve_with_budget`]; infeasibility is
+    /// sticky across calls.
+    pub fn solve(&mut self, budget: &Budget) -> Result<Solution, SolveError> {
+        if self.infeasible {
+            return Err(SolveError::Infeasible);
+        }
+        let result = self.solve_inner(budget);
+        if matches!(result, Err(SolveError::Infeasible)) {
+            self.infeasible = true;
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, budget: &Budget) -> Result<Solution, SolveError> {
+        if matches!(self.state, State::Fresh) {
+            // Initial rows are already part of the model.
+            self.pending.clear();
+            match presolve::presolve(&self.model, budget)? {
+                Presolve::Solved(values) => {
+                    let solution = fixed_solution(&self.model, values.clone());
+                    self.state = State::Fixed(values);
+                    Ok(solution)
+                }
+                Presolve::Reduced(pre) => {
+                    let mut root = Simplex::new(&pre.reduced);
+                    root.optimize(budget)?;
+                    let sol = branch_bound::integerize(&pre, &root, &self.model, budget)?;
+                    self.state = State::Warm(Box::new(pre), Box::new(root));
+                    Ok(sol)
+                }
+            }
+        } else {
+            match &mut self.state {
+                State::Fresh => unreachable!("handled above"),
+                State::Fixed(values) => {
+                    // Every variable is pinned by its bounds: added rows
+                    // can only be checked, never change the solution.
+                    for (terms, rhs) in self.pending.drain(..) {
+                        let lhs = terms
+                            .iter()
+                            .fold(Rational::ZERO, |acc, &(v, c)| acc + c * values[v.0]);
+                        if lhs > rhs {
+                            return Err(SolveError::Infeasible);
+                        }
+                    }
+                    Ok(fixed_solution(&self.model, values.clone()))
+                }
+                State::Warm(pre, root) => {
+                    for (terms, rhs) in self.pending.drain(..) {
+                        match pre.reduce_le_row(&terms, rhs) {
+                            RowReduction::Satisfied => {}
+                            RowReduction::Violated => return Err(SolveError::Infeasible),
+                            RowReduction::Row(free, rhs) => {
+                                let terms_f64: Vec<(usize, f64)> =
+                                    free.iter().map(|&(v, c)| (v, c.to_f64())).collect();
+                                root.add_le_row(&terms_f64, rhs.to_f64());
+                            }
+                        }
+                    }
+                    root.reoptimize(budget)?;
+                    branch_bound::integerize(pre, root, &self.model, budget)
+                }
+            }
+        }
+    }
+}
+
+fn fixed_solution(model: &Model, values: Vec<Rational>) -> Solution {
+    let objective = model
+        .objective
+        .iter()
+        .enumerate()
+        .fold(Rational::ZERO, |acc, (i, &c)| acc + c * values[i]);
+    Solution { values, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Incremental;
+    use crate::{Budget, Model, Sense, SolveError, WorkKind};
+
+    fn chain_model(n: usize) -> (Model, Vec<crate::VarId>) {
+        let mut m = Model::new(Sense::Minimize);
+        let t: Vec<_> = (0..n).map(|i| m.int_var(&format!("t{i}"))).collect();
+        for &v in &t {
+            m.obj(v, 1);
+        }
+        for w in t.windows(2) {
+            m.constraint_le(&[(w[0], 1), (w[1], -1)], -1);
+        }
+        (m, t)
+    }
+
+    #[test]
+    fn warm_rounds_match_from_scratch() {
+        let (m, t) = chain_model(6);
+        let budget = Budget::unlimited();
+        let mut inc = Incremental::new(m.clone());
+        let first = inc.solve(&budget).unwrap();
+        assert_eq!(first.value(t[5]), 5);
+
+        // Round 2: a chain breaker forcing a gap between t1 and t2.
+        inc.add_le(&[(t[1], 1), (t[2], -1)], -3);
+        let warm_before = budget.count(WorkKind::Pivot);
+        let second = inc.solve(&budget).unwrap();
+        let warm_pivots = budget.count(WorkKind::Pivot) - warm_before;
+        assert_eq!(second.value(t[2]), second.value(t[1]) + 3);
+        assert!(inc.model().is_feasible(&second.values));
+
+        // A naive (presolve-free, from-scratch) solve of the same updated
+        // model agrees exactly and pays more pivots for it.
+        let scratch = inc.model().clone();
+        let cold = Budget::unlimited();
+        let cold_sol = crate::branch_bound::solve_naive(&scratch, &cold).unwrap();
+        assert_eq!(cold_sol.objective, second.objective);
+        assert!(
+            warm_pivots <= cold.count(WorkKind::Pivot),
+            "warm round used {warm_pivots} pivots, naive {}",
+            cold.count(WorkKind::Pivot)
+        );
+    }
+
+    #[test]
+    fn added_row_can_prove_infeasibility_and_it_sticks() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x");
+        m.obj(x, 1);
+        m.constraint_ge(&[(x, 1)], 5);
+        m.set_upper(x, 20);
+        let budget = Budget::unlimited();
+        let mut inc = Incremental::new(m);
+        assert_eq!(inc.solve(&budget).unwrap().value(x), 5);
+        inc.add_le(&[(x, 1)], 2);
+        assert!(matches!(inc.solve(&budget), Err(SolveError::Infeasible)));
+        // Sticky: later calls fail fast without re-solving.
+        assert!(matches!(inc.solve(&budget), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn fully_fixed_models_check_added_rows_exactly() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.int_var("a");
+        let b = m.int_var("b");
+        m.obj(a, 1);
+        m.obj(b, 1);
+        m.constraint_le(&[(a, 1), (b, -1)], -3);
+        m.set_upper(a, 0);
+        m.set_upper(b, 3); // presolve fixes a=0, b=3
+        let budget = Budget::unlimited();
+        let mut inc = Incremental::new(m);
+        let sol = inc.solve(&budget).unwrap();
+        assert_eq!((sol.value(a), sol.value(b)), (0, 3));
+        assert_eq!(budget.count(WorkKind::Pivot), 0);
+
+        inc.add_le(&[(b, 1), (a, -1)], 3); // holds at the fixed point
+        assert!(inc.solve(&budget).is_ok());
+        inc.add_le(&[(b, 1)], 2); // contradicts b = 3
+        assert!(matches!(inc.solve(&budget), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_warm_round_is_typed() {
+        let (m, t) = chain_model(8);
+        let generous = Budget::unlimited();
+        let mut inc = Incremental::new(m);
+        inc.solve(&generous).unwrap();
+        // Find how much a warm round needs, then replay with less: the
+        // exhaustion must surface as a typed error mid-warm-start.
+        inc.add_le(&[(t[2], 1), (t[3], -1)], -4);
+        let before = generous.used();
+        inc.solve(&generous).unwrap();
+        let warm_cost = generous.used() - before;
+        assert!(warm_cost > 0, "warm round must do budgeted work");
+
+        let (m2, t2) = chain_model(8);
+        let tight = Budget::unlimited();
+        let mut inc2 = Incremental::new(m2);
+        inc2.solve(&tight).unwrap();
+        let exact = Budget::new(tight.used() + warm_cost - 1);
+        let (m3, _) = chain_model(8);
+        let mut inc3 = Incremental::new(m3);
+        inc3.solve(&exact).unwrap();
+        inc3.add_le(&[(t2[2], 1), (t2[3], -1)], -4);
+        assert!(matches!(inc3.solve(&exact), Err(SolveError::Exhausted(_))));
+    }
+}

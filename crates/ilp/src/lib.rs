@@ -11,6 +11,13 @@
 //! constraint matrices) and branch-and-bound rarely branches — but the
 //! solver is general and handles arbitrary models.
 //!
+//! Before the first pivot, every solve runs an exact [`presolve`] pass
+//! (bound propagation, variable fixing, redundant-row elimination,
+//! difference-system detection); repeated solves of a growing model can
+//! go through [`Incremental`], which keeps the final simplex basis
+//! between rounds and re-optimizes added rows with a dual-simplex step
+//! instead of solving from scratch.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +37,14 @@
 
 pub mod branch_bound;
 pub mod budget;
+pub mod incremental;
 pub mod model;
+pub mod presolve;
 pub mod rational;
 pub mod simplex;
 
 pub use budget::{Budget, Exhausted, WorkKind};
+pub use incremental::Incremental;
 pub use model::{Constraint, ConstraintOp, Model, Sense, Solution, SolveError, VarId};
+pub use presolve::{Presolve, Presolved, PRESOLVE_BATCH};
 pub use rational::Rational;

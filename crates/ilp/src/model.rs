@@ -54,6 +54,11 @@ pub enum SolveError {
     /// The work budget ran out before the search finished. The model may
     /// still be feasible; callers should fall back to a cheaper algorithm.
     Exhausted(Exhausted),
+    /// A floating-point tableau value could not be reconstructed as an
+    /// exact rational (e.g. a vertex coordinate outside the `i128` range).
+    /// The model may be fine; callers should fall back to a cheaper
+    /// algorithm rather than trust a silently saturated value.
+    Numerical(String),
 }
 
 impl fmt::Display for SolveError {
@@ -62,6 +67,7 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => f.write_str("model is infeasible"),
             SolveError::Unbounded => f.write_str("objective is unbounded"),
             SolveError::Exhausted(e) => e.fmt(f),
+            SolveError::Numerical(m) => write!(f, "numerical failure: {m}"),
         }
     }
 }

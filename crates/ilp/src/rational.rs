@@ -182,9 +182,53 @@ impl PartialOrd for Rational {
     }
 }
 
+/// Full 128×128 → 256-bit unsigned product as `(hi, lo)` limbs.
+fn wide_mul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let (mid, mid_carry) = lh.overflowing_add(hl);
+    let (lo, lo_carry) = ll.overflowing_add(mid << 64);
+    let hi = hh + (mid >> 64) + ((mid_carry as u128) << 64) + lo_carry as u128;
+    (hi, lo)
+}
+
 impl Ord for Rational {
+    /// Compares by cross-multiplication, never by materializing the
+    /// difference: `a/b ? c/d` (with `b, d > 0`) is `a·d ? c·b`. The cross
+    /// products are attempted in checked `i128` first; when either
+    /// overflows, the signs decide if they differ, and otherwise the
+    /// magnitudes are compared exactly in 256-bit unsigned arithmetic —
+    /// so two individually representable rationals always compare without
+    /// panicking, no matter their magnitudes.
     fn cmp(&self, other: &Self) -> Ordering {
-        (*self - *other).num.cmp(&0)
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => {
+                let sa = self.num.signum();
+                let sb = other.num.signum();
+                if sa != sb {
+                    return sa.cmp(&sb);
+                }
+                // Same (nonzero) sign: compare |num|·den magnitudes
+                // widened to 256 bits; denominators are positive.
+                let lhs = wide_mul(self.num.unsigned_abs(), other.den as u128);
+                let rhs = wide_mul(other.num.unsigned_abs(), self.den as u128);
+                let mag = lhs.cmp(&rhs);
+                if sa > 0 {
+                    mag
+                } else {
+                    mag.reverse()
+                }
+            }
+        }
     }
 }
 
@@ -244,6 +288,42 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::int(2) > Rational::new(3, 2));
+    }
+
+    #[test]
+    fn ordering_survives_large_magnitudes() {
+        // Each value is representable, but the old `self - other` path
+        // overflowed i128 when materializing the difference. With
+        // M = i128::MAX: (M-1)/M vs (M-2)/(M-1) compares
+        // (M-1)² vs (M-2)·M = M²-2M+1 vs M²-2M, so the first is larger —
+        // both cross products exceed i128 and need the 256-bit fallback.
+        const M: i128 = i128::MAX;
+        let a = Rational::new(M - 1, M);
+        let b = Rational::new(M - 2, M - 1);
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        // Negative mirror: ordering reverses.
+        assert_eq!((-a).cmp(&(-b)), Ordering::Less);
+        // Mixed signs decide on sign alone, without any multiplication.
+        assert!(Rational::new(-M, M - 2) < Rational::new(M, M - 1));
+        // Huge integers against huge proper fractions.
+        assert!(Rational::int(M) > Rational::new(M - 1, 2));
+        assert!(Rational::new(1, M) > Rational::new(1, M - 1).neg());
+        // PartialOrd delegates to the same path.
+        assert!(a > b);
+    }
+
+    #[test]
+    fn wide_mul_limbs() {
+        assert_eq!(wide_mul(0, u128::MAX), (0, 0));
+        assert_eq!(wide_mul(1, u128::MAX), (0, u128::MAX));
+        // (2^64)² = 2^128 → hi = 1, lo = 0.
+        assert_eq!(wide_mul(1 << 64, 1 << 64), (1, 0));
+        // (2^127)·2 = 2^128.
+        assert_eq!(wide_mul(1 << 127, 2), (1, 0));
+        // u128::MAX² = 2^256 - 2^129 + 1.
+        assert_eq!(wide_mul(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
     }
 
     #[test]

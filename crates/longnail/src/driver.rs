@@ -692,6 +692,11 @@ impl Longnail {
         tel.counter(solve_span, metrics::SOLVER_PIVOTS, budget.count(WorkKind::Pivot));
         tel.counter(solve_span, metrics::SOLVER_NODES, budget.count(WorkKind::Node));
         tel.counter(solve_span, metrics::SOLVER_ROUNDS, budget.count(WorkKind::Round));
+        tel.counter(
+            solve_span,
+            metrics::SOLVER_PRESOLVE,
+            budget.count(WorkKind::Presolve),
+        );
         tel.counter(solve_span, metrics::SOLVER_WORK_USED, budget.used());
         tel.counter(solve_span, metrics::SOLVER_WORK_LIMIT, budget.limit());
         let outcome = result.map_err(|e| FlowError::error("schedule", e.to_string()))?;

@@ -17,7 +17,7 @@
 use crate::chain::compute_chain_breakers;
 use crate::problem::{LongnailProblem, Schedule, ScheduleError};
 use crate::stic::compute_stic;
-use ilp::{Budget, Model, Sense, SolveError, WorkKind};
+use ilp::{Budget, Incremental, Model, Sense, SolveError, VarId, WorkKind};
 
 /// Schedules `problem` with the Figure 7 ILP under a fresh default
 /// [`Budget`]. See [`schedule_ilp_with_budget`].
@@ -54,15 +54,28 @@ pub fn schedule_ilp_with_budget(
     // chaining budget (the initial breakers are a heuristic), add breakers
     // on the offending edges and re-solve. Each round adds at least one
     // new breaker edge, so this terminates.
+    //
+    // The model is built once; repair rounds push the new breaker rows
+    // into the warm [`Incremental`] solver, which re-optimizes from the
+    // previous round's basis with a dual-simplex step instead of solving
+    // the grown model from scratch.
+    let (model, t) = build_model(problem);
+    let mut solver = Incremental::new(model);
     for _ in 0..problem.dependences.len() + 1 {
         budget
             .charge(WorkKind::Round)
             .map_err(ScheduleError::Exhausted)?;
-        let schedule = solve_once(problem, budget)?;
+        let solution = solver.solve(budget).map_err(map_solve_error)?;
+        let start_time: Vec<u32> = t.iter().map(|&v| solution.value(v) as u32).collect();
+        let schedule = compute_stic(problem, start_time)?;
         let extra = crate::chain::repair_breakers(problem, &schedule);
         if extra.is_empty() {
             problem.verify(&schedule)?;
             return Ok(schedule);
+        }
+        for d in &extra {
+            let latency = problem.lot(d.from).latency as i64;
+            solver.add_le(&[(t[d.from.0], 1), (t[d.to.0], -1)], -(latency + 1));
         }
         problem.chain_breakers.extend(extra);
     }
@@ -71,7 +84,25 @@ pub fn schedule_ilp_with_budget(
     ))
 }
 
-fn solve_once(problem: &mut LongnailProblem, budget: &Budget) -> Result<Schedule, ScheduleError> {
+fn map_solve_error(e: SolveError) -> ScheduleError {
+    match e {
+        SolveError::Infeasible => ScheduleError::Infeasible(
+            "no schedule satisfies the interface windows and precedence constraints".into(),
+        ),
+        SolveError::Unbounded => {
+            ScheduleError::InvalidProblem("scheduling objective is unbounded".into())
+        }
+        SolveError::Exhausted(e) => ScheduleError::Exhausted(e),
+        // An inexact vertex reconstruction is a solver fault, not a model
+        // property: surface it as a violation so the resilient path falls
+        // back to ASAP instead of trusting a wrong value.
+        SolveError::Numerical(m) => ScheduleError::Violation(format!("ILP solver: {m}")),
+    }
+}
+
+/// Builds the Figure 7 model (obj + C1, C3, C4, C5 over the breakers known
+/// so far) and returns it with the start-time variable per operation.
+fn build_model(problem: &LongnailProblem) -> (Model, Vec<VarId>) {
     let mut model = Model::new(Sense::Minimize);
 
     // Because every latency is non-negative, C1 forces t_j >= t_i on every
@@ -111,24 +142,14 @@ fn solve_once(problem: &mut LongnailProblem, budget: &Budget) -> Result<Schedule
         model.constraint_le(&[(t[d.from.0], 1), (t[d.to.0], -1)], -latency);
     }
 
-    // Chain breakers (C5).
+    // Chain breakers (C5) known before the first solve; repair rounds add
+    // later ones through the warm solver.
     for d in &problem.chain_breakers {
         let latency = problem.lot(d.from).latency as i64;
         model.constraint_le(&[(t[d.from.0], 1), (t[d.to.0], -1)], -(latency + 1));
     }
 
-    let solution = model.solve_with_budget(budget).map_err(|e| match e {
-        SolveError::Infeasible => ScheduleError::Infeasible(
-            "no schedule satisfies the interface windows and precedence constraints".into(),
-        ),
-        SolveError::Unbounded => {
-            ScheduleError::InvalidProblem("scheduling objective is unbounded".into())
-        }
-        SolveError::Exhausted(e) => ScheduleError::Exhausted(e),
-    })?;
-
-    let start_time: Vec<u32> = t.iter().map(|&v| solution.value(v) as u32).collect();
-    compute_stic(problem, start_time)
+    (model, t)
 }
 
 #[cfg(test)]
@@ -144,12 +165,15 @@ mod tests {
             cycle_time: 3.5,
             ..LongnailProblem::default()
         };
-        let instr =
-            p.add_operator_type(OperatorType::combinational("lil.instr_word", 0.0).with_window(1, Some(4)));
-        let rs1 =
-            p.add_operator_type(OperatorType::combinational("lil.read_rs1", 0.0).with_window(2, Some(4)));
-        let wr =
-            p.add_operator_type(OperatorType::combinational("lil.write_rd", 0.0).with_window(2, None));
+        let instr = p.add_operator_type(
+            OperatorType::combinational("lil.instr_word", 0.0).with_window(1, Some(4)),
+        );
+        let rs1 = p.add_operator_type(
+            OperatorType::combinational("lil.read_rs1", 0.0).with_window(2, Some(4)),
+        );
+        let wr = p.add_operator_type(
+            OperatorType::combinational("lil.write_rd", 0.0).with_window(2, None),
+        );
         let comb = p.add_operator_type(OperatorType::combinational("comb", 1.0));
         let o_instr = p.add_operation("instr_word", instr);
         let o_extract = p.add_operation("extract", comb);

@@ -162,10 +162,7 @@ mod tests {
         let budget = Budget::new(0);
         let out = schedule_resilient(&mut p, &budget).unwrap();
         let deg = out.degradation.expect("zero budget must degrade");
-        assert!(matches!(
-            deg.reason,
-            DegradationReason::BudgetExhausted(_)
-        ));
+        assert!(matches!(deg.reason, DegradationReason::BudgetExhausted(_)));
         p.verify(&out.schedule).unwrap();
     }
 
@@ -191,6 +188,53 @@ mod tests {
         let b2 = p2.add_operation("b", early2);
         p2.add_dependence(a2, b2);
         assert!(schedule_resilient(&mut p2, &Budget::new(0)).is_err());
+    }
+
+    #[test]
+    fn exhaustion_mid_warm_round_degrades_to_asap() {
+        // A two-level reduction tree under a tight cycle time makes the
+        // breaker heuristic underestimate, so the lazy-constraint loop
+        // takes warm repair rounds. Measure the full cost, then replay
+        // with less: exhaustion lands mid-solve (including mid-warm-round
+        // at `needed - 1`) and the ASAP fallback must still produce a
+        // verified schedule.
+        fn tree_problem() -> LongnailProblem {
+            let mut p = LongnailProblem {
+                cycle_time: 1.5,
+                ..LongnailProblem::default()
+            };
+            let add = p.add_operator_type(OperatorType::combinational("add", 1.0));
+            let leaves: Vec<_> = (0..4)
+                .map(|i| p.add_operation(&format!("l{i}"), add))
+                .collect();
+            let m0 = p.add_operation("m0", add);
+            let m1 = p.add_operation("m1", add);
+            let root = p.add_operation("root", add);
+            p.add_dependence(leaves[0], m0);
+            p.add_dependence(leaves[1], m0);
+            p.add_dependence(leaves[2], m1);
+            p.add_dependence(leaves[3], m1);
+            p.add_dependence(m0, root);
+            p.add_dependence(m1, root);
+            p
+        }
+        let mut probe = tree_problem();
+        let full = Budget::unlimited();
+        let out = schedule_resilient(&mut probe, &full).unwrap();
+        assert!(out.is_exact());
+        let needed = full.used();
+        assert!(needed > 0);
+        for limit in [needed / 2, needed - 1] {
+            let mut p = tree_problem();
+            let budget = Budget::new(limit);
+            let out = schedule_resilient(&mut p, &budget).unwrap();
+            let deg = out
+                .degradation
+                .expect("a limit below the requirement must degrade");
+            assert!(matches!(deg.reason, DegradationReason::BudgetExhausted(_)));
+            assert!(deg.work_used <= limit);
+            p.verify(&out.schedule).unwrap();
+        }
     }
 
     #[test]

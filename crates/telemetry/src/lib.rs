@@ -40,6 +40,9 @@ pub mod metrics {
     pub const SOLVER_NODES: &str = "solver.nodes";
     /// Lazy-constraint repair rounds (counter).
     pub const SOLVER_ROUNDS: &str = "solver.rounds";
+    /// Presolve propagation batches charged before the first pivot
+    /// (counter).
+    pub const SOLVER_PRESOLVE: &str = "solver.presolve";
     /// Abstract work units spent against the solver budget (counter).
     pub const SOLVER_WORK_USED: &str = "solver.work_used";
     /// The budget's limit (counter, constant per solve).
