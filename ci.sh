@@ -142,6 +142,49 @@ for d in "$smoke_dir/m4"/*/; do
     diff -r "$smoke_dir/m4/$cell" "$smoke_dir/mchaos/$cell"
 done
 
+echo "== incremental: warm --cache-dir rerun is pure replay and byte-identical"
+# Cold run populates the persistent cell cache; the warm rerun must serve
+# every cell from disk (0 misses on every stage row), print the same
+# stdout, and write a byte-identical artifact tree.
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --cache-dir "$smoke_dir/qc" --out "$smoke_dir/inc_cold" \
+    > "$smoke_dir/inc_cold.stdout" 2> "$smoke_dir/inc_cold.stderr"
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --cache-dir "$smoke_dir/qc" --out "$smoke_dir/inc_warm" \
+    > "$smoke_dir/inc_warm.stdout" 2> "$smoke_dir/inc_warm.stderr"
+diff -r "$smoke_dir/inc_cold" "$smoke_dir/inc_warm"
+diff "$smoke_dir/inc_cold.stdout" "$smoke_dir/inc_warm.stdout"
+for stage in frontend lower problem solve modes rtl verilog config cell; do
+    grep -q "cache-stats: $stage hits=[0-9][0-9]* misses=0" "$smoke_dir/inc_warm.stderr" || {
+        echo "error: warm run recomputed stage '$stage':" >&2
+        cat "$smoke_dir/inc_warm.stderr" >&2
+        exit 1
+    }
+done
+grep -q "cache-stats: cell hits=32 misses=0" "$smoke_dir/inc_warm.stderr"
+grep -q "cell cache: 32 served, 0 compiled" "$smoke_dir/inc_warm.stderr"
+
+echo "== serve: compile daemon answers 3 jobs (one faulted) with per-job status"
+# The daemon reads line-delimited JSON jobs from stdin and must answer
+# each in input order; a fault-injected job degrades to status "fault"
+# without taking down the process (exit 0 — per-job status carries the
+# failure, like --keep-going).
+cat > "$smoke_dir/serve_plan.txt" <<'EOF'
+X_DOTP@VexRiscv panic@rtl
+EOF
+cat > "$smoke_dir/jobs.jsonl" <<'EOF'
+{"id": "j1", "isax": "dotprod", "core": "ORCA"}
+{"id": "j2", "isax": "zol", "core": "Piccolo"}
+{"id": "j3", "isax": "dotprod", "core": "VexRiscv"}
+EOF
+cargo run -q --release -p longnail --bin lnc -- \
+    serve --jobs 2 --fault-plan "$smoke_dir/serve_plan.txt" \
+    < "$smoke_dir/jobs.jsonl" > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.err"
+[ "$(wc -l < "$smoke_dir/serve.out")" -eq 3 ]
+grep -q '"id": "j1", "status": "ok", "exit": 0' "$smoke_dir/serve.out"
+grep -q '"id": "j2", "status": "ok", "exit": 0' "$smoke_dir/serve.out"
+grep -q '"id": "j3", "status": "fault", "exit": 2' "$smoke_dir/serve.out"
+
 echo "== bench gate: deterministic work counters vs BENCH_baseline.json"
 # cargo run -p bench rewrites BENCH_compile.json (gitignored) and compares
 # its deterministic section textually against the checked-in baseline.
@@ -149,6 +192,22 @@ echo "== bench gate: deterministic work counters vs BENCH_baseline.json"
 # work-counter change is intentional, refresh the baseline with:
 #   cp BENCH_compile.json BENCH_baseline.json
 cargo run -q --release -p bench -- --check BENCH_baseline.json
+
+echo "== gate: incremental warm recompile is at least 4x faster than cold"
+# The bench run above rewrote BENCH_compile.json with measured wall times
+# for the in-process cold/warm matrix pair; a warm no-change recompile
+# must replay from the stage cache at >= 4x the cold speed (typically
+# 40-150x). Wall time, so a floor rather than an exact compare.
+warm_speedup=$(sed -n 's/.*"warm_speedup": \([0-9][0-9]*\)\..*/\1/p' BENCH_compile.json | head -1)
+if [ -z "$warm_speedup" ]; then
+    echo "error: warm_speedup missing from BENCH_compile.json" >&2
+    exit 1
+fi
+if [ "$warm_speedup" -lt 4 ]; then
+    echo "error: warm recompile speedup ${warm_speedup}x is below the 4x floor" >&2
+    exit 1
+fi
+echo "warm recompile speedup = ${warm_speedup}x (floor 4x)"
 
 echo "== gate: presolve + warm starts keep solver.pivots <= 40% of the cold-solver total"
 # The pre-warm-start matrix cost 6904 pivots; presolve (ASAP bound

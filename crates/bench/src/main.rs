@@ -6,11 +6,17 @@
 //!
 //! * `deterministic` — work counters that are a pure function of the
 //!   input and the algorithms: solver pivots / branch-and-bound nodes /
-//!   repair rounds, cache hit/miss totals, degradation counters, and the
-//!   per-stage op counters summed across the matrix, plus a per-cell
-//!   solver-work breakdown. Byte-identical on every run of the same code.
-//! * `wall` — wall-clock timings and the cache/pool speedups.
-//!   Machine- and load-dependent, informational only.
+//!   repair rounds, cache hit/miss totals, degradation counters, the
+//!   per-stage op counters summed across the matrix, a per-cell
+//!   solver-work breakdown, and the `incremental` per-stage hit/miss
+//!   profile of a cold → warm no-change → warm one-edit recompile
+//!   sequence through one shared pipeline cache. Byte-identical on every
+//!   run of the same code.
+//! * `wall` — wall-clock timings and the cache/pool/incremental
+//!   speedups. Machine- and load-dependent, informational only (except
+//!   the warm no-change replay, which ci.sh requires to be at least 4×
+//!   faster than the cold compile — a regression there means the warm
+//!   path silently recomputes).
 //!
 //! With `--check <baseline>` the freshly measured `deterministic` section
 //! is compared **textually** against the checked-in `BENCH_baseline.json`:
@@ -19,8 +25,8 @@
 //! to run when the change is intentional. Wall-time drift beyond
 //! ±[`WALL_TOLERANCE`] only warns — timings are not gate-worthy.
 
-use longnail::driver::eval_datasheets;
-use longnail::{isax_lib, Longnail};
+use longnail::driver::{eval_datasheets, MatrixResult};
+use longnail::{isax_lib, Longnail, PipelineCache};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -35,6 +41,48 @@ const BENCH_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compil
 
 fn elapsed_ns(since: Instant) -> u64 {
     since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Renders one run's per-stage cache profile as `"stage": "Mm/Hh"`
+/// fields in pipeline order. Hit/miss totals are deterministic (the
+/// store's exactly-once slots make the miss count a function of the key
+/// set, not of scheduling), so this belongs in the gated section.
+fn stage_mix(m: &MatrixResult) -> String {
+    telemetry::STAGES
+        .iter()
+        .map(|s| {
+            let d = m
+                .stage_stats
+                .iter()
+                .find(|x| x.stage == *s)
+                .cloned()
+                .unwrap_or_default();
+            format!("\"{s}\": \"{}m/{}h\"", d.misses, d.hits)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Every cell's artifacts must be byte-identical between two runs — the
+/// warm replay is only correct if it reproduces the cold bytes exactly.
+fn assert_artifacts_identical(cold: &MatrixResult, warm: &MatrixResult, what: &str) {
+    assert_eq!(cold.entries.len(), warm.entries.len());
+    for (c, w) in cold.entries.iter().zip(&warm.entries) {
+        let (Ok(cc), Ok(wc)) = (&c.outcome, &w.outcome) else {
+            panic!("{what}: cell {}_{} failed", c.isax, c.core);
+        };
+        let cell = format!("{}_{}", c.isax, c.core);
+        assert_eq!(cc.config.to_yaml(), wc.config.to_yaml(), "{what}: {cell} config");
+        assert_eq!(cc.graphs.len(), wc.graphs.len(), "{what}: {cell} unit count");
+        for (cg, wg) in cc.graphs.iter().zip(&wc.graphs) {
+            assert_eq!(cg.verilog, wg.verilog, "{what}: {cell} verilog {}", cg.name);
+        }
+        assert_eq!(
+            cc.trace.stripped().to_jsonl(),
+            wc.trace.stripped().to_jsonl(),
+            "{what}: {cell} stripped trace"
+        );
+    }
 }
 
 /// Runs the matrix benchmark and renders `BENCH_compile.json`.
@@ -52,6 +100,35 @@ fn bench_json() -> String {
     // for every worker count.
     assert_eq!(serial.cache_hits, parallel.cache_hits);
     assert_eq!(serial.cache_misses, parallel.cache_misses);
+
+    // Incremental profile: cold, warm no-change, warm one-edit — all
+    // through one shared pipeline cache, the way `lnc serve` and warm
+    // matrix recompiles run.
+    let pipe = PipelineCache::new();
+    let t0 = Instant::now();
+    let cold = ln.compile_matrix_cached(&isaxes, &cores, 4, &pipe);
+    let cold_ns = elapsed_ns(t0);
+    let t0 = Instant::now();
+    let warm = ln.compile_matrix_cached(&isaxes, &cores, 4, &pipe);
+    let warm_ns = elapsed_ns(t0);
+    let warm_misses: u64 = warm.stage_stats.iter().map(|s| s.misses).sum();
+    assert_eq!(warm_misses, 0, "warm no-change recompile must be pure replay");
+    assert_artifacts_identical(&cold, &warm, "warm no-change");
+    // The "edit": append a comment to one ISAX — semantics unchanged,
+    // content key changed, so exactly that ISAX's cone recomputes.
+    let mut edited = isaxes.clone();
+    edited[0].2.push_str("\n// incremental bench edit\n");
+    let t0 = Instant::now();
+    let edit = ln.compile_matrix_cached(&edited, &cores, 4, &pipe);
+    let edit_ns = elapsed_ns(t0);
+    let edit_fe = edit
+        .stage_stats
+        .iter()
+        .find(|s| s.stage == "frontend")
+        .cloned()
+        .unwrap_or_default();
+    assert_eq!(edit_fe.misses, 1, "one edited source, one frontend recompute");
+    assert_artifacts_identical(&cold, &edit, "warm one-edit");
 
     let cell_traces: Vec<(String, &telemetry::Trace)> = serial
         .entries
@@ -93,12 +170,20 @@ fn bench_json() -> String {
         );
         json.push_str(if i + 1 == cell_traces.len() { "\n" } else { ",\n" });
     }
-    json.push_str("    ]\n  },\n");
+    json.push_str("    ],\n    \"incremental\": {\n");
+    let _ = writeln!(json, "      \"cold\": {{{}}},", stage_mix(&cold));
+    let _ = writeln!(json, "      \"warm_no_change\": {{{}}},", stage_mix(&warm));
+    let _ = writeln!(json, "      \"warm_one_edit\": {{{}}}", stage_mix(&edit));
+    json.push_str("    }\n  },\n");
     let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    let warm_speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+    let edit_speedup = cold_ns as f64 / edit_ns.max(1) as f64;
     let _ = write!(
         json,
         "  \"wall\": {{\"serial_wall_ns\": {serial_ns}, \"parallel_wall_ns\": {parallel_ns}, \
-         \"speedup\": {speedup:.3}}}\n}}\n"
+         \"speedup\": {speedup:.3},\n           \"cold_wall_ns\": {cold_ns}, \
+         \"warm_wall_ns\": {warm_ns}, \"warm_speedup\": {warm_speedup:.3},\n           \
+         \"edit_wall_ns\": {edit_ns}, \"edit_speedup\": {edit_speedup:.3}}}\n}}\n"
     );
     json
 }

@@ -9,6 +9,9 @@
 //!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]
 //!            [--keep-going] [--fault-plan <path>] [--summary] [--verbose]
 //!            [--trace] [--metrics-out <path>] [--profile-folded <path>]
+//!            [--cache-dir <dir>]
+//!        lnc serve [--jobs <N>] [--budget <units>] [--fault-plan <path>]
+//!            [--cache-dir <dir>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -65,6 +68,27 @@
 //! frontend-cache entries) into the cells a plan file names — see
 //! `longnail::faults` for the line format. Chaos testing only.
 //!
+//! --cache-dir <dir> (matrix and serve) persists whole-cell artifact
+//! bundles keyed by content (source + datasheet + options + schema
+//! fingerprint). A warm rerun with nothing changed compiles zero cells
+//! — every bundle's bytes are written back verbatim, so the artifact
+//! tree is byte-identical to the cold run's — and editing one ISAX
+//! recompiles only that ISAX's cells. Per-stage hit/miss attribution
+//! goes to stderr as `cache-stats:` lines. Cells a fault plan targets
+//! bypass the cache in both directions, and cells with errors are never
+//! stored, so deterministic failures keep failing (identically) warm.
+//! Incompatible with --xcheck, which needs in-memory compilations.
+//!
+//! serve runs the compile daemon: line-delimited JSON jobs on stdin
+//! (`{"id": ..., "isax": <builtin>, "core": <core>}` or `{"id": ...,
+//! "unit": ..., "core": ..., "src": <CoreDSL text>}`), one JSON result
+//! per job on stdout in input order (`{"id", "status": "ok|error|fault",
+//! "exit": 0|1|2, "units", "message"}`). Jobs fan out over --jobs
+//! workers with matrix-grade per-cell isolation and share one
+//! incremental pipeline cache (plus the persistent layer under
+//! --cache-dir), so repeated jobs replay cached stages instead of
+//! recompiling. The daemon exits 0; per-job failure is data.
+//!
 //! Diagnostics go to stderr. Exit codes: 0 — clean or warnings only;
 //! 1 — at least one unit failed to compile (artifacts for the remaining
 //! units are still written); 2 — an internal compiler fault (verifier,
@@ -96,6 +120,8 @@ struct Args {
     summary: bool,
     verbose: bool,
     profile_folded: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    serve: bool,
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -116,6 +142,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut summary = false;
     let mut verbose = false;
     let mut profile_folded = None;
+    let mut cache_dir = None;
+    let mut serve = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -160,15 +188,60 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                     args.next().ok_or("--profile-folded needs a value")?,
                 ));
             }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a value")?,
+                ));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"))
             }
+            "serve" if !serve && input.is_none() => serve = true,
             other => {
                 if input.replace(PathBuf::from(other)).is_some() {
                     return Err("more than one input file".into());
                 }
             }
+        }
+    }
+    if serve {
+        // The daemon owns its I/O protocol; everything that shapes
+        // stdout/artifact emission in the other modes is meaningless.
+        if matrix {
+            return Err("serve reads jobs from stdin; drop --matrix".into());
+        }
+        if input.is_some() {
+            return Err("serve reads jobs from stdin; drop the input file".into());
+        }
+        for (set, flag) in [
+            (core.is_some(), "--core"),
+            (unit.is_some(), "--unit"),
+            (emit.is_some(), "--emit"),
+            (report, "--report"),
+            (summary, "--summary"),
+            (verbose, "--verbose"),
+            (xcheck, "--xcheck"),
+            (keep_going, "--keep-going"),
+            (trace, "--trace"),
+            (metrics_out.is_some(), "--metrics-out"),
+            (profile_folded.is_some(), "--profile-folded"),
+        ] {
+            if set {
+                return Err(format!("`{flag}` does not apply to serve mode (allowed: \
+                                    --jobs, --budget, --fault-plan, --cache-dir)"));
+            }
+        }
+    } else if cache_dir.is_some() {
+        if xcheck {
+            return Err("--cache-dir serves cells from stored artifacts; --xcheck needs \
+                        in-memory compilations — drop one of them"
+                .into());
+        }
+        if !matrix {
+            return Err("--cache-dir persists matrix/serve cell bundles; add --matrix \
+                        or use serve mode"
+                .into());
         }
     }
     if matrix {
@@ -189,7 +262,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 "--report is the single-compilation report; use --summary for a matrix".into(),
             );
         }
-    } else {
+    } else if !serve {
         if keep_going {
             return Err("--keep-going only applies to --matrix batches".into());
         }
@@ -227,6 +300,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         summary,
         verbose,
         profile_folded,
+        cache_dir,
+        serve,
     })
 }
 
@@ -237,7 +312,9 @@ fn usage() {
          [--trace] [--metrics-out <path>] [--profile-folded <path>] [--report] [--xcheck]\n\
          \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck] \
          [--keep-going] [--fault-plan <path>] [--summary] [--verbose] \
-         [--trace] [--metrics-out <path>] [--profile-folded <path>]",
+         [--trace] [--metrics-out <path>] [--profile-folded <path>] [--cache-dir <dir>]\n\
+         \u{20}      lnc serve [--jobs <N>] [--budget <units>] [--fault-plan <path>] \
+         [--cache-dir <dir>]",
         EVAL_CORES.join("|")
     );
 }
@@ -251,21 +328,117 @@ fn exit_for(compiled: &longnail::CompiledIsax) -> ExitCode {
     }
 }
 
-/// Compiles and writes the full evaluation matrix.
+/// Builds the run's pipeline cache: in-memory only, or backed by the
+/// persistent `--cache-dir` layer.
+fn build_cache(cache_dir: Option<&std::path::Path>) -> Result<longnail::PipelineCache, ExitCode> {
+    match cache_dir {
+        Some(dir) => longnail::PipelineCache::with_disk(dir).map_err(|e| {
+            eprintln!("error: cannot open cache dir {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }),
+        None => Ok(longnail::PipelineCache::new()),
+    }
+}
+
+/// Compiles and writes the full evaluation matrix. With `--cache-dir`,
+/// cells whose content key matches a stored bundle are served from disk
+/// verbatim and only the rest are compiled.
 fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
+    use longnail::serve::{bundle_units, fault_bypassed, probe_cell, store_cell, DIAGNOSTICS_FILE};
     let isaxes = isax_lib::all_isaxes();
     let cores = eval_datasheets();
+    let pipe = match build_cache(args.cache_dir.as_deref()) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let t0 = std::time::Instant::now();
-    let matrix: MatrixResult = ln.compile_matrix(&isaxes, &cores, args.jobs);
+    let all_cells: Vec<longnail::MatrixCell> = isaxes
+        .iter()
+        .flat_map(|(isax, unit, src)| {
+            cores.iter().map(move |ds| longnail::MatrixCell {
+                isax: isax.clone(),
+                unit: unit.clone(),
+                src: src.clone(),
+                datasheet: ds.clone(),
+            })
+        })
+        .collect();
+    // Probe the persistent layer first: a hit serves the whole cell's
+    // artifact bundle verbatim; only the misses get compiled.
+    let mut served: Vec<Option<longnail::CellBundle>> = (0..all_cells.len()).map(|_| None).collect();
+    let mut probed = 0u64;
+    if let Some(disk) = pipe.disk() {
+        for (i, cell) in all_cells.iter().enumerate() {
+            if !fault_bypassed(ln, cell) {
+                probed += 1;
+                served[i] = probe_cell(disk, ln, cell);
+            }
+        }
+    }
+    let miss_idx: Vec<usize> = (0..all_cells.len()).filter(|&i| served[i].is_none()).collect();
+    let miss_cells: Vec<longnail::MatrixCell> =
+        miss_idx.iter().map(|&i| all_cells[i].clone()).collect();
+    let matrix: MatrixResult = ln.compile_cells(&miss_cells, args.jobs, &pipe);
     let wall = t0.elapsed();
+    let mut entry_at: Vec<Option<usize>> = vec![None; all_cells.len()];
+    for (k, &i) in miss_idx.iter().enumerate() {
+        entry_at[i] = Some(k);
+    }
     let mut worst = 0u8;
     let (mut failed_cells, mut clean_cells) = (0usize, 0usize);
-    for entry in &matrix.entries {
-        let cell_dir = args.out.join(format!("{}_{}", entry.isax, entry.core));
+    // Stripped traces of disk-served cells, re-parsed for aggregation:
+    // a stripped trace carries exactly the deterministic view the
+    // summary needs, so warm summaries stay byte-identical to cold.
+    let mut served_traces: Vec<Option<telemetry::Trace>> = (0..all_cells.len()).map(|_| None).collect();
+    for (i, cell) in all_cells.iter().enumerate() {
+        let core = &cell.datasheet.core;
+        let cell_dir = args.out.join(format!("{}_{}", cell.isax, core));
         if let Err(e) = std::fs::create_dir_all(&cell_dir) {
             eprintln!("error: cannot create {}: {e}", cell_dir.display());
             return ExitCode::FAILURE;
         }
+        if let Some(bundle) = &served[i] {
+            // Warm path: the stored bytes are what the cold run wrote,
+            // so byte-identity holds by construction.
+            for (name, contents) in &bundle.files {
+                if name.starts_with("__") {
+                    continue;
+                }
+                let path = cell_dir.join(name);
+                if let Err(e) = std::fs::write(&path, contents) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(diags) = bundle.file(DIAGNOSTICS_FILE) {
+                eprint!(
+                    "{}",
+                    diags
+                        .lines()
+                        .map(|l| format!("{}×{core}: {l}\n", cell.isax))
+                        .collect::<String>()
+                );
+            }
+            served_traces[i] = bundle
+                .file("trace.jsonl")
+                .and_then(|t| telemetry::Trace::from_jsonl(t).ok());
+            clean_cells += 1;
+            println!(
+                "compiled {:<14} for {:<9} -> {} unit(s)",
+                cell.isax,
+                core,
+                bundle_units(bundle)
+            );
+            if args.verbose {
+                eprintln!(
+                    "cell {}_{core}: ok {} unit(s), served from cell cache",
+                    cell.isax,
+                    bundle_units(bundle)
+                );
+            }
+            continue;
+        }
+        let entry = &matrix.entries[entry_at[i].expect("every probe miss was compiled")];
         let compiled = match &entry.outcome {
             Ok(c) => c,
             Err(e) => {
@@ -326,6 +499,15 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
         if let Err(e) = std::fs::write(&trace_path, compiled.trace.stripped().to_jsonl()) {
             eprintln!("error: cannot write {}: {e}", trace_path.display());
             return ExitCode::FAILURE;
+        }
+        if let Some(disk) = pipe.disk() {
+            // Persist the clean bundle (store_cell refuses errored
+            // compiles) so the next run serves this cell from disk.
+            if !fault_bypassed(ln, cell) {
+                if let Err(e) = store_cell(disk, ln, cell, compiled) {
+                    eprintln!("warning: cell cache store failed: {e}");
+                }
+            }
         }
         println!(
             "compiled {:<14} for {:<9} -> {} unit(s)",
@@ -389,26 +571,66 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
         );
     }
     // --- Matrix observability: aggregation, summary, merged trace ---
-    let cell_traces: Vec<(String, &telemetry::Trace)> = matrix
-        .entries
+    // Disk-served cells contribute their stored stripped trace; compiled
+    // cells their live one. Both reduce to the same deterministic view.
+    let cell_traces: Vec<(String, &telemetry::Trace)> = all_cells
         .iter()
-        .filter_map(|e| {
-            e.outcome
-                .as_ref()
-                .ok()
-                .map(|c| (format!("{}_{}", e.isax, e.core), &c.trace))
+        .enumerate()
+        .filter_map(|(i, cell)| {
+            let name = format!("{}_{}", cell.isax, cell.datasheet.core);
+            if let Some(t) = &served_traces[i] {
+                return Some((name, t));
+            }
+            entry_at[i]
+                .and_then(|k| matrix.entries[k].outcome.as_ref().ok())
+                .map(|c| (name, &c.trace))
         })
         .collect();
     let mut summary = telemetry::aggregate::summarize(&cell_traces);
     // Batch-level fields come from the authoritative MatrixResult (failed
     // cells have no trace for the aggregator to see).
-    summary.cells = matrix.entries.len() as u64;
+    summary.cells = all_cells.len() as u64;
     summary.jobs = matrix.jobs as u64;
     summary.cache_hits = matrix.cache_hits;
     summary.cache_misses = matrix.cache_misses;
     summary.cell_faults = matrix.cell_faults;
     summary.errors_recovered = matrix.errors_recovered;
     summary.pool_wall_ns = matrix.pool_stats.wall_ns;
+    // Per-stage cache attribution: the compile run's hit/miss deltas,
+    // plus one credited hit per stage span a disk-served bundle would
+    // have recomputed. The synthetic `cell` row counts whole-bundle
+    // probes of the persistent layer.
+    let served_count = served.iter().flatten().count() as u64;
+    for stage in telemetry::STAGES {
+        let d = matrix
+            .stage_stats
+            .iter()
+            .find(|s| s.stage == stage)
+            .cloned()
+            .unwrap_or_default();
+        let credit: u64 = served_traces
+            .iter()
+            .flatten()
+            .map(|t| t.span_count(stage) as u64)
+            .sum();
+        summary.stage_cache.push(telemetry::aggregate::StageCacheSummary {
+            stage: stage.to_string(),
+            hits: d.hits + credit,
+            misses: d.misses,
+            waits: d.waits,
+        });
+    }
+    summary.stage_cache.push(telemetry::aggregate::StageCacheSummary {
+        stage: "cell".to_string(),
+        hits: served_count,
+        misses: probed - served_count,
+        waits: 0,
+    });
+    if args.cache_dir.is_some() {
+        for r in &summary.stage_cache {
+            eprintln!("cache-stats: {} hits={} misses={}", r.stage, r.hits, r.misses);
+        }
+    }
     for (w, ws) in matrix.pool_stats.per_worker.iter().enumerate() {
         summary.pool.push(telemetry::aggregate::PoolWorkerSummary {
             jobs: ws.jobs,
@@ -477,12 +699,19 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
     // comparable across runs.
     eprintln!(
         "matrix: {} cell(s), {} job(s), frontend cache {} hit(s) / {} miss(es), {:.1} ms",
-        matrix.entries.len(),
+        all_cells.len(),
         matrix.jobs,
         matrix.cache_hits,
         matrix.cache_misses,
         wall.as_secs_f64() * 1e3
     );
+    if args.cache_dir.is_some() {
+        eprintln!(
+            "cell cache: {} served, {} compiled",
+            served_count,
+            miss_cells.len()
+        );
+    }
     if matrix.cell_faults > 0 || matrix.errors_recovered > 0 {
         eprintln!(
             "degraded: {} = {}, {} = {}",
@@ -534,6 +763,28 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.serve {
+        let pipe = match build_cache(args.cache_dir.as_deref()) {
+            Ok(p) => p,
+            Err(code) => return code,
+        };
+        let mut input = String::new();
+        use std::io::Read;
+        if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+            eprintln!("error: cannot read jobs from stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        // Per-job failures are result lines; the daemon itself exits 0.
+        return match longnail::serve::run_serve(&ln, &pipe, args.jobs, &input, &mut out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: cannot write results: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.matrix {
         return run_matrix(&ln, &args);
@@ -792,6 +1043,38 @@ mod tests {
         assert_eq!(m.profile_folded, Some(PathBuf::from("m.folded")));
         assert_eq!(m.metrics_out, Some(PathBuf::from("m.jsonl")));
         assert!(parse(&["--matrix", "--profile-folded"]).is_err());
+    }
+
+    #[test]
+    fn cache_dir_applies_to_matrix_and_serve_only() {
+        let a = parse(&["--matrix", "--cache-dir", "c"]).unwrap();
+        assert_eq!(a.cache_dir, Some(PathBuf::from("c")));
+        assert!(parse(&["--matrix", "--cache-dir"]).is_err());
+        assert!(parse(&["x", "--core", "ORCA", "--cache-dir", "c"])
+            .unwrap_err()
+            .contains("--matrix"));
+        assert!(parse(&["--matrix", "--cache-dir", "c", "--xcheck"])
+            .unwrap_err()
+            .contains("--xcheck"));
+    }
+
+    #[test]
+    fn serve_mode_allows_only_daemon_flags() {
+        let a = parse(&["serve", "--jobs", "4", "--budget", "100", "--fault-plan", "p",
+                        "--cache-dir", "c"])
+            .unwrap();
+        assert!(a.serve && !a.matrix);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.budget, Some(100));
+        assert_eq!(a.cache_dir, Some(PathBuf::from("c")));
+        assert!(parse(&["serve", "--matrix"]).unwrap_err().contains("stdin"));
+        assert!(parse(&["serve", "x.core_desc"]).unwrap_err().contains("stdin"));
+        for flag in ["--summary", "--xcheck", "--trace", "--keep-going", "--report"] {
+            assert!(parse(&["serve", flag]).unwrap_err().contains(flag), "{flag}");
+        }
+        assert!(parse(&["serve", "--core", "ORCA"]).unwrap_err().contains("--core"));
+        // Only the *first* positional `serve` selects the daemon.
+        assert!(!parse(&["serve.core_desc", "--core", "ORCA"]).unwrap().serve);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::diag::{DiagEvent, Diagnostics, Severity};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::pipeline::{self, PipelineCache, StageCacheStats, StageVal, Tape};
 use coredsl::error::{codes, Diagnostic, Span};
 use coredsl::tast::TypedModule;
 use coredsl::Frontend;
@@ -22,14 +23,13 @@ use scaiev::config::{Functionality, IsaxConfig, RegisterRequest, ScheduleEntry};
 use scaiev::datasheet::{Timing, VirtualDatasheet};
 use scaiev::iface::SubInterfaceOp;
 use scaiev::modes::{select_mode, ExecutionMode};
-use sched::problem::{LongnailProblem, OperatorType, OperatorTypeId, Schedule};
+use qcache::Digest;
+use sched::problem::{LongnailProblem, OperationId, OperatorType, OperatorTypeId, Schedule};
 use sched::resilient::DegradationReason;
 use sched::{schedule_resilient, Budget, WorkKind};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, TryLockError};
-use std::time::Instant;
+use std::sync::Arc;
 use telemetry::{metrics, SpanId, Telemetry, Trace};
 
 /// Abstract combinational-delay unit assigned to every "real" logic level.
@@ -293,14 +293,36 @@ impl Longnail {
         datasheet: &VirtualDatasheet,
         cache: &FrontendCache,
     ) -> Result<CompiledIsax, FlowError> {
+        self.compile_cell(src, unit, datasheet, cache.pipeline())
+    }
+
+    /// Compiles one matrix cell through the full incremental pipeline:
+    /// every stage is looked up in (and populates) `pipe`'s content-keyed
+    /// stage store, so recompiling an unchanged cell is pure cache
+    /// replay and editing a source recomputes only its downstream cone.
+    /// The emitted trace is byte-identical (after [`Trace::stripped`])
+    /// to an uncached [`Longnail::compile`], warm or cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failing flow stage. Failures
+    /// are cached alongside successes — a deterministically broken input
+    /// fails identically warm.
+    pub fn compile_cell(
+        &self,
+        src: &str,
+        unit: &str,
+        datasheet: &VirtualDatasheet,
+        pipe: &PipelineCache,
+    ) -> Result<CompiledIsax, FlowError> {
         if let Some(plan) = &self.fault_plan {
             if plan.fault(unit, &datasheet.core, FaultKind::PoisonCache).is_some() {
                 // Genuinely poison the slot mutex — exactly the state a
                 // worker that crashed mid-compute leaves behind — then
                 // fail this cell. Peers sharing the entry must recover
-                // through the cache's poison-tolerant locking.
+                // through the store's poison-tolerant locking.
                 set_stage("frontend");
-                cache.poison_entry(src, unit);
+                pipe.store().poison("frontend", pipeline::frontend_key(unit, src));
                 return Err(FlowError::fault(
                     "frontend",
                     format!("injected fault: frontend cache entry for `{unit}` poisoned"),
@@ -314,9 +336,34 @@ impl Longnail {
                 return Ok(self.compile_artifacts(&artifacts, datasheet));
             }
         }
-        let (result, lookup) = cache.get_or_compute_traced(src, unit, self);
+        let fe_key = pipeline::frontend_key(unit, src);
+        let (result, lookup) = pipe
+            .store()
+            .get_or_compute("frontend", fe_key, || {
+                self.frontend_artifacts(src, unit).map(Arc::new)
+            });
+        // The lowered LIL rides inside the frontend artifact; mirror the
+        // lookup so `cache.lower.*` stats stay observable per stage.
+        pipe.store().record("lower", lookup);
         let artifacts = result?;
-        Ok(self.compile_artifacts_with_cache(&artifacts, datasheet, Some(&lookup)))
+        // Fault-targeted cells run the backend uncached: an injected
+        // panic or degradation must fire identically warm or cold and
+        // never park a poisoned artifact under a key healthy runs trust.
+        let cached_backend = !self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.targets_cell(unit, &datasheet.core));
+        let ctx = cached_backend.then(|| PipeCtx {
+            pipe,
+            fe_key,
+            cfg_key: pipeline::core_config_key(datasheet, self.chain_depth, self.work_limit),
+        });
+        Ok(self.compile_artifacts_with_cache(
+            &artifacts,
+            datasheet,
+            Some(&CacheLookup::from(lookup)),
+            ctx.as_ref(),
+        ))
     }
 
     /// Compiles an already type-checked module for the given target core.
@@ -407,7 +454,7 @@ impl Longnail {
         artifacts: &FrontendArtifacts,
         datasheet: &VirtualDatasheet,
     ) -> CompiledIsax {
-        self.compile_artifacts_with_cache(artifacts, datasheet, None)
+        self.compile_artifacts_with_cache(artifacts, datasheet, None, None)
     }
 
     /// [`Longnail::compile_artifacts`] plus optional cache attribution:
@@ -421,6 +468,7 @@ impl Longnail {
         artifacts: &FrontendArtifacts,
         datasheet: &VirtualDatasheet,
         cache: Option<&CacheLookup>,
+        ctx: Option<&PipeCtx<'_>>,
     ) -> CompiledIsax {
         let module = &artifacts.module;
         let lil = &artifacts.lil;
@@ -466,12 +514,14 @@ impl Longnail {
             let inject = gi == 0;
             match self.compile_graph(
                 graph,
+                gi,
                 lil,
                 datasheet,
                 &mut diagnostics,
                 &mut tel,
                 unit_span,
                 inject,
+                ctx,
             ) {
                 Ok(cg) => graphs.push(cg),
                 Err(e) => {
@@ -491,17 +541,15 @@ impl Longnail {
         diagnostics.set_trace_span(None);
         self.stage_boundary(&module.name, &datasheet.core, "config");
         let config_span = tel.start_span("config");
-        let config = build_config(lil, &graphs);
-        tel.counter(
-            config_span,
-            metrics::CONFIG_ENTRIES,
-            config.schedule_entry_count() as u64,
+        let cval = run_stage(
+            ctx,
+            "config",
+            |cx| pipeline::derive("config", &[&cx.fe_key, &cx.cfg_key]),
+            || config_stage(lil, &graphs),
         );
-        tel.counter(
-            config_span,
-            metrics::CONFIG_REGISTERS,
-            config.registers.len() as u64,
-        );
+        cval.tape
+            .replay(&mut tel, config_span, config_span, &mut diagnostics, &lil.name);
+        let config = cval.outcome.expect("config stage is infallible");
         tel.end_span(config_span);
         // Errors that were contained to their unit instead of aborting
         // the compilation. Omitted (not zero) on clean runs so a clean
@@ -551,20 +599,59 @@ impl Longnail {
         cores: &[VirtualDatasheet],
         jobs: usize,
     ) -> MatrixResult {
-        let cache = FrontendCache::new();
-        let cells: Vec<(usize, usize)> = (0..isaxes.len())
-            .flat_map(|i| (0..cores.len()).map(move |c| (i, c)))
+        self.compile_matrix_cached(isaxes, cores, jobs, &PipelineCache::new())
+    }
+
+    /// [`Longnail::compile_matrix`] against a caller-owned
+    /// [`PipelineCache`]. With a fresh cache this is the cold behavior;
+    /// with a reused one, every pipeline stage whose content key is
+    /// unchanged since the previous run is replayed from the store — a
+    /// warm recompile with one edited ISAX recomputes only that ISAX's
+    /// cells, stage by stage.
+    pub fn compile_matrix_cached(
+        &self,
+        isaxes: &[(String, String, String)],
+        cores: &[VirtualDatasheet],
+        jobs: usize,
+        pipe: &PipelineCache,
+    ) -> MatrixResult {
+        let cells: Vec<MatrixCell> = isaxes
+            .iter()
+            .flat_map(|(isax, unit, src)| {
+                cores.iter().map(move |ds| MatrixCell {
+                    isax: isax.clone(),
+                    unit: unit.clone(),
+                    src: src.clone(),
+                    datasheet: ds.clone(),
+                })
+            })
+            .collect();
+        self.compile_cells(&cells, jobs, pipe)
+    }
+
+    /// Compiles an explicit list of cells (not necessarily a full cross
+    /// product — the persistent layer serves some cells from disk and
+    /// compiles only the rest) with the same per-cell isolation,
+    /// deterministic ordering, and accounting as a full matrix.
+    pub fn compile_cells(
+        &self,
+        cells: &[MatrixCell],
+        jobs: usize,
+        pipe: &PipelineCache,
+    ) -> MatrixResult {
+        let before: HashMap<String, qcache::StageStats> = pipe
+            .stage_stats()
+            .into_iter()
             .collect();
         let pool = Pool::new(jobs);
         let (outcomes, pool_stats) = pool.run_isolated_with_stats(cells.len(), |k| {
-            let (i, c) = cells[k];
-            let (_, unit, src) = &isaxes[i];
+            let cell = &cells[k];
             // First containment layer: a panic anywhere in this cell's
             // flow becomes a Fault-severity outcome attributed to the
             // stage boundary the thread last crossed, and every other
             // cell completes exactly as in a clean run.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.compile_cached(src, unit, &cores[c], &cache)
+                self.compile_cell(&cell.src, &cell.unit, &cell.datasheet, pipe)
             }))
             .unwrap_or_else(|p| {
                 Err(FlowError::fault(
@@ -576,10 +663,10 @@ impl Longnail {
         let entries: Vec<MatrixEntry> = cells
             .iter()
             .zip(outcomes)
-            .map(|(&(i, c), outcome)| MatrixEntry {
-                isax: isaxes[i].0.clone(),
-                unit: isaxes[i].1.clone(),
-                core: cores[c].core.clone(),
+            .map(|(cell, outcome)| MatrixEntry {
+                isax: cell.isax.clone(),
+                unit: cell.unit.clone(),
+                core: cell.datasheet.core.clone(),
                 // Second containment layer: the pool's own isolation
                 // catches anything that escaped the handler above.
                 outcome: outcome.unwrap_or_else(|p| {
@@ -602,13 +689,35 @@ impl Longnail {
                 Err(f) => f.frontend_errors.len().max(1) as u64,
             })
             .sum();
+        // Per-stage cache activity attributable to *this* run: the
+        // cache may be long-lived (serve mode, warm recompiles), so
+        // report deltas against the entry snapshot, not lifetime totals.
+        let stage_stats: Vec<StageCacheStats> = pipe
+            .stage_stats()
+            .into_iter()
+            .map(|(stage, after)| {
+                let b = before.get(&stage).copied().unwrap_or_default();
+                StageCacheStats {
+                    stage,
+                    hits: after.hits - b.hits,
+                    misses: after.misses - b.misses,
+                    waits: after.waits - b.waits,
+                }
+            })
+            .collect();
+        let frontend = stage_stats
+            .iter()
+            .find(|s| s.stage == "frontend")
+            .cloned()
+            .unwrap_or_default();
         MatrixResult {
             entries,
             jobs: pool.workers(),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits: frontend.hits,
+            cache_misses: frontend.misses,
             cell_faults,
             errors_recovered,
+            stage_stats,
             pool_stats,
         }
     }
@@ -617,56 +726,40 @@ impl Longnail {
     fn compile_graph(
         &self,
         graph: &Graph,
+        gi: usize,
         lil: &LilModule,
         datasheet: &VirtualDatasheet,
         diagnostics: &mut Diagnostics,
         tel: &mut Telemetry,
         unit_span: SpanId,
         inject: bool,
+        ctx: Option<&PipeCtx<'_>>,
     ) -> Result<CompiledGraph, FlowError> {
         let is_always = graph.kind == GraphKind::Always;
+        // Stage keys chain Merkle-style from this graph's scope key: an
+        // upstream edit flips every key downstream of it and no other.
+        let keys = ctx.map(|cx| {
+            let g = pipeline::graph_scope_key(&cx.fe_key, gi, &graph.name);
+            let problem = pipeline::derive("problem", &[&g, &cx.cfg_key]);
+            let solve = pipeline::derive("solve", &[&problem]);
+            let modes = pipeline::derive("modes", &[&solve]);
+            let rtl = pipeline::derive("rtl", &[&solve]);
+            let verilog = pipeline::derive("verilog", &[&rtl]);
+            (problem, solve, modes, rtl, verilog)
+        });
 
         // --- LongnailProblem construction ---
         self.stage_boundary(&lil.name, &datasheet.core, "problem");
         let problem_span = tel.start_span("problem");
-        let chain_limit = if datasheet.clock_ns > 0.0 {
-            (datasheet.clock_ns / UNIT_NS).max(2.0)
-        } else {
-            self.chain_depth
-        };
-        let mut problem = LongnailProblem {
-            cycle_time: chain_limit,
-            ..LongnailProblem::default()
-        };
-        let mut type_cache: HashMap<String, OperatorTypeId> = HashMap::new();
-        let mut op_ids = Vec::with_capacity(graph.len());
-        for (_, op) in graph.iter() {
-            let key = op.kind.mnemonic();
-            let cache_key = format!("{key}/{}", op.in_spawn);
-            let tid = match type_cache.get(&cache_key) {
-                Some(&t) => t,
-                None => {
-                    let ot = self.operator_type(&op.kind, is_always, datasheet)?;
-                    let t = problem.add_operator_type(ot);
-                    type_cache.insert(cache_key, t);
-                    t
-                }
-            };
-            op_ids.push(problem.add_operation(&key, tid));
-        }
-        for (v, op) in graph.iter() {
-            for &operand in op.operands.iter().chain(op.pred.iter()) {
-                problem.add_dependence(op_ids[operand.0], op_ids[v.0]);
-            }
-        }
-        tel.counter(problem_span, metrics::PROBLEM_OPS, graph.len() as u64);
-        tel.counter(
-            problem_span,
-            metrics::PROBLEM_IFACE_OPS,
-            graph.interface_op_count() as u64,
+        let pval = run_stage(
+            ctx,
+            "problem",
+            |_| keys.expect("keys exist when ctx does").0,
+            || self.problem_stage(graph, is_always, datasheet),
         );
-        tel.counter(problem_span, metrics::PROBLEM_DEPS, graph.edge_count() as u64);
-        tel.gauge(problem_span, metrics::SCHED_CHAIN_LIMIT, chain_limit);
+        pval.tape
+            .replay(tel, problem_span, unit_span, diagnostics, &graph.name);
+        let pout = pval.outcome?;
         tel.end_span(problem_span);
 
         // --- ILP solve (resilient facade) ---
@@ -686,139 +779,62 @@ impl Longnail {
             }
         }
         let solve_span = tel.start_span("solve");
-        let budget = Budget::new(self.work_limit);
-        let result = schedule_resilient(&mut problem, &budget);
-        // Solver work is counted, not timed — these are deterministic.
-        tel.counter(solve_span, metrics::SOLVER_PIVOTS, budget.count(WorkKind::Pivot));
-        tel.counter(solve_span, metrics::SOLVER_NODES, budget.count(WorkKind::Node));
-        tel.counter(solve_span, metrics::SOLVER_ROUNDS, budget.count(WorkKind::Round));
-        tel.counter(
-            solve_span,
-            metrics::SOLVER_PRESOLVE,
-            budget.count(WorkKind::Presolve),
+        let sval = run_stage(
+            ctx,
+            "solve",
+            |_| keys.expect("keys exist when ctx does").1,
+            || self.solve_stage(&pout, graph),
         );
-        tel.counter(solve_span, metrics::SOLVER_WORK_USED, budget.used());
-        tel.counter(solve_span, metrics::SOLVER_WORK_LIMIT, budget.limit());
-        let outcome = result.map_err(|e| FlowError::error("schedule", e.to_string()))?;
-        if let Some(deg) = &outcome.degradation {
-            tel.counter(solve_span, metrics::SCHED_FALLBACK, 1);
-            if matches!(deg.reason, DegradationReason::BudgetExhausted(_)) {
-                tel.counter(solve_span, metrics::SOLVER_EXHAUSTED, 1);
-            }
-            diagnostics.warn("schedule", Some(&graph.name), None, deg.to_string());
-        }
-        tel.attr(
-            unit_span,
-            "scheduler",
-            if outcome.is_exact() { "ilp" } else { "asap" },
-        );
-        let schedule = outcome.schedule;
-        let start_time: Vec<u32> = (0..graph.len())
-            .map(|i| schedule.start_time[op_ids[i].0])
-            .collect();
-        let max_stage_sched = start_time.iter().copied().max().unwrap_or(0);
-        tel.counter(solve_span, metrics::SCHED_STAGES, max_stage_sched as u64);
-        tel.gauge(
-            solve_span,
-            metrics::SCHED_CHAIN_DEPTH,
-            schedule.max_start_time_in_cycle(),
-        );
+        sval.tape
+            .replay(tel, solve_span, unit_span, diagnostics, &graph.name);
+        let sout = sval.outcome?;
         tel.end_span(solve_span);
 
         // --- Per-write-interface mode selection (§4.3) and overall mode ---
         self.stage_boundary(&lil.name, &datasheet.core, "modes");
         let modes_span = tel.start_span("modes");
-        let mut mode = if is_always {
-            ExecutionMode::Always
-        } else {
-            ExecutionMode::InPipeline
-        };
-        let mut result_stage = None;
-        let mut spawn_stage: Option<u32> = None;
-        for (v, op) in graph.iter() {
-            let stage = start_time[v.0];
-            if op.in_spawn {
-                spawn_stage = Some(spawn_stage.map_or(stage, |s: u32| s.min(stage)));
-            }
-            if op.kind == OpKind::WriteRd {
-                result_stage = Some(stage);
-            }
-            if !is_always && mode_relevant(&op.kind) {
-                let iface = lil_iface_op(&op.kind).expect("interface op");
-                let timing = datasheet.timing(&iface).ok_or_else(|| {
-                    FlowError::error("modes", format!("datasheet lacks {} timing", iface.key()))
-                })?;
-                let m = select_mode(
-                    stage,
-                    timing,
-                    datasheet.writeback_stage,
-                    op.in_spawn,
-                    false,
-                );
-                mode = worst_mode(mode, m);
-            }
-        }
-        // Initiation interval: pipelined units accept one instruction per
-        // cycle; a decoupled (`spawn`) unit is busy for its spawned
-        // section's latency.
-        let ii = match spawn_stage {
-            Some(s) => u64::from(max_stage_sched.saturating_sub(s)).max(1),
-            None => 1,
-        };
-        tel.counter(modes_span, metrics::SCHED_II, ii);
-        tel.attr(unit_span, "mode", &mode.to_string());
+        let mval = run_stage(
+            ctx,
+            "modes",
+            |_| keys.expect("keys exist when ctx does").2,
+            || modes_stage(graph, is_always, datasheet, &sout),
+        );
+        mval.tape
+            .replay(tel, modes_span, unit_span, diagnostics, &graph.name);
+        let mout = mval.outcome?;
         tel.end_span(modes_span);
 
         // --- Hardware construction and lint ---
         self.stage_boundary(&lil.name, &datasheet.core, "rtl");
         let rtl_span = tel.start_span("rtl");
-        let ds = datasheet.clone();
-        let read_latency = move |kind: &OpKind| -> u32 {
-            lil_iface_op(kind)
-                .and_then(|op| ds.timing(&op))
-                .map(|t| t.latency)
-                .unwrap_or(0)
-        };
-        let built = build_graph_module(graph, lil, &start_time, &read_latency);
-        // Netlist lint: last gate before SystemVerilog leaves the compiler.
-        if let Err(issues) = lint_module(&built.module) {
-            return Err(FlowError::fault(
-                "netlist",
-                issues
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; "),
-            ));
-        }
-        tel.counter(rtl_span, metrics::RTL_CELLS, built.module.nets.len() as u64);
-        tel.counter(rtl_span, metrics::RTL_REG_BITS, built.module.register_bits());
-        tel.counter(rtl_span, metrics::RTL_COMB_DEPTH, u64::from(comb_depth(&built.module)));
-        let estimate = eda::estimate_module(&TechLibrary::new(), &built.module);
-        tel.gauge(rtl_span, metrics::EDA_AREA_UM2, estimate.area.total());
-        tel.gauge(
-            rtl_span,
-            metrics::EDA_CRIT_NS,
-            estimate.timing.critical_path_ns,
+        let rval = run_stage(
+            ctx,
+            "rtl",
+            |_| keys.expect("keys exist when ctx does").3,
+            || rtl_stage(graph, lil, datasheet, &sout),
         );
+        rval.tape
+            .replay(tel, rtl_span, unit_span, diagnostics, &graph.name);
+        let built = rval.outcome?;
         tel.end_span(rtl_span);
 
         // --- SystemVerilog emission ---
         self.stage_boundary(&lil.name, &datasheet.core, "verilog");
         let verilog_span = tel.start_span("verilog");
-        let verilog = emit_verilog(&built.module);
-        tel.counter(verilog_span, metrics::VERILOG_BYTES, verilog.len() as u64);
+        let vval = run_stage(
+            ctx,
+            "verilog",
+            |_| keys.expect("keys exist when ctx does").4,
+            || verilog_stage(&built),
+        );
+        vval.tape
+            .replay(tel, verilog_span, unit_span, diagnostics, &graph.name);
+        let verilog = vval.outcome?;
         tel.end_span(verilog_span);
 
         let (mask, match_value) = match graph.kind {
             GraphKind::Instruction { mask, match_value } => (mask, match_value),
             GraphKind::Always => (0, 0),
-        };
-        let start_time_sched = Schedule {
-            start_time,
-            start_time_in_cycle: (0..graph.len())
-                .map(|i| schedule.start_time_in_cycle[op_ids[i].0])
-                .collect(),
         };
         Ok(CompiledGraph {
             name: graph.name.clone(),
@@ -826,14 +842,123 @@ impl Longnail {
             mask,
             match_value,
             graph: graph.clone(),
-            schedule: start_time_sched,
+            schedule: sout.schedule,
             max_stage: built.max_stage,
             built,
             verilog,
-            mode,
-            result_stage,
-            spawn_stage,
+            mode: mout.mode,
+            result_stage: mout.result_stage,
+            spawn_stage: mout.spawn_stage,
         })
+    }
+
+    /// Stage `problem`: builds the [`LongnailProblem`] for one graph.
+    fn problem_stage(
+        &self,
+        graph: &Graph,
+        is_always: bool,
+        datasheet: &VirtualDatasheet,
+    ) -> StageVal<ProblemOut> {
+        let mut tape = Tape::default();
+        let chain_limit = if datasheet.clock_ns > 0.0 {
+            (datasheet.clock_ns / UNIT_NS).max(2.0)
+        } else {
+            self.chain_depth
+        };
+        let mut problem = LongnailProblem {
+            cycle_time: chain_limit,
+            ..LongnailProblem::default()
+        };
+        let mut type_cache: HashMap<String, OperatorTypeId> = HashMap::new();
+        let mut op_ids = Vec::with_capacity(graph.len());
+        for (_, op) in graph.iter() {
+            let key = op.kind.mnemonic();
+            let cache_key = format!("{key}/{}", op.in_spawn);
+            let tid = match type_cache.get(&cache_key) {
+                Some(&t) => t,
+                None => {
+                    let ot = match self.operator_type(&op.kind, is_always, datasheet) {
+                        Ok(ot) => ot,
+                        Err(e) => return StageVal { outcome: Err(e), tape },
+                    };
+                    let t = problem.add_operator_type(ot);
+                    type_cache.insert(cache_key, t);
+                    t
+                }
+            };
+            op_ids.push(problem.add_operation(&key, tid));
+        }
+        for (v, op) in graph.iter() {
+            for &operand in op.operands.iter().chain(op.pred.iter()) {
+                problem.add_dependence(op_ids[operand.0], op_ids[v.0]);
+            }
+        }
+        tape.counter(metrics::PROBLEM_OPS, graph.len() as u64);
+        tape.counter(metrics::PROBLEM_IFACE_OPS, graph.interface_op_count() as u64);
+        tape.counter(metrics::PROBLEM_DEPS, graph.edge_count() as u64);
+        tape.gauge(metrics::SCHED_CHAIN_LIMIT, chain_limit);
+        StageVal {
+            outcome: Ok(ProblemOut { problem, op_ids }),
+            tape,
+        }
+    }
+
+    /// Stage `solve`: runs the resilient scheduler and remaps the result
+    /// to graph-indexed start times.
+    fn solve_stage(&self, pout: &ProblemOut, graph: &Graph) -> StageVal<SolveOut> {
+        let mut tape = Tape::default();
+        let budget = Budget::new(self.work_limit);
+        // The solver mutates the problem (presolve rewrites it); the
+        // cached ProblemOut must stay pristine for replay.
+        let mut problem = pout.problem.clone();
+        let result = schedule_resilient(&mut problem, &budget);
+        // Solver work is counted, not timed — these are deterministic.
+        tape.counter(metrics::SOLVER_PIVOTS, budget.count(WorkKind::Pivot));
+        tape.counter(metrics::SOLVER_NODES, budget.count(WorkKind::Node));
+        tape.counter(metrics::SOLVER_ROUNDS, budget.count(WorkKind::Round));
+        tape.counter(metrics::SOLVER_PRESOLVE, budget.count(WorkKind::Presolve));
+        tape.counter(metrics::SOLVER_WORK_USED, budget.used());
+        tape.counter(metrics::SOLVER_WORK_LIMIT, budget.limit());
+        let outcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                return StageVal {
+                    outcome: Err(FlowError::error("schedule", e.to_string())),
+                    tape,
+                }
+            }
+        };
+        if let Some(deg) = &outcome.degradation {
+            tape.counter(metrics::SCHED_FALLBACK, 1);
+            if matches!(deg.reason, DegradationReason::BudgetExhausted(_)) {
+                tape.counter(metrics::SOLVER_EXHAUSTED, 1);
+            }
+            tape.warn("schedule", deg.to_string());
+        }
+        tape.unit_attr(
+            "scheduler",
+            if outcome.is_exact() { "ilp" } else { "asap" }.to_string(),
+        );
+        let schedule = outcome.schedule;
+        let start_time: Vec<u32> = (0..graph.len())
+            .map(|i| schedule.start_time[pout.op_ids[i].0])
+            .collect();
+        let max_stage_sched = start_time.iter().copied().max().unwrap_or(0);
+        tape.counter(metrics::SCHED_STAGES, u64::from(max_stage_sched));
+        tape.gauge(metrics::SCHED_CHAIN_DEPTH, schedule.max_start_time_in_cycle());
+        let start_time_in_cycle = (0..graph.len())
+            .map(|i| schedule.start_time_in_cycle[pout.op_ids[i].0])
+            .collect();
+        StageVal {
+            outcome: Ok(SolveOut {
+                schedule: Schedule {
+                    start_time,
+                    start_time_in_cycle,
+                },
+                max_stage_sched,
+            }),
+            tape,
+        }
     }
 
     /// Builds the scheduling operator type for one LIL operation kind.
@@ -886,6 +1011,177 @@ impl Longnail {
             _ => UNIFORM_DELAY,
         };
         Ok(OperatorType::combinational(&name, delay))
+    }
+}
+
+/// Stage-cache context of one cell compilation: the shared store plus
+/// the two roots every stage key chains from.
+pub(crate) struct PipeCtx<'a> {
+    pub pipe: &'a PipelineCache,
+    /// Content-address of the frontend artifact this cell consumes.
+    pub fe_key: Digest,
+    /// Content-address of the core/options configuration.
+    pub cfg_key: Digest,
+}
+
+/// Runs one backend stage through the store when a cache context exists,
+/// directly otherwise (plain `compile` / fault-targeted cells). The key
+/// closure is only evaluated when there is a store to address.
+fn run_stage<T, K, F>(ctx: Option<&PipeCtx<'_>>, stage: &'static str, key: K, compute: F) -> StageVal<T>
+where
+    T: Clone + Send + Sync + 'static,
+    K: FnOnce(&PipeCtx<'_>) -> Digest,
+    F: FnOnce() -> StageVal<T>,
+{
+    match ctx {
+        Some(cx) => cx.pipe.store().get_or_compute(stage, key(cx), compute).0,
+        None => compute(),
+    }
+}
+
+/// Cached output of the `problem` stage.
+#[derive(Debug, Clone)]
+pub(crate) struct ProblemOut {
+    problem: LongnailProblem,
+    /// Graph-index → problem operation id (the solver's namespace).
+    op_ids: Vec<OperationId>,
+}
+
+/// Cached output of the `solve` stage, remapped to graph indices.
+#[derive(Debug, Clone)]
+pub(crate) struct SolveOut {
+    schedule: Schedule,
+    max_stage_sched: u32,
+}
+
+/// Cached output of the `modes` stage.
+#[derive(Debug, Clone)]
+pub(crate) struct ModesOut {
+    mode: ExecutionMode,
+    result_stage: Option<u32>,
+    spawn_stage: Option<u32>,
+}
+
+/// Stage `modes`: per-write-interface mode selection (§4.3) and the
+/// overall execution mode.
+fn modes_stage(
+    graph: &Graph,
+    is_always: bool,
+    datasheet: &VirtualDatasheet,
+    sout: &SolveOut,
+) -> StageVal<ModesOut> {
+    let mut tape = Tape::default();
+    let mut mode = if is_always {
+        ExecutionMode::Always
+    } else {
+        ExecutionMode::InPipeline
+    };
+    let mut result_stage = None;
+    let mut spawn_stage: Option<u32> = None;
+    for (v, op) in graph.iter() {
+        let stage = sout.schedule.start_time[v.0];
+        if op.in_spawn {
+            spawn_stage = Some(spawn_stage.map_or(stage, |s: u32| s.min(stage)));
+        }
+        if op.kind == OpKind::WriteRd {
+            result_stage = Some(stage);
+        }
+        if !is_always && mode_relevant(&op.kind) {
+            let iface = lil_iface_op(&op.kind).expect("interface op");
+            let Some(timing) = datasheet.timing(&iface) else {
+                return StageVal {
+                    outcome: Err(FlowError::error(
+                        "modes",
+                        format!("datasheet lacks {} timing", iface.key()),
+                    )),
+                    tape,
+                };
+            };
+            let m = select_mode(stage, timing, datasheet.writeback_stage, op.in_spawn, false);
+            mode = worst_mode(mode, m);
+        }
+    }
+    // Initiation interval: pipelined units accept one instruction per
+    // cycle; a decoupled (`spawn`) unit is busy for its spawned
+    // section's latency.
+    let ii = match spawn_stage {
+        Some(s) => u64::from(sout.max_stage_sched.saturating_sub(s)).max(1),
+        None => 1,
+    };
+    tape.counter(metrics::SCHED_II, ii);
+    tape.unit_attr("mode", mode.to_string());
+    StageVal {
+        outcome: Ok(ModesOut {
+            mode,
+            result_stage,
+            spawn_stage,
+        }),
+        tape,
+    }
+}
+
+/// Stage `rtl`: hardware construction and the netlist lint gate.
+fn rtl_stage(
+    graph: &Graph,
+    lil: &LilModule,
+    datasheet: &VirtualDatasheet,
+    sout: &SolveOut,
+) -> StageVal<BuiltModule> {
+    let mut tape = Tape::default();
+    let ds = datasheet.clone();
+    let read_latency = move |kind: &OpKind| -> u32 {
+        lil_iface_op(kind)
+            .and_then(|op| ds.timing(&op))
+            .map(|t| t.latency)
+            .unwrap_or(0)
+    };
+    let built = build_graph_module(graph, lil, &sout.schedule.start_time, &read_latency);
+    // Netlist lint: last gate before SystemVerilog leaves the compiler.
+    if let Err(issues) = lint_module(&built.module) {
+        return StageVal {
+            outcome: Err(FlowError::fault(
+                "netlist",
+                issues
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            )),
+            tape,
+        };
+    }
+    tape.counter(metrics::RTL_CELLS, built.module.nets.len() as u64);
+    tape.counter(metrics::RTL_REG_BITS, built.module.register_bits());
+    tape.counter(metrics::RTL_COMB_DEPTH, u64::from(comb_depth(&built.module)));
+    let estimate = eda::estimate_module(&TechLibrary::new(), &built.module);
+    tape.gauge(metrics::EDA_AREA_UM2, estimate.area.total());
+    tape.gauge(metrics::EDA_CRIT_NS, estimate.timing.critical_path_ns);
+    StageVal {
+        outcome: Ok(built),
+        tape,
+    }
+}
+
+/// Stage `verilog`: SystemVerilog emission.
+fn verilog_stage(built: &BuiltModule) -> StageVal<String> {
+    let mut tape = Tape::default();
+    let verilog = emit_verilog(&built.module);
+    tape.counter(metrics::VERILOG_BYTES, verilog.len() as u64);
+    StageVal {
+        outcome: Ok(verilog),
+        tape,
+    }
+}
+
+/// Stage `config`: the Figure 8 SCAIE-V configuration file.
+fn config_stage(lil: &LilModule, graphs: &[CompiledGraph]) -> StageVal<IsaxConfig> {
+    let mut tape = Tape::default();
+    let config = build_config(lil, graphs);
+    tape.counter(metrics::CONFIG_ENTRIES, config.schedule_entry_count() as u64);
+    tape.counter(metrics::CONFIG_REGISTERS, config.registers.len() as u64);
+    StageVal {
+        outcome: Ok(config),
+        tape,
     }
 }
 
@@ -966,28 +1262,19 @@ pub fn source_hash(src: &str) -> u64 {
     h
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    source_hash: u64,
-    unit: String,
-}
-
-/// Per-key cell: the entry mutex makes the first accessor compute while
-/// any concurrent peer blocks, so each key is computed exactly once and
-/// the hit/miss totals are deterministic for every worker count.
-#[derive(Debug, Default)]
-struct CacheSlot {
-    ready: Mutex<Option<Result<Arc<FrontendArtifacts>, FlowError>>>,
-}
-
-/// A thread-safe, content-addressed cache of [`FrontendArtifacts`], keyed
-/// by `(fnv1a64(source), unit)`. Frontend *failures* are cached alongside
-/// successes so a broken ISAX fails once, not once per core.
-#[derive(Debug, Default)]
+/// A thread-safe, content-addressed cache of [`FrontendArtifacts`].
+/// Frontend *failures* are cached alongside successes so a broken ISAX
+/// fails once, not once per core.
+///
+/// Since the incremental-pipeline refactor this is a thin facade over a
+/// [`PipelineCache`]'s `frontend` stage slot (SHA-256 content keys,
+/// exactly-once condvar slots, exact wait accounting — the old
+/// `try_lock`-probe undercount is gone with the probe). It survives as a
+/// type because "share just the frontend across one matrix" remains a
+/// meaningful unit of caching.
+#[derive(Default)]
 pub struct FrontendCache {
-    slots: Mutex<HashMap<CacheKey, Arc<CacheSlot>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    pipe: PipelineCache,
 }
 
 impl FrontendCache {
@@ -996,19 +1283,24 @@ impl FrontendCache {
         Self::default()
     }
 
+    /// The full pipeline cache this facade fronts.
+    pub fn pipeline(&self) -> &PipelineCache {
+        &self.pipe
+    }
+
     /// Lookups that found a previously computed entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.pipe.store().stage_stats("frontend").hits
     }
 
     /// Lookups that had to run the frontend + lowering.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.pipe.store().stage_stats("frontend").misses
     }
 
     /// Distinct `(source, unit)` pairs held.
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.pipe.store().len("frontend")
     }
 
     /// True when nothing has been cached yet.
@@ -1042,47 +1334,25 @@ impl FrontendCache {
     /// from the requesting cell's point of view: hit vs miss, and whether
     /// (and how long) it blocked on a slot a concurrent peer was busy
     /// computing. The totals stay deterministic (exactly one miss per
-    /// distinct key); the *attribution* — which cell got the miss — is a
-    /// race, which is why these feed nondeterministic `cache.*` metrics.
+    /// distinct key, and — unlike the old racy `try_lock` probe — every
+    /// contended wait is counted, because the store counts the wait under
+    /// the slot's own lock). The *attribution* — which cell got the miss
+    /// — is still a race, which is why these feed nondeterministic
+    /// `cache.*` metrics.
     pub fn get_or_compute_traced(
         &self,
         src: &str,
         unit: &str,
         ln: &Longnail,
     ) -> (Result<Arc<FrontendArtifacts>, FlowError>, CacheLookup) {
-        let key = CacheKey {
-            source_hash: source_hash(src),
-            unit: unit.to_string(),
-        };
-        let slot = {
-            let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-            Arc::clone(slots.entry(key).or_default())
-        };
-        let mut lookup = CacheLookup::default();
-        let mut ready = match slot.ready.try_lock() {
-            Ok(guard) => guard,
-            Err(TryLockError::Poisoned(p)) => p.into_inner(),
-            Err(TryLockError::WouldBlock) => {
-                // A peer holds the slot — either computing this very
-                // entry or briefly reading it. Block as before, but
-                // remember the wait so the cell's trace can attribute
-                // the stall.
-                lookup.waited = true;
-                let blocked = Instant::now();
-                let guard = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
-                lookup.wait_ns = blocked.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                guard
-            }
-        };
-        if let Some(result) = &*ready {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            lookup.hit = true;
-            return (result.clone(), lookup);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = ln.frontend_artifacts(src, unit).map(Arc::new);
-        *ready = Some(result.clone());
-        (result, lookup)
+        let key = pipeline::frontend_key(unit, src);
+        let (result, lookup) = self
+            .pipe
+            .store()
+            .get_or_compute("frontend", key, || {
+                ln.frontend_artifacts(src, unit).map(Arc::new)
+            });
+        (result, CacheLookup::from(lookup))
     }
 
     /// Deliberately poisons the entry mutex for `(src, unit)` — a panic
@@ -1090,19 +1360,9 @@ impl FrontendCache {
     /// mid-compute leaves behind. Fault injection uses this to prove
     /// that peers sharing the entry recover instead of cascading.
     pub fn poison_entry(&self, src: &str, unit: &str) {
-        let key = CacheKey {
-            source_hash: source_hash(src),
-            unit: unit.to_string(),
-        };
-        let slot = {
-            let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-            Arc::clone(slots.entry(key).or_default())
-        };
-        let _ = std::thread::spawn(move || {
-            let _guard = slot.ready.lock().unwrap_or_else(|p| p.into_inner());
-            panic!("injected fault: poisoning frontend cache entry");
-        })
-        .join();
+        self.pipe
+            .store()
+            .poison("frontend", pipeline::frontend_key(unit, src));
     }
 }
 
@@ -1117,6 +1377,30 @@ pub struct CacheLookup {
     pub waited: bool,
     /// Nanoseconds spent blocked acquiring the slot.
     pub wait_ns: u64,
+}
+
+impl From<qcache::Lookup> for CacheLookup {
+    fn from(l: qcache::Lookup) -> Self {
+        CacheLookup {
+            hit: l.hit,
+            waited: l.waited,
+            wait_ns: l.wait_ns,
+        }
+    }
+}
+
+/// One cell of work for [`Longnail::compile_cells`]: an ISAX source
+/// targeted at one core's datasheet.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// ISAX display name (Table 3 row).
+    pub isax: String,
+    /// CoreDSL unit to elaborate.
+    pub unit: String,
+    /// CoreDSL source text.
+    pub src: String,
+    /// Target core datasheet.
+    pub datasheet: VirtualDatasheet,
 }
 
 /// One cell of a compiled matrix: one ISAX targeted at one core.
@@ -1152,6 +1436,11 @@ pub struct MatrixResult {
     /// Error-severity problems that were contained (to a unit or a cell)
     /// instead of aborting the batch — `degrade.errors_recovered`.
     pub errors_recovered: u64,
+    /// Per-stage cache activity of this run (hit/miss/wait deltas
+    /// against the shared [`PipelineCache`]), sorted by stage name.
+    /// `frontend` repeats `cache_hits`/`cache_misses`; `lower` mirrors
+    /// `frontend` (the lowered IR rides inside the frontend artifact).
+    pub stage_stats: Vec<StageCacheStats>,
     /// What the worker pool observed about its own scheduling: wall time,
     /// queue-wait vs run split per cell, per-worker load. Wall-clock- and
     /// scheduling-dependent — informational only, never part of the

@@ -173,6 +173,14 @@ impl FaultPlan {
             .iter()
             .any(|f| f.kind == FaultKind::Panic && f.stage == stage && f.matches(unit, core))
     }
+
+    /// Whether *any* fault targets the `(unit, core)` cell. Targeted
+    /// cells bypass the incremental stage caches entirely: an injected
+    /// failure must stay in its cell and never pollute a content-keyed
+    /// entry a healthy run would later trust.
+    pub fn targets_cell(&self, unit: &str, core: &str) -> bool {
+        self.faults.iter().any(|f| f.matches(unit, core))
+    }
 }
 
 /// Resolves the stage a fault fires at: panics take any pipeline stage

@@ -27,12 +27,15 @@ pub mod driver;
 pub mod faults;
 pub mod golden;
 pub mod isax_lib;
+pub mod pipeline;
+pub mod serve;
 pub mod xcheck;
 
 pub use diag::{DiagEvent, Diagnostics, Severity};
 pub use driver::{
     current_stage, CacheLookup, CompiledGraph, CompiledIsax, FlowError, FrontendArtifacts,
-    FrontendCache, Longnail, MatrixEntry, MatrixResult,
+    FrontendCache, Longnail, MatrixCell, MatrixEntry, MatrixResult,
 };
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use pipeline::{cell_key, schema_fingerprint, CellBundle, PipelineCache, StageCacheStats};
 pub use xcheck::{xcheck_compiled, xcheck_compiled_with, XCheckOptions, XCheckReport, XCheckUnit};

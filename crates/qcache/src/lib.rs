@@ -1,0 +1,30 @@
+//! Stage-generic query caching for the Longnail pipeline.
+//!
+//! The driver treats each pipeline stage as a *query*: a pure function
+//! from a content-addressed key to a serialized (or cloneable) artifact.
+//! This crate provides the three pieces that make those queries cacheable:
+//!
+//! * [`hash`] — a dependency-free SHA-256 ([`Digest`]) used for every
+//!   cache key. Stage keys chain Merkle-style: the key of a downstream
+//!   stage hashes the key of its upstream artifact plus its own
+//!   configuration, so editing any input invalidates exactly the
+//!   downstream cone.
+//! * [`store`] — [`Store`], an in-memory, exactly-once map from
+//!   `(stage, key)` to a cached value. The first accessor computes while
+//!   concurrent peers block on a condvar; hit/miss/wait accounting is
+//!   exact (the waiter increments the counter *under the slot lock*, so
+//!   contended waits cannot be undercounted the way a `try_lock` probe
+//!   can race).
+//! * [`disk`] — [`DiskCache`], an optional persistent layer: entries are
+//!   written to a temp file and atomically renamed into place, carry a
+//!   schema fingerprint (stale entries from older compiler revisions
+//!   self-invalidate), and a SHA-256 payload checksum (corrupted or
+//!   truncated entries are detected and recomputed, never trusted).
+
+pub mod disk;
+pub mod hash;
+pub mod store;
+
+pub use disk::{DiskCache, DiskStats};
+pub use hash::{digest, Digest, Sha256};
+pub use store::{Lookup, StageStats, Store};

@@ -1,0 +1,368 @@
+//! In-memory, exactly-once stage store.
+//!
+//! Generalizes the frontend-only `FrontendCache` from the earlier
+//! pipeline: any stage can park a cloneable artifact under a
+//! `(stage, key)` pair. The first thread to ask for a key computes it;
+//! concurrent threads asking for the same key block on a condvar until
+//! the value is ready (exactly-once semantics — important because a
+//! stage compute can cost milliseconds of ILP solving and must not be
+//! duplicated across an 8×4 matrix fan-out).
+//!
+//! Wait accounting is exact: a waiter increments the stage's wait
+//! counter while it still holds the slot's state lock, immediately
+//! before parking on the condvar. The previous implementation probed
+//! contention with `Mutex::try_lock`, which undercounts — a second
+//! waiter arriving after the computing thread released the lock (but
+//! before the value was published) saw `WouldBlock` as a clean acquire
+//! and was never counted.
+//!
+//! Panic safety mirrors the old cache: if a compute panics, the slot is
+//! reset to vacant and all waiters are woken so one of them retakes the
+//! computation. Poisoned mutexes are tolerated everywhere
+//! (`unwrap_or_else(PoisonError::into_inner)`) so a fault-injected cell
+//! cannot wedge unrelated cells.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::hash::Digest;
+
+/// Outcome of a single [`Store::get_or_compute`] lookup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lookup {
+    /// The value was already present (or became present while we waited).
+    pub hit: bool,
+    /// We blocked on another thread computing the same key.
+    pub waited: bool,
+    /// Nanoseconds spent blocked on the slot.
+    pub wait_ns: u64,
+}
+
+/// Per-stage counters, snapshotted by [`Store::stage_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub waits: u64,
+    pub wait_ns: u64,
+}
+
+#[derive(Default)]
+struct StatCell {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl StatCell {
+    fn snapshot(&self) -> StageStats {
+        StageStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum SlotState {
+    /// Nobody has computed this key yet (or the last computer panicked).
+    Vacant,
+    /// A thread is computing; waiters park on the condvar.
+    Computing,
+    /// Value published. Type-erased so one store serves every stage.
+    Ready(Box<dyn Any + Send + Sync>),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { state: Mutex::new(SlotState::Vacant), cv: Condvar::new() }
+    }
+}
+
+/// Resets a slot to vacant if the compute closure unwinds, so waiters
+/// are released and one of them retries instead of deadlocking.
+struct ComputeGuard<'a> {
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl Drop for ComputeGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut st = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            *st = SlotState::Vacant;
+            drop(st);
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+/// Content-keyed, exactly-once, stage-partitioned value store.
+#[derive(Default)]
+pub struct Store {
+    slots: Mutex<HashMap<(&'static str, Digest), Arc<Slot>>>,
+    stats: Mutex<BTreeMap<&'static str, Arc<StatCell>>>,
+}
+
+impl Store {
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    fn slot(&self, stage: &'static str, key: Digest) -> Arc<Slot> {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(slots.entry((stage, key)).or_insert_with(|| Arc::new(Slot::new())))
+    }
+
+    fn stat_cell(&self, stage: &'static str) -> Arc<StatCell> {
+        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(stats.entry(stage).or_default())
+    }
+
+    /// Fetch the value under `(stage, key)`, computing it with `compute`
+    /// if absent. Exactly one thread computes per key; the rest block.
+    ///
+    /// The stored value type `T` must match across all accesses of a key
+    /// (a mismatch is a caller bug and panics on downcast).
+    pub fn get_or_compute<T, F>(&self, stage: &'static str, key: Digest, compute: F) -> (T, Lookup)
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let slot = self.slot(stage, key);
+        let stats = self.stat_cell(stage);
+        let mut lookup = Lookup::default();
+        let mut st = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*st {
+                SlotState::Ready(v) => {
+                    let value = v
+                        .downcast_ref::<T>()
+                        .expect("qcache: stage value type mismatch")
+                        .clone();
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    if lookup.waited {
+                        stats.wait_ns.fetch_add(lookup.wait_ns, Ordering::Relaxed);
+                    }
+                    lookup.hit = true;
+                    return (value, lookup);
+                }
+                SlotState::Computing => {
+                    // Counted under the lock, before parking: no probe race.
+                    if !lookup.waited {
+                        lookup.waited = true;
+                        stats.waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let t0 = Instant::now();
+                    st = slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    lookup.wait_ns += t0.elapsed().as_nanos() as u64;
+                }
+                SlotState::Vacant => break,
+            }
+        }
+        *st = SlotState::Computing;
+        drop(st);
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = ComputeGuard { slot: &slot, armed: true };
+        let value = compute();
+        let mut st = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *st = SlotState::Ready(Box::new(value.clone()));
+        guard.armed = false;
+        drop(st);
+        slot.cv.notify_all();
+        if lookup.waited {
+            stats.wait_ns.fetch_add(lookup.wait_ns, Ordering::Relaxed);
+        }
+        (value, lookup)
+    }
+
+    /// Record a lookup outcome against `stage` without touching any slot.
+    /// Used for stages whose artifact rides along with another stage's
+    /// slot (the lowered IR is cached inside the frontend artifact).
+    pub fn record(&self, stage: &'static str, lookup: Lookup) {
+        let stats = self.stat_cell(stage);
+        if lookup.hit {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if lookup.waited {
+            stats.waits.fetch_add(1, Ordering::Relaxed);
+            stats.wait_ns.fetch_add(lookup.wait_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Poison the slot's mutex (chaos hook): spawns a thread that panics
+    /// while holding the state lock. Later accessors recover the lock via
+    /// `PoisonError::into_inner` and proceed — the entry stays usable.
+    pub fn poison(&self, stage: &'static str, key: Digest) {
+        let slot = self.slot(stage, key);
+        let _ = std::thread::spawn(move || {
+            let _guard = slot.state.lock().unwrap();
+            panic!("qcache: injected slot poisoning");
+        })
+        .join();
+    }
+
+    /// Number of keys ever inserted for `stage` (slots, not just values).
+    pub fn len(&self, stage: &str) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots.keys().filter(|(s, _)| *s == stage).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots.is_empty()
+    }
+
+    /// Snapshot the counters for one stage.
+    pub fn stage_stats(&self, stage: &str) -> StageStats {
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        stats.get(stage).map(|c| c.snapshot()).unwrap_or_default()
+    }
+
+    /// Snapshot all stages, sorted by stage name.
+    pub fn all_stats(&self) -> Vec<(&'static str, StageStats)> {
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        stats.iter().map(|(s, c)| (*s, c.snapshot())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::digest;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn miss_then_hit_returns_same_value() {
+        let store = Store::new();
+        let key = digest(b"k");
+        let (v, l) = store.get_or_compute("solve", key, || 41u64 + 1);
+        assert_eq!(v, 42);
+        assert!(!l.hit && !l.waited);
+        let (v, l) = store.get_or_compute::<u64, _>("solve", key, || unreachable!("must hit"));
+        assert_eq!(v, 42u64);
+        assert!(l.hit && !l.waited);
+        let s = store.stage_stats("solve");
+        assert_eq!((s.hits, s.misses, s.waits), (1, 1, 0));
+        assert_eq!(store.len("solve"), 1);
+        assert_eq!(store.len("rtl"), 0);
+    }
+
+    #[test]
+    fn stages_partition_the_key_space() {
+        let store = Store::new();
+        let key = digest(b"same-key");
+        let (a, _) = store.get_or_compute("problem", key, || 1u32);
+        let (b, _) = store.get_or_compute("rtl", key, || 2u32);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(store.stage_stats("problem").misses, 1);
+        assert_eq!(store.stage_stats("rtl").misses, 1);
+    }
+
+    /// Satellite-6 regression: N threads race one key; exactly one
+    /// computes, the other N-1 are each counted as a wait. The compute
+    /// closure spins until the wait counter shows every peer parked, so
+    /// the assertion is deterministic — under the old try_lock probe a
+    /// late-arriving waiter could slip through uncounted.
+    #[test]
+    fn contended_waits_are_counted_exactly() {
+        const N: usize = 8;
+        let store = Arc::new(Store::new());
+        let key = digest(b"contended");
+        let computes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.get_or_compute("frontend", key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the slot until every peer is provably
+                        // parked in the wait counter.
+                        while store.stage_stats("frontend").waits < (N - 1) as u64 {
+                            std::thread::yield_now();
+                        }
+                        7u8
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(u8, Lookup)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|(v, _)| *v == 7));
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly-once compute");
+        let s = store.stage_stats("frontend");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, (N - 1) as u64);
+        assert_eq!(s.waits, (N - 1) as u64, "every contended thread counted");
+        let waited = results.iter().filter(|(_, l)| l.waited).count();
+        assert_eq!(waited, N - 1);
+        assert!(results
+            .iter()
+            .filter(|(_, l)| l.waited)
+            .all(|(_, l)| l.wait_ns > 0));
+    }
+
+    #[test]
+    fn panicking_compute_vacates_the_slot() {
+        let store = Store::new();
+        let key = digest(b"boom");
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            store.get_or_compute::<u32, _>("rtl", key, || panic!("compute failed"));
+        }));
+        assert!(r.is_err());
+        // Slot is vacant again: the next accessor recomputes.
+        let (v, l) = store.get_or_compute("rtl", key, || 9u32);
+        assert_eq!(v, 9);
+        assert!(!l.hit);
+        assert_eq!(store.stage_stats("rtl").misses, 2);
+    }
+
+    #[test]
+    fn poisoned_slot_stays_usable() {
+        let store = Store::new();
+        let key = digest(b"poison");
+        store.poison("frontend", key);
+        let (v, _) = store.get_or_compute("frontend", key, || 3u16);
+        assert_eq!(v, 3);
+        let (v, l) = store.get_or_compute::<u16, _>("frontend", key, || unreachable!());
+        assert_eq!(v, 3u16);
+        assert!(l.hit);
+    }
+
+    #[test]
+    fn record_feeds_stats_without_a_slot() {
+        let store = Store::new();
+        store.record("lower", Lookup { hit: true, waited: false, wait_ns: 0 });
+        store.record("lower", Lookup { hit: false, waited: true, wait_ns: 5 });
+        let s = store.stage_stats("lower");
+        assert_eq!((s.hits, s.misses, s.waits, s.wait_ns), (1, 1, 1, 5));
+        assert_eq!(store.len("lower"), 0);
+    }
+
+    #[test]
+    fn all_stats_sorted_by_stage() {
+        let store = Store::new();
+        let key = digest(b"x");
+        store.get_or_compute("verilog", key, || 0u8);
+        store.get_or_compute("frontend", key, || 0u8);
+        let names: Vec<_> = store.all_stats().iter().map(|(s, _)| *s).collect();
+        assert_eq!(names, vec!["frontend", "verilog"]);
+    }
+}

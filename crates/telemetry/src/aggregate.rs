@@ -64,6 +64,20 @@ pub struct StageSummary {
     pub durs: DurStats,
 }
 
+/// One stage's incremental-cache attribution (`cache.<stage>.*`), plus
+/// the synthetic `cell` row for whole-artifact disk hits. Which lookups
+/// hit depends on what earlier runs left in the cache, so the whole
+/// table is cleared in the deterministic projection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageCacheSummary {
+    /// Stage name (one of [`STAGES`], or `cell`).
+    pub stage: String,
+    pub hits: u64,
+    pub misses: u64,
+    /// Lookups that blocked on a peer's in-flight compute.
+    pub waits: u64,
+}
+
 /// Per-worker utilization line for the summary footer. Scheduling-
 /// dependent, so never part of the deterministic projection.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -97,9 +111,12 @@ pub struct MatrixSummary {
     pub critical_path_cell: String,
     /// That cell's `compile` span duration.
     pub critical_path_ns: u64,
-    /// Frontend-cache hits across the whole matrix (deterministic).
+    /// Frontend-cache hits across the whole matrix. Deterministic within
+    /// one process, but a warm `--cache-dir` run serves cells from disk
+    /// and skips frontend lookups entirely, so the total is zeroed in the
+    /// stripped projection to keep cold and warm artifacts identical.
     pub cache_hits: u64,
-    /// Frontend-cache misses (deterministic: one per distinct source).
+    /// Frontend-cache misses (zeroed when stripped, like `cache_hits`).
     pub cache_misses: u64,
     /// Cells that blocked on a slot a peer was computing (scheduling-
     /// dependent; zeroed when stripped).
@@ -108,6 +125,10 @@ pub struct MatrixSummary {
     pub cell_faults: u64,
     /// Contained error-severity problems (`degrade.errors_recovered`).
     pub errors_recovered: u64,
+    /// Per-stage incremental-cache attribution, in pipeline order with a
+    /// trailing `cell` row when a disk cache served whole artifacts.
+    /// History-dependent, so cleared when stripped.
+    pub stage_cache: Vec<StageCacheSummary>,
     /// Per-worker pool utilization (empty when stripped).
     pub pool: Vec<PoolWorkerSummary>,
     /// Pool wall time backing the utilization figures.
@@ -169,10 +190,11 @@ impl MatrixSummary {
 
     /// The deterministic projection, mirroring [`Trace::stripped`]: every
     /// wall-clock figure is zeroed, the (timing-derived) critical-path
-    /// cell is blanked, and the scheduling-dependent cache-wait and pool
-    /// fields are cleared. What remains — span counts, work counters,
-    /// cache hit/miss totals, degradation counters — is identical for
-    /// every worker count.
+    /// cell is blanked, and the scheduling- or history-dependent cache
+    /// and pool fields are cleared. What remains — span counts, work
+    /// counters, degradation counters — is identical for every worker
+    /// count *and* for cold versus warm cache state, which is what the
+    /// cold/warm `diff -r` CI gate relies on.
     pub fn stripped(&self) -> MatrixSummary {
         MatrixSummary {
             cells: self.cells,
@@ -188,11 +210,12 @@ impl MatrixSummary {
             counters: self.counters.clone(),
             critical_path_cell: String::new(),
             critical_path_ns: 0,
-            cache_hits: self.cache_hits,
-            cache_misses: self.cache_misses,
+            cache_hits: 0,
+            cache_misses: 0,
             cache_waits: 0,
             cell_faults: self.cell_faults,
             errors_recovered: self.errors_recovered,
+            stage_cache: Vec::new(),
             pool: Vec::new(),
             pool_wall_ns: 0,
         }
@@ -308,6 +331,13 @@ impl MatrixSummary {
             "cache: {} miss(es), {} hit(s), {} wait(s) on slot",
             self.cache_misses, self.cache_hits, self.cache_waits
         );
+        if !self.stage_cache.is_empty() {
+            let _ = write!(out, "stage cache (miss/hit):");
+            for s in &self.stage_cache {
+                let _ = write!(out, " {} {}/{}", s.stage, s.misses, s.hits);
+            }
+            out.push('\n');
+        }
         let _ = writeln!(
             out,
             "degraded: {} cell fault(s), {} error(s) recovered",
@@ -535,6 +565,12 @@ mod tests {
         let mut s = summarize(&[("a_ORCA".to_string(), &a)]);
         s.jobs = 4;
         s.cache_misses = 1;
+        s.stage_cache.push(StageCacheSummary {
+            stage: "frontend".to_string(),
+            hits: 3,
+            misses: 1,
+            waits: 0,
+        });
         s.pool.push(PoolWorkerSummary {
             jobs: 1,
             busy_ns: 50,
@@ -545,7 +581,28 @@ mod tests {
         assert!(r.contains("p50"), "{r}");
         assert!(r.contains("solver: 5 pivot(s)"), "{r}");
         assert!(r.contains("cache: 1 miss(es), 1 hit(s)"), "{r}");
+        assert!(r.contains("stage cache (miss/hit): frontend 1/3"), "{r}");
         assert!(r.contains("pool: 1 worker(s) · w0 50% (1 job(s))"), "{r}");
+    }
+
+    #[test]
+    fn stripped_clears_cache_attribution() {
+        let a = cell("a", 5);
+        let mut s = summarize(&[("a_ORCA".to_string(), &a)]);
+        s.stage_cache.push(StageCacheSummary {
+            stage: "frontend".to_string(),
+            hits: 1,
+            misses: 0,
+            waits: 0,
+        });
+        assert_eq!(s.cache_hits, 1);
+        let stripped = s.stripped();
+        // Hit/miss totals depend on what earlier runs left in a disk
+        // cache, so the deterministic artifact must not carry them.
+        assert_eq!(stripped.cache_hits, 0);
+        assert_eq!(stripped.cache_misses, 0);
+        assert!(stripped.stage_cache.is_empty());
+        assert!(stripped.to_json().contains("\"hits\": 0, \"misses\": 0"));
     }
 
     #[test]
