@@ -164,6 +164,39 @@ done
 grep -q "cache-stats: cell hits=32 misses=0" "$smoke_dir/inc_warm.stderr"
 grep -q "cell cache: 32 served, 0 compiled" "$smoke_dir/inc_warm.stderr"
 
+echo "== opt: -O2 matrix is oracle-clean and byte-identical across worker counts"
+# Full 8x4 matrix through the netlist optimizer with the four-state
+# oracle on: every optimized cell must diff clean against the
+# two-valued interpreter (zero mismatches, zero escaped X bits, zero
+# lint hazards), and the optimized artifact tree must be byte-identical
+# for any --jobs value (the fixpoint pass order is deterministic).
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 1 --opt-level 2 --xcheck --out "$smoke_dir/o2_j1" \
+    > "$smoke_dir/o2_j1.stdout"
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --opt-level 2 --xcheck --out "$smoke_dir/o2_j4" \
+    > "$smoke_dir/o2_j4.stdout"
+diff -r "$smoke_dir/o2_j1" "$smoke_dir/o2_j4"
+diff "$smoke_dir/o2_j1.stdout" "$smoke_dir/o2_j4.stdout"
+grep -qx "xcheck: 32 cell(s), 0 mismatch(es), 0 X output bit(s), 0 hazard(s)" \
+    "$smoke_dir/o2_j1.stdout"
+
+echo "== opt: a shared cache dir never serves -O0 artifacts to a -O2 run"
+# The optimization level is folded into every cache key (stage, cell
+# bundle, and disk schema fingerprint), so a -O2 rerun over a cache
+# populated at -O0 must recompile all 32 cells rather than cross-serve.
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --cache-dir "$smoke_dir/qc_opt" \
+    --out "$smoke_dir/opt_o0" > /dev/null 2>&1
+cargo run -q --release -p longnail --bin lnc -- \
+    --matrix --jobs 4 --opt-level 2 --cache-dir "$smoke_dir/qc_opt" \
+    --out "$smoke_dir/opt_o2" > /dev/null 2> "$smoke_dir/opt_o2.stderr"
+grep -q "cell cache: 0 served, 32 compiled" "$smoke_dir/opt_o2.stderr" || {
+    echo "error: -O2 run was served artifacts from a -O0 cache:" >&2
+    cat "$smoke_dir/opt_o2.stderr" >&2
+    exit 1
+}
+
 echo "== serve: compile daemon answers 3 jobs (one faulted) with per-job status"
 # The daemon reads line-delimited JSON jobs from stdin and must answer
 # each in input order; a fault-injected job degrades to status "fault"
@@ -192,6 +225,23 @@ echo "== bench gate: deterministic work counters vs BENCH_baseline.json"
 # work-counter change is intentional, refresh the baseline with:
 #   cp BENCH_compile.json BENCH_baseline.json
 cargo run -q --release -p bench -- --check BENCH_baseline.json
+
+echo "== gate: -O2 strictly reduces the modeled matrix area vs -O0"
+# The bench's opt section records the 22nm-model area of the full matrix
+# unoptimized and at -O2; the optimizer earning its keep is gate-worthy
+# (the bench itself asserts the strict inequality at full precision —
+# this re-checks the recorded values at integer-um2 resolution).
+area_o0=$(sed -n 's/^[[:space:]]*"area_o0_um2": \([0-9][0-9]*\)\..*/\1/p' BENCH_compile.json | head -1)
+area_o2=$(sed -n 's/^[[:space:]]*"area_o2_um2": \([0-9][0-9]*\)\..*/\1/p' BENCH_compile.json | head -1)
+if [ -z "$area_o0" ] || [ -z "$area_o2" ]; then
+    echo "error: opt area figures missing from BENCH_compile.json" >&2
+    exit 1
+fi
+if [ "$area_o2" -gt "$area_o0" ]; then
+    echo "error: -O2 matrix area ${area_o2} um2 exceeds -O0 area ${area_o0} um2" >&2
+    exit 1
+fi
+echo "matrix area: ${area_o0} um2 at -O0, ${area_o2} um2 at -O2"
 
 echo "== gate: incremental warm recompile is at least 4x faster than cold"
 # The bench run above rewrote BENCH_compile.json with measured wall times

@@ -10,8 +10,10 @@
 //!   per-stage op counters summed across the matrix, a per-cell
 //!   solver-work breakdown, and the `incremental` per-stage hit/miss
 //!   profile of a cold → warm no-change → warm one-edit recompile
-//!   sequence through one shared pipeline cache. Byte-identical on every
-//!   run of the same code.
+//!   sequence through one shared pipeline cache, and the `opt` profile of
+//!   a full -O2 matrix (per-pass rewrite totals plus modeled area and
+//!   critical path against -O0, with the strict area win asserted).
+//!   Byte-identical on every run of the same code.
 //! * `wall` — wall-clock timings and the cache/pool/incremental
 //!   speedups. Machine- and load-dependent, informational only (except
 //!   the warm no-change replay, which ci.sh requires to be at least 4×
@@ -130,6 +132,45 @@ fn bench_json() -> String {
     assert_eq!(edit_fe.misses, 1, "one edited source, one frontend recompute");
     assert_artifacts_identical(&cold, &edit, "warm one-edit");
 
+    // Optimized matrix: the same 8×4 matrix at -O2 through the netlist
+    // optimizer. Everything recorded here is deterministic — the rewrite
+    // totals are a pure function of the netlists and the pass order, and
+    // the 22 nm area/timing model is a pure function of the optimized
+    // netlists — so the section sits inside the gated `deterministic`
+    // block. The strict area win is also asserted outright: -O2 exists to
+    // shrink the matrix, and a build where it stops doing so is a
+    // regression even if every counter still matches some stale baseline.
+    let o2 = ln
+        .with_opt_level(longnail::OptLevel::O2)
+        .compile_matrix(&isaxes, &cores, 4);
+    let lib = eda::TechLibrary::new();
+    let estimate = |m: &MatrixResult| {
+        let (mut area, mut crit) = (0.0f64, 0.0f64);
+        for entry in &m.entries {
+            let Ok(cell) = &entry.outcome else {
+                panic!("opt bench: cell {}_{} failed", entry.isax, entry.core);
+            };
+            for g in &cell.graphs {
+                let est = eda::estimate_module(&lib, &g.built.module);
+                area += est.area.total();
+                crit = crit.max(est.timing.critical_path_ns);
+            }
+        }
+        (area, crit)
+    };
+    let (area_o0, crit_o0) = estimate(&serial);
+    let (area_o2, crit_o2) = estimate(&o2);
+    assert!(
+        area_o2 < area_o0,
+        "-O2 must strictly reduce total matrix area ({area_o2:.1} vs {area_o0:.1} µm²)"
+    );
+    let o2_traces: Vec<&telemetry::Trace> = o2
+        .entries
+        .iter()
+        .filter_map(|e| e.outcome.as_ref().ok().map(|c| &c.trace))
+        .collect();
+    let opt_total = |name: &str| -> u64 { o2_traces.iter().map(|t| t.counter_total(name)).sum() };
+
     let cell_traces: Vec<(String, &telemetry::Trace)> = serial
         .entries
         .iter()
@@ -174,6 +215,35 @@ fn bench_json() -> String {
     let _ = writeln!(json, "      \"cold\": {{{}}},", stage_mix(&cold));
     let _ = writeln!(json, "      \"warm_no_change\": {{{}}},", stage_mix(&warm));
     let _ = writeln!(json, "      \"warm_one_edit\": {{{}}}", stage_mix(&edit));
+    json.push_str("    },\n    \"opt\": {\n");
+    let _ = writeln!(json, "      \"area_o0_um2\": {area_o0:.1},");
+    let _ = writeln!(json, "      \"area_o2_um2\": {area_o2:.1},");
+    let _ = writeln!(
+        json,
+        "      \"area_reduction_pct\": {:.2},",
+        (area_o0 - area_o2) / area_o0 * 100.0
+    );
+    let _ = writeln!(json, "      \"critical_path_o0_ns\": {crit_o0:.3},");
+    let _ = writeln!(json, "      \"critical_path_o2_ns\": {crit_o2:.3},");
+    {
+        use telemetry::metrics as m;
+        let _ = writeln!(json, "      \"iterations\": {},", opt_total(m::OPT_ITERATIONS));
+        let _ = writeln!(json, "      \"nets_before\": {},", opt_total(m::OPT_NETS_BEFORE));
+        let _ = writeln!(json, "      \"nets_after\": {},", opt_total(m::OPT_NETS_AFTER));
+        let rewrites = [
+            ("fold", m::OPT_REWRITES_FOLD),
+            ("cse", m::OPT_REWRITES_CSE),
+            ("mux", m::OPT_REWRITES_MUX),
+            ("strength", m::OPT_REWRITES_STRENGTH),
+            ("narrow", m::OPT_REWRITES_NARROW),
+            ("dce", m::OPT_REWRITES_DCE),
+        ];
+        json.push_str("      \"rewrites\": {");
+        for (i, (name, metric)) in rewrites.iter().enumerate() {
+            let _ = write!(json, "\"{name}\": {}", opt_total(metric));
+            json.push_str(if i + 1 == rewrites.len() { "}\n" } else { ", " });
+        }
+    }
     json.push_str("    }\n  },\n");
     let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
     let warm_speedup = cold_ns as f64 / warm_ns.max(1) as f64;

@@ -4,14 +4,16 @@
 //! usage: lnc <file.core_desc> --core <ORCA|Piccolo|PicoRV32|VexRiscv>
 //!            [--unit <InstructionSet>] [--out <dir>]
 //!            [--emit hir|lil|sv|config|datasheet] [--budget <units>]
+//!            [--opt-level <0|1|2>]
 //!            [--trace] [--metrics-out <path>] [--profile-folded <path>]
 //!            [--report] [--xcheck]
 //!        lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck]
-//!            [--keep-going] [--fault-plan <path>] [--summary] [--verbose]
+//!            [--opt-level <0|1|2>] [--keep-going] [--fault-plan <path>]
+//!            [--summary] [--verbose]
 //!            [--trace] [--metrics-out <path>] [--profile-folded <path>]
-//!            [--cache-dir <dir>]
+//!            [--cache-dir <dir>] [--cache-mem-bytes <N>]
 //!        lnc serve [--jobs <N>] [--budget <units>] [--fault-plan <path>]
-//!            [--cache-dir <dir>]
+//!            [--opt-level <0|1|2>] [--cache-dir <dir>] [--cache-mem-bytes <N>]
 //!
 //! Compiles the CoreDSL description for the selected host core. Without
 //! --emit, writes one SystemVerilog file per instruction/always-block plus
@@ -38,6 +40,23 @@
 //! --budget bounds the deterministic solver work per instruction; when the
 //! exact scheduler exhausts it, the instruction degrades to the verified
 //! ASAP fallback and a warning is reported.
+//!
+//! --opt-level {0,1,2} selects the netlist optimization effort (default
+//! 0: no opt stage, byte-identical to the pre-optimizer flow). Levels 1
+//! and 2 run the oracle-gated rewrite pipeline (`rtl::opt`) on every
+//! generated netlist between RTL construction and SystemVerilog emission;
+//! an optimized netlist is only kept when it lints clean and a 32-cycle
+//! lockstep differential simulation against the unoptimized module shows
+//! zero disagreements — otherwise the unit falls back to the unoptimized
+//! netlist with a warning. In serve mode, --opt-level sets the daemon
+//! default and each job may override it with an `"opt_level"` field. The
+//! level is part of the cache key and the persistent schema fingerprint,
+//! so artifact bundles never cross optimization levels.
+//!
+//! --cache-mem-bytes <N> (matrix and serve) caps the shared in-memory
+//! stage cache at ~N bytes; least-recently-used stage artifacts are
+//! evicted (and recomputed on demand) once the estimate exceeds the cap.
+//! Evictions show up in the `cache-stats:` lines.
 //!
 //! Observability: --trace prints the hierarchical stage-span tree with
 //! wall-clock timings to stderr (in --matrix mode, the merged matrix
@@ -122,6 +141,8 @@ struct Args {
     profile_folded: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     serve: bool,
+    opt_level: u8,
+    cache_mem_bytes: Option<u64>,
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -144,6 +165,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut profile_folded = None;
     let mut cache_dir = None;
     let mut serve = false;
+    let mut opt_level = 0u8;
+    let mut cache_mem_bytes = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -193,6 +216,23 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                     args.next().ok_or("--cache-dir needs a value")?,
                 ));
             }
+            "--opt-level" => {
+                let v = args.next().ok_or("--opt-level needs a value")?;
+                opt_level = v
+                    .parse::<u8>()
+                    .ok()
+                    .filter(|&n| n <= 2)
+                    .ok_or_else(|| format!("--opt-level: `{v}` is not 0, 1, or 2"))?;
+            }
+            "--cache-mem-bytes" => {
+                let v = args.next().ok_or("--cache-mem-bytes needs a value")?;
+                cache_mem_bytes = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--cache-mem-bytes: `{v}` is not a byte count >= 1"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"))
@@ -229,7 +269,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         ] {
             if set {
                 return Err(format!("`{flag}` does not apply to serve mode (allowed: \
-                                    --jobs, --budget, --fault-plan, --cache-dir)"));
+                                    --jobs, --budget, --fault-plan, --cache-dir, \
+                                    --opt-level, --cache-mem-bytes)"));
             }
         }
     } else if cache_dir.is_some() {
@@ -243,6 +284,11 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                         or use serve mode"
                 .into());
         }
+    }
+    if cache_mem_bytes.is_some() && !serve && !matrix {
+        return Err("--cache-mem-bytes bounds the shared matrix/serve stage cache; \
+                    add --matrix or use serve mode"
+            .into());
     }
     if matrix {
         if input.is_some() {
@@ -302,6 +348,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         profile_folded,
         cache_dir,
         serve,
+        opt_level,
+        cache_mem_bytes,
     })
 }
 
@@ -309,12 +357,14 @@ fn usage() {
     eprintln!(
         "usage: lnc <file.core_desc> --core <{}> [--unit <InstructionSet>] \
          [--out <dir>] [--emit hir|lil|sv|config|datasheet] [--budget <units>] \
+         [--opt-level <0|1|2>] \
          [--trace] [--metrics-out <path>] [--profile-folded <path>] [--report] [--xcheck]\n\
          \u{20}      lnc --matrix [--jobs <N>] [--out <dir>] [--budget <units>] [--xcheck] \
-         [--keep-going] [--fault-plan <path>] [--summary] [--verbose] \
-         [--trace] [--metrics-out <path>] [--profile-folded <path>] [--cache-dir <dir>]\n\
+         [--opt-level <0|1|2>] [--keep-going] [--fault-plan <path>] [--summary] [--verbose] \
+         [--trace] [--metrics-out <path>] [--profile-folded <path>] [--cache-dir <dir>] \
+         [--cache-mem-bytes <N>]\n\
          \u{20}      lnc serve [--jobs <N>] [--budget <units>] [--fault-plan <path>] \
-         [--cache-dir <dir>]",
+         [--opt-level <0|1|2>] [--cache-dir <dir>] [--cache-mem-bytes <N>]",
         EVAL_CORES.join("|")
     );
 }
@@ -329,15 +379,25 @@ fn exit_for(compiled: &longnail::CompiledIsax) -> ExitCode {
 }
 
 /// Builds the run's pipeline cache: in-memory only, or backed by the
-/// persistent `--cache-dir` layer.
-fn build_cache(cache_dir: Option<&std::path::Path>) -> Result<longnail::PipelineCache, ExitCode> {
-    match cache_dir {
-        Some(dir) => longnail::PipelineCache::with_disk(dir).map_err(|e| {
-            eprintln!("error: cannot open cache dir {}: {e}", dir.display());
-            ExitCode::FAILURE
-        }),
-        None => Ok(longnail::PipelineCache::new()),
-    }
+/// persistent `--cache-dir` layer (whose schema fingerprint folds in the
+/// compiler's config fingerprint). `--cache-mem-bytes` caps the byte-
+/// accounted in-memory layer.
+fn build_cache(
+    cache_dir: Option<&std::path::Path>,
+    ln: &Longnail,
+    cache_mem_bytes: Option<u64>,
+) -> Result<longnail::PipelineCache, ExitCode> {
+    let pipe = match cache_dir {
+        Some(dir) => longnail::PipelineCache::with_disk(dir, &ln.config_fingerprint()).map_err(
+            |e| {
+                eprintln!("error: cannot open cache dir {}: {e}", dir.display());
+                ExitCode::FAILURE
+            },
+        )?,
+        None => longnail::PipelineCache::new(),
+    };
+    pipe.store().set_capacity(cache_mem_bytes);
+    Ok(pipe)
 }
 
 /// Compiles and writes the full evaluation matrix. With `--cache-dir`,
@@ -347,7 +407,7 @@ fn run_matrix(ln: &Longnail, args: &Args) -> ExitCode {
     use longnail::serve::{bundle_units, fault_bypassed, probe_cell, store_cell, DIAGNOSTICS_FILE};
     let isaxes = isax_lib::all_isaxes();
     let cores = eval_datasheets();
-    let pipe = match build_cache(args.cache_dir.as_deref()) {
+    let pipe = match build_cache(args.cache_dir.as_deref(), ln, args.cache_mem_bytes) {
         Ok(p) => p,
         Err(code) => return code,
     };
@@ -748,6 +808,7 @@ fn main() -> ExitCode {
     if let Some(b) = args.budget {
         ln.work_limit = b;
     }
+    ln.opt_level = longnail::OptLevel::from_level(args.opt_level).expect("validated in parse_args");
     if let Some(path) = &args.fault_plan {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -765,7 +826,7 @@ fn main() -> ExitCode {
         }
     }
     if args.serve {
-        let pipe = match build_cache(args.cache_dir.as_deref()) {
+        let pipe = match build_cache(args.cache_dir.as_deref(), &ln, args.cache_mem_bytes) {
             Ok(p) => p,
             Err(code) => return code,
         };
@@ -1043,6 +1104,36 @@ mod tests {
         assert_eq!(m.profile_folded, Some(PathBuf::from("m.folded")));
         assert_eq!(m.metrics_out, Some(PathBuf::from("m.jsonl")));
         assert!(parse(&["--matrix", "--profile-folded"]).is_err());
+    }
+
+    #[test]
+    fn opt_level_parses_in_every_mode_and_validates_its_range() {
+        assert_eq!(parse(&["x", "--core", "ORCA"]).unwrap().opt_level, 0);
+        assert_eq!(
+            parse(&["x", "--core", "ORCA", "--opt-level", "2"]).unwrap().opt_level,
+            2
+        );
+        assert_eq!(parse(&["--matrix", "--opt-level", "1"]).unwrap().opt_level, 1);
+        assert_eq!(parse(&["serve", "--opt-level", "2"]).unwrap().opt_level, 2);
+        assert!(parse(&["--matrix", "--opt-level", "3"])
+            .unwrap_err()
+            .contains("not 0, 1, or 2"));
+        assert!(parse(&["--matrix", "--opt-level", "fast"]).is_err());
+        assert!(parse(&["--matrix", "--opt-level"]).is_err());
+    }
+
+    #[test]
+    fn cache_mem_bytes_applies_to_matrix_and_serve_only() {
+        let a = parse(&["--matrix", "--cache-mem-bytes", "1048576"]).unwrap();
+        assert_eq!(a.cache_mem_bytes, Some(1 << 20));
+        let s = parse(&["serve", "--cache-mem-bytes", "4096"]).unwrap();
+        assert_eq!(s.cache_mem_bytes, Some(4096));
+        assert_eq!(parse(&["--matrix"]).unwrap().cache_mem_bytes, None);
+        assert!(parse(&["--matrix", "--cache-mem-bytes", "0"]).is_err());
+        assert!(parse(&["--matrix", "--cache-mem-bytes", "lots"]).is_err());
+        assert!(parse(&["x", "--core", "ORCA", "--cache-mem-bytes", "4096"])
+            .unwrap_err()
+            .contains("--matrix"));
     }
 
     #[test]

@@ -18,7 +18,8 @@ use ir::{lower_always, lower_instruction, lower_state, verify_graph};
 use pool::Pool;
 use rtl::build::{build_graph_module, BuiltModule};
 use rtl::lint::{comb_depth, lint_module};
-use rtl::verilog::emit_verilog;
+use rtl::opt::{optimize, verify_equivalent, OptLevel};
+use rtl::verilog::{emit_verilog, EmitOptions};
 use scaiev::config::{Functionality, IsaxConfig, RegisterRequest, ScheduleEntry};
 use scaiev::datasheet::{Timing, VirtualDatasheet};
 use scaiev::iface::SubInterfaceOp;
@@ -223,6 +224,11 @@ pub struct Longnail {
     /// Deterministic fault-injection plan (chaos testing). `None` — the
     /// default — injects nothing and costs one branch per stage boundary.
     pub fault_plan: Option<FaultPlan>,
+    /// Netlist optimization effort (`lnc --opt-level`). At [`OptLevel::O0`]
+    /// — the default — the `opt` stage is skipped entirely and the flow is
+    /// byte-identical to the pre-optimizer compiler. Higher levels run the
+    /// oracle-gated pass pipeline between `rtl` and `verilog`.
+    pub opt_level: OptLevel,
 }
 
 impl Default for Longnail {
@@ -240,6 +246,39 @@ impl Longnail {
             chain_depth: DEFAULT_CHAIN_DEPTH,
             work_limit: Budget::DEFAULT_LIMIT,
             fault_plan: None,
+            opt_level: OptLevel::O0,
+        }
+    }
+
+    /// The canonical fingerprint of every configuration knob that shapes
+    /// emitted artifacts but is *not* part of the datasheet, chaining
+    /// budget, or work limit: the optimization level and the SystemVerilog
+    /// emission options. Folded into [`pipeline::core_config_key`] (so the
+    /// whole backend key cone tracks it) and into the on-disk
+    /// [`pipeline::schema_fingerprint`] — a `-O0` artifact can never be
+    /// served to a `-O2` run from a shared cache directory.
+    pub fn config_fingerprint(&self) -> String {
+        let opts = EmitOptions::default();
+        format!(
+            "opt={};guard_division={};bounded_extract_dyn={}",
+            self.opt_level.level(),
+            opts.guard_division,
+            opts.bounded_extract_dyn
+        )
+    }
+
+    /// A sibling compiler configured like `self` but at `level` — used by
+    /// serve mode for per-job `opt_level` overrides. The frontend is a
+    /// fresh instance (its prelude state is per-compiler); everything
+    /// else carries over, so the two compilers differ only in their
+    /// config fingerprints.
+    pub fn with_opt_level(&self, level: OptLevel) -> Longnail {
+        Longnail {
+            frontend: Frontend::new(),
+            chain_depth: self.chain_depth,
+            work_limit: self.work_limit,
+            fault_plan: self.fault_plan.clone(),
+            opt_level: level,
         }
     }
 
@@ -337,11 +376,13 @@ impl Longnail {
             }
         }
         let fe_key = pipeline::frontend_key(unit, src);
-        let (result, lookup) = pipe
-            .store()
-            .get_or_compute("frontend", fe_key, || {
-                self.frontend_artifacts(src, unit).map(Arc::new)
-            });
+        let (result, lookup) = pipe.store().get_or_compute_sized(
+            "frontend",
+            fe_key,
+            || self.frontend_artifacts(src, unit).map(Arc::new),
+            // Typed module + lowered LIL scale with the source text.
+            |_| 1024 + (src.len() as u64) * 8,
+        );
         // The lowered LIL rides inside the frontend artifact; mirror the
         // lookup so `cache.lower.*` stats stay observable per stage.
         pipe.store().record("lower", lookup);
@@ -356,7 +397,12 @@ impl Longnail {
         let ctx = cached_backend.then(|| PipeCtx {
             pipe,
             fe_key,
-            cfg_key: pipeline::core_config_key(datasheet, self.chain_depth, self.work_limit),
+            cfg_key: pipeline::core_config_key(
+                datasheet,
+                self.chain_depth,
+                self.work_limit,
+                &self.config_fingerprint(),
+            ),
         });
         Ok(self.compile_artifacts_with_cache(
             &artifacts,
@@ -546,6 +592,7 @@ impl Longnail {
             "config",
             |cx| pipeline::derive("config", &[&cx.fe_key, &cx.cfg_key]),
             || config_stage(lil, &graphs),
+            |c| (c.functionalities.len() as u64 + 1) * 256,
         );
         cval.tape
             .replay(&mut tel, config_span, config_span, &mut diagnostics, &lil.name);
@@ -744,8 +791,15 @@ impl Longnail {
             let solve = pipeline::derive("solve", &[&problem]);
             let modes = pipeline::derive("modes", &[&solve]);
             let rtl = pipeline::derive("rtl", &[&solve]);
-            let verilog = pipeline::derive("verilog", &[&rtl]);
-            (problem, solve, modes, rtl, verilog)
+            let opt = pipeline::derive("opt", &[&rtl]);
+            // The Verilog chains from whichever module actually feeds it:
+            // the optimized one above -O0, the raw build otherwise.
+            let verilog = if self.opt_level == OptLevel::O0 {
+                pipeline::derive("verilog", &[&rtl])
+            } else {
+                pipeline::derive("verilog", &[&opt])
+            };
+            (problem, solve, modes, rtl, opt, verilog)
         });
 
         // --- LongnailProblem construction ---
@@ -756,6 +810,7 @@ impl Longnail {
             "problem",
             |_| keys.expect("keys exist when ctx does").0,
             || self.problem_stage(graph, is_always, datasheet),
+            |p| (p.op_ids.len() as u64 + 1) * 192,
         );
         pval.tape
             .replay(tel, problem_span, unit_span, diagnostics, &graph.name);
@@ -784,6 +839,7 @@ impl Longnail {
             "solve",
             |_| keys.expect("keys exist when ctx does").1,
             || self.solve_stage(&pout, graph),
+            |s| (s.schedule.start_time.len() as u64 + 1) * 16,
         );
         sval.tape
             .replay(tel, solve_span, unit_span, diagnostics, &graph.name);
@@ -798,6 +854,7 @@ impl Longnail {
             "modes",
             |_| keys.expect("keys exist when ctx does").2,
             || modes_stage(graph, is_always, datasheet, &sout),
+            |_| 64,
         );
         mval.tape
             .replay(tel, modes_span, unit_span, diagnostics, &graph.name);
@@ -812,11 +869,36 @@ impl Longnail {
             "rtl",
             |_| keys.expect("keys exist when ctx does").3,
             || rtl_stage(graph, lil, datasheet, &sout),
+            |b| (b.module.nets.len() as u64 + 1) * 160,
         );
         rval.tape
             .replay(tel, rtl_span, unit_span, diagnostics, &graph.name);
         let built = rval.outcome?;
         tel.end_span(rtl_span);
+
+        // --- Oracle-gated netlist optimization (skipped entirely at -O0,
+        // so the default flow — spans, traces, artifacts — is untouched).
+        // The stage *boundary* is crossed regardless: it only updates the
+        // panic-attribution stage and fires planned faults, so chaos plans
+        // targeting `opt` behave identically at every level. ---
+        self.stage_boundary(&lil.name, &datasheet.core, "opt");
+        let built = if self.opt_level == OptLevel::O0 {
+            built
+        } else {
+            let opt_span = tel.start_span("opt");
+            let oval = run_stage(
+                ctx,
+                "opt",
+                |_| keys.expect("keys exist when ctx does").4,
+                || opt_stage(&built, self.opt_level),
+                |b| (b.module.nets.len() as u64 + 1) * 160,
+            );
+            oval.tape
+                .replay(tel, opt_span, unit_span, diagnostics, &graph.name);
+            let optimized = oval.outcome?;
+            tel.end_span(opt_span);
+            optimized
+        };
 
         // --- SystemVerilog emission ---
         self.stage_boundary(&lil.name, &datasheet.core, "verilog");
@@ -824,8 +906,9 @@ impl Longnail {
         let vval = run_stage(
             ctx,
             "verilog",
-            |_| keys.expect("keys exist when ctx does").4,
+            |_| keys.expect("keys exist when ctx does").5,
             || verilog_stage(&built),
+            |v| v.len() as u64,
         );
         vval.tape
             .replay(tel, verilog_span, unit_span, diagnostics, &graph.name);
@@ -1027,15 +1110,38 @@ pub(crate) struct PipeCtx<'a> {
 /// Runs one backend stage through the store when a cache context exists,
 /// directly otherwise (plain `compile` / fault-targeted cells). The key
 /// closure is only evaluated when there is a store to address.
-fn run_stage<T, K, F>(ctx: Option<&PipeCtx<'_>>, stage: &'static str, key: K, compute: F) -> StageVal<T>
+fn run_stage<T, K, F>(
+    ctx: Option<&PipeCtx<'_>>,
+    stage: &'static str,
+    key: K,
+    compute: F,
+    payload_bytes: fn(&T) -> u64,
+) -> StageVal<T>
 where
     T: Clone + Send + Sync + 'static,
     K: FnOnce(&PipeCtx<'_>) -> Digest,
     F: FnOnce() -> StageVal<T>,
 {
     match ctx {
-        Some(cx) => cx.pipe.store().get_or_compute(stage, key(cx), compute).0,
+        Some(cx) => {
+            cx.pipe
+                .store()
+                .get_or_compute_sized(stage, key(cx), compute, |v| stage_bytes(v, payload_bytes))
+                .0
+        }
         None => compute(),
+    }
+}
+
+/// Rough heap footprint of one cached stage value, charged against the
+/// byte-accounted in-memory LRU (`--cache-mem-bytes`). Coarse per-stage
+/// payload estimates plus a fixed slot/tape overhead — the cap is a
+/// budget, not an allocator audit.
+fn stage_bytes<T>(v: &StageVal<T>, payload: fn(&T) -> u64) -> u64 {
+    const BASE: u64 = 512;
+    match &v.outcome {
+        Ok(t) => BASE + payload(t),
+        Err(e) => BASE + e.message.len() as u64,
     }
 }
 
@@ -1158,6 +1264,91 @@ fn rtl_stage(
     tape.gauge(metrics::EDA_CRIT_NS, estimate.timing.critical_path_ns);
     StageVal {
         outcome: Ok(built),
+        tape,
+    }
+}
+
+/// Cycles of lockstep stimulus the opt stage's runtime oracle drives
+/// through the original and optimized netlists (including X stimulus).
+const OPT_VERIFY_CYCLES: u32 = 32;
+
+/// Stage `opt`: oracle-gated netlist optimization (`-O1`/`-O2`).
+///
+/// Runs [`rtl::opt::optimize`] at the requested level, then gates the
+/// result two ways before it may replace the built module: the structural
+/// lint must stay clean, and [`rtl::opt::verify_equivalent`] must see the
+/// optimized module track the original in lockstep — exact two-valued
+/// output equality plus four-state refinement under X stimulus. A gate
+/// violation is an optimizer bug, but not a reason to fail the cell: the
+/// stage falls back to the unoptimized netlist, records a warning, and
+/// counts the fallback. (The third gate — `lnc --xcheck` over the full
+/// matrix — runs downstream on whatever module this stage emits.)
+fn opt_stage(built: &BuiltModule, level: OptLevel) -> StageVal<BuiltModule> {
+    let mut tape = Tape::default();
+    let opts = EmitOptions::default();
+    let fall_back = |mut tape: Tape, why: String| {
+        tape.warn(
+            "opt",
+            format!("optimization disabled for this unit: {why}"),
+        );
+        tape.counter(metrics::OPT_FALLBACK, 1);
+        StageVal {
+            outcome: Ok(built.clone()),
+            tape,
+        }
+    };
+    let (module, report) = match optimize(&built.module, level, &opts) {
+        Ok(out) => out,
+        // A structurally invalid rewrite never leaves the pass manager;
+        // emit the known-good module instead.
+        Err(e) => return fall_back(tape, e),
+    };
+    let gate = lint_module(&module)
+        .map_err(|issues| {
+            format!(
+                "optimized netlist failed lint: {}",
+                issues
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )
+        })
+        .and_then(|()| {
+            verify_equivalent(&built.module, &module, &opts, OPT_VERIFY_CYCLES)
+                .map_err(|e| format!("optimized netlist failed the lockstep oracle: {e}"))
+        });
+    if let Err(why) = gate {
+        return fall_back(tape, why);
+    }
+    tape.counter(metrics::OPT_ITERATIONS, u64::from(report.iterations));
+    for (pass, count) in &report.rewrites {
+        let name = match *pass {
+            "fold" => metrics::OPT_REWRITES_FOLD,
+            "cse" => metrics::OPT_REWRITES_CSE,
+            "mux" => metrics::OPT_REWRITES_MUX,
+            "strength" => metrics::OPT_REWRITES_STRENGTH,
+            "narrow" => metrics::OPT_REWRITES_NARROW,
+            "dce" => metrics::OPT_REWRITES_DCE,
+            _ => continue,
+        };
+        tape.counter(name, *count);
+    }
+    tape.counter(metrics::OPT_NETS_BEFORE, report.nets_before as u64);
+    tape.counter(metrics::OPT_NETS_AFTER, report.nets_after as u64);
+    // Area/critical-path before and after: the `rtl` stage already gauged
+    // the unoptimized module; gauge it again here so the pair lives on one
+    // span, then the optimized estimate on the standard EDA names.
+    let lib = TechLibrary::new();
+    let before = eda::estimate_module(&lib, &built.module);
+    let after = eda::estimate_module(&lib, &module);
+    tape.gauge(metrics::OPT_AREA_BEFORE_UM2, before.area.total());
+    tape.gauge(metrics::EDA_AREA_UM2, after.area.total());
+    tape.gauge(metrics::EDA_CRIT_NS, after.timing.critical_path_ns);
+    let mut out = built.clone();
+    out.module = module;
+    StageVal {
+        outcome: Ok(out),
         tape,
     }
 }
@@ -1346,12 +1537,12 @@ impl FrontendCache {
         ln: &Longnail,
     ) -> (Result<Arc<FrontendArtifacts>, FlowError>, CacheLookup) {
         let key = pipeline::frontend_key(unit, src);
-        let (result, lookup) = self
-            .pipe
-            .store()
-            .get_or_compute("frontend", key, || {
-                ln.frontend_artifacts(src, unit).map(Arc::new)
-            });
+        let (result, lookup) = self.pipe.store().get_or_compute_sized(
+            "frontend",
+            key,
+            || ln.frontend_artifacts(src, unit).map(Arc::new),
+            |_| 1024 + (src.len() as u64) * 8,
+        );
         (result, CacheLookup::from(lookup))
     }
 

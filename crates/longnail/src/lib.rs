@@ -37,5 +37,6 @@ pub use driver::{
     FrontendCache, Longnail, MatrixCell, MatrixEntry, MatrixResult,
 };
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use rtl::opt::OptLevel;
 pub use pipeline::{cell_key, schema_fingerprint, CellBundle, PipelineCache, StageCacheStats};
 pub use xcheck::{xcheck_compiled, xcheck_compiled_with, XCheckOptions, XCheckReport, XCheckUnit};

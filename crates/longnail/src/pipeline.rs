@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! frontend_key = H(unit ‖ source)                    (lower rides along)
-//! cfg_key      = H(datasheet ‖ clock ‖ chain ‖ work-limit)
+//! cfg_key      = H(datasheet ‖ clock ‖ chain ‖ work-limit ‖ config-fp)
 //! graph_key    = H(frontend_key ‖ graph-index ‖ graph-name)
 //! problem_key  = H("problem" ‖ graph_key ‖ cfg_key)
 //! solve_key    = H("solve" ‖ problem_key)
@@ -43,11 +43,15 @@ use telemetry::{SpanId, Telemetry};
 const SCHEMA_REV: u32 = 1;
 
 /// The on-disk schema fingerprint: 64-bit FNV-1a (a non-key use — cache
-/// keys themselves are SHA-256) over the crate version and schema
-/// revision.
-pub fn schema_fingerprint() -> u64 {
+/// keys themselves are SHA-256) over the crate version, schema revision,
+/// and the run's canonical config fingerprint
+/// ([`crate::Longnail::config_fingerprint`]). Folding the config in means
+/// an artifact written at one `--opt-level` can never be mistaken for
+/// another level's, even if a key collision were engineered — the entry
+/// self-invalidates at load.
+pub fn schema_fingerprint(config: &str) -> u64 {
     crate::driver::source_hash(&format!(
-        "longnail/{}/schema/{SCHEMA_REV}",
+        "longnail/{}/schema/{SCHEMA_REV}/{config}",
         env!("CARGO_PKG_VERSION")
     ))
 }
@@ -73,15 +77,16 @@ impl PipelineCache {
 
     /// In-memory store backed by a persistent cell-artifact cache rooted
     /// at `dir` (created if absent), fingerprinted by
-    /// [`schema_fingerprint`].
+    /// [`schema_fingerprint`] over `config` — the run's canonical config
+    /// fingerprint ([`crate::Longnail::config_fingerprint`]).
     ///
     /// # Errors
     ///
     /// Propagates the I/O error if the directory cannot be created.
-    pub fn with_disk(dir: &Path) -> io::Result<Self> {
+    pub fn with_disk(dir: &Path, config: &str) -> io::Result<Self> {
         Ok(PipelineCache {
             store: Store::new(),
-            disk: Some(DiskCache::new(dir, schema_fingerprint())?),
+            disk: Some(DiskCache::new(dir, schema_fingerprint(config))?),
         })
     }
 
@@ -129,8 +134,18 @@ pub fn frontend_key(unit: &str, src: &str) -> Digest {
 /// Content-address of everything core- and option-shaped that feeds the
 /// backend: the virtual datasheet (its YAML rendering plus the exact
 /// clock bits, which the YAML omits when unset), the chaining budget,
-/// and the solver work limit.
-pub fn core_config_key(ds: &VirtualDatasheet, chain_depth: f64, work_limit: u64) -> Digest {
+/// the solver work limit, and the canonical config fingerprint (opt
+/// level + emission options — [`crate::Longnail::config_fingerprint`]).
+/// Every downstream stage key chains from this one, so flipping
+/// `--opt-level` flips the whole backend cone — the historic bug this
+/// guards against served `-O0` artifacts to a `-O2` run from a shared
+/// cache dir.
+pub fn core_config_key(
+    ds: &VirtualDatasheet,
+    chain_depth: f64,
+    work_limit: u64,
+    config: &str,
+) -> Digest {
     Sha256::new()
         .chain(b"longnail.coreconfig\0")
         .chain(ds.core.as_bytes())
@@ -139,6 +154,8 @@ pub fn core_config_key(ds: &VirtualDatasheet, chain_depth: f64, work_limit: u64)
         .chain(&ds.clock_ns.to_bits().to_le_bytes())
         .chain(&chain_depth.to_bits().to_le_bytes())
         .chain(&work_limit.to_le_bytes())
+        .chain(b"\0")
+        .chain(config.as_bytes())
         .finalize()
 }
 
@@ -167,12 +184,19 @@ pub(crate) fn derive(stage: &str, parts: &[&Digest]) -> Digest {
 
 /// Content-address of a whole matrix cell's artifact bundle — what the
 /// persistent layer stores under stage `cell`.
-pub fn cell_key(unit: &str, src: &str, ds: &VirtualDatasheet, chain_depth: f64, work_limit: u64) -> Digest {
+pub fn cell_key(
+    unit: &str,
+    src: &str,
+    ds: &VirtualDatasheet,
+    chain_depth: f64,
+    work_limit: u64,
+    config: &str,
+) -> Digest {
     derive(
         "cell",
         &[
             &frontend_key(unit, src),
-            &core_config_key(ds, chain_depth, work_limit),
+            &core_config_key(ds, chain_depth, work_limit, config),
         ],
     )
 }
@@ -333,28 +357,41 @@ mod tests {
     #[test]
     fn config_key_tracks_every_backend_input() {
         let ds = crate::driver::builtin_datasheet("ORCA").unwrap();
-        let base = core_config_key(&ds, 6.0, 1000);
-        assert_eq!(base, core_config_key(&ds, 6.0, 1000));
-        assert_ne!(base, core_config_key(&ds, 7.0, 1000), "chain depth");
-        assert_ne!(base, core_config_key(&ds, 6.0, 1001), "work limit");
+        let base = core_config_key(&ds, 6.0, 1000, "opt=0");
+        assert_eq!(base, core_config_key(&ds, 6.0, 1000, "opt=0"));
+        assert_ne!(base, core_config_key(&ds, 7.0, 1000, "opt=0"), "chain depth");
+        assert_ne!(base, core_config_key(&ds, 6.0, 1001, "opt=0"), "work limit");
+        assert_ne!(base, core_config_key(&ds, 6.0, 1000, "opt=2"), "opt level");
         let mut faster = ds.clone();
         faster.clock_ns = ds.clock_ns * 0.5;
-        assert_ne!(base, core_config_key(&faster, 6.0, 1000), "clock");
+        assert_ne!(base, core_config_key(&faster, 6.0, 1000, "opt=0"), "clock");
         let other = crate::driver::builtin_datasheet("Piccolo").unwrap();
-        assert_ne!(base, core_config_key(&other, 6.0, 1000), "datasheet");
+        assert_ne!(base, core_config_key(&other, 6.0, 1000, "opt=0"), "datasheet");
     }
 
     #[test]
     fn stage_keys_chain() {
         let fe = frontend_key("u", "s");
         let ds = crate::driver::builtin_datasheet("ORCA").unwrap();
-        let cfg = core_config_key(&ds, 6.0, 1000);
+        let cfg = core_config_key(&ds, 6.0, 1000, "opt=0");
         let p = derive("problem", &[&graph_scope_key(&fe, 0, "g"), &cfg]);
         let s = derive("solve", &[&p]);
         assert_ne!(p, s, "stage tag separates domains");
         let fe2 = frontend_key("u", "s2");
         let p2 = derive("problem", &[&graph_scope_key(&fe2, 0, "g"), &cfg]);
         assert_ne!(p, p2, "source edit invalidates the downstream cone");
+        let cfg2 = core_config_key(&ds, 6.0, 1000, "opt=2");
+        let p3 = derive("problem", &[&graph_scope_key(&fe, 0, "g"), &cfg2]);
+        assert_ne!(p, p3, "opt level flips the whole backend cone");
+    }
+
+    #[test]
+    fn cell_key_separates_opt_levels() {
+        let ds = crate::driver::builtin_datasheet("ORCA").unwrap();
+        let k0 = cell_key("u", "s", &ds, 6.0, 1000, "opt=0");
+        let k2 = cell_key("u", "s", &ds, 6.0, 1000, "opt=2");
+        assert_ne!(k0, k2, "shared cache dirs must never cross-serve levels");
+        assert_eq!(k0, cell_key("u", "s", &ds, 6.0, 1000, "opt=0"));
     }
 
     #[test]
@@ -388,7 +425,12 @@ mod tests {
 
     #[test]
     fn fingerprint_is_stable_within_a_build() {
-        assert_eq!(schema_fingerprint(), schema_fingerprint());
-        assert_ne!(schema_fingerprint(), 0);
+        assert_eq!(schema_fingerprint("opt=0"), schema_fingerprint("opt=0"));
+        assert_ne!(schema_fingerprint("opt=0"), 0);
+        assert_ne!(
+            schema_fingerprint("opt=0"),
+            schema_fingerprint("opt=2"),
+            "config folds into the on-disk fingerprint"
+        );
     }
 }

@@ -29,6 +29,7 @@ use crate::driver::{builtin_datasheet, CompiledIsax, Longnail, MatrixCell};
 use crate::isax_lib;
 use crate::pipeline::{cell_key, CellBundle, PipelineCache};
 use qcache::DiskCache;
+use rtl::opt::OptLevel;
 use std::io::Write;
 
 /// Bundle pseudo-file carrying the rendered warning diagnostics of the
@@ -82,6 +83,7 @@ pub fn probe_cell(disk: &DiskCache, ln: &Longnail, cell: &MatrixCell) -> Option<
         &cell.datasheet,
         ln.chain_depth,
         ln.work_limit,
+        &ln.config_fingerprint(),
     );
     CellBundle::from_bytes(&disk.load("cell", &key)?)
 }
@@ -113,6 +115,7 @@ pub fn store_cell(
         &cell.datasheet,
         ln.chain_depth,
         ln.work_limit,
+        &ln.config_fingerprint(),
     );
     disk.store("cell", &key, &cell_bundle(compiled).to_bytes())?;
     Ok(true)
@@ -132,6 +135,9 @@ pub struct Job {
     pub core: String,
     /// Inline CoreDSL source text.
     pub src: Option<String>,
+    /// Per-job optimization level override (0, 1, or 2). Jobs without
+    /// one compile at the daemon's `--opt-level`.
+    pub opt_level: Option<u8>,
 }
 
 /// Parses one job line: a flat JSON object with string values. The
@@ -148,6 +154,10 @@ pub fn parse_job(line: &str) -> Result<Job, String> {
             "unit" => job.unit = Some(v),
             "core" => job.core = v,
             "src" => job.src = Some(v),
+            "opt_level" => match v.as_str() {
+                "0" | "1" | "2" => job.opt_level = Some(v.as_bytes()[0] - b'0'),
+                other => return Err(format!("opt_level `{other}` is not 0, 1, or 2")),
+            },
             other => return Err(format!("unknown job field `{other}`")),
         }
     }
@@ -352,9 +362,15 @@ pub fn run_serve(
         .map(str::trim)
         .filter(|l| !l.is_empty())
         .collect();
+    let base = ln.opt_level.level();
+    // Sibling compilers for jobs that override the daemon's `--opt-level`.
+    // Each level's cache keys embed its config fingerprint, so batches at
+    // different levels never cross-serve each other's artifacts.
+    let mut overrides: std::collections::BTreeMap<u8, Longnail> = std::collections::BTreeMap::new();
     let mut results: Vec<Option<JobResult>> = vec![None; lines.len()];
     let mut cells: Vec<MatrixCell> = Vec::new();
     let mut slots: Vec<(usize, String)> = Vec::new();
+    let mut levels: Vec<u8> = Vec::new();
     for (i, line) in lines.iter().enumerate() {
         let job = match parse_job(line) {
             Ok(j) => j,
@@ -370,9 +386,15 @@ pub fn run_serve(
                 continue;
             }
         };
+        let level = job.opt_level.unwrap_or(base);
+        if level != base && !overrides.contains_key(&level) {
+            let opt = OptLevel::from_level(level).expect("parse_job validated the level");
+            overrides.insert(level, ln.with_opt_level(opt));
+        }
+        let lnl = if level == base { ln } else { &overrides[&level] };
         if let Some(disk) = pipe.disk() {
-            if !fault_bypassed(ln, &cell) {
-                if let Some(bundle) = probe_cell(disk, ln, &cell) {
+            if !fault_bypassed(lnl, &cell) {
+                if let Some(bundle) = probe_cell(disk, lnl, &cell) {
                     results[i] = Some(JobResult::ok(&job.id, bundle_units(&bundle)));
                     continue;
                 }
@@ -380,34 +402,45 @@ pub fn run_serve(
         }
         slots.push((i, job.id));
         cells.push(cell);
+        levels.push(level);
     }
-    let matrix = ln.compile_cells(&cells, jobs, pipe);
-    for (((slot, id), entry), cell) in slots.iter().zip(&matrix.entries).zip(&cells) {
-        results[*slot] = Some(match &entry.outcome {
-            Ok(compiled) if !compiled.diagnostics.has_errors() => {
-                if let Some(disk) = pipe.disk() {
-                    if !fault_bypassed(ln, cell) {
-                        if let Err(e) = store_cell(disk, ln, cell, compiled) {
-                            eprintln!("warning: cell cache store failed: {e}");
+    let mut batch_levels: Vec<u8> = levels.clone();
+    batch_levels.sort_unstable();
+    batch_levels.dedup();
+    for lv in batch_levels {
+        let idxs: Vec<usize> = (0..cells.len()).filter(|i| levels[*i] == lv).collect();
+        let batch: Vec<MatrixCell> = idxs.iter().map(|i| cells[*i].clone()).collect();
+        let lnl = if lv == base { ln } else { &overrides[&lv] };
+        let matrix = lnl.compile_cells(&batch, jobs, pipe);
+        for (entry, i) in matrix.entries.iter().zip(&idxs) {
+            let (slot, id) = &slots[*i];
+            let cell = &cells[*i];
+            results[*slot] = Some(match &entry.outcome {
+                Ok(compiled) if !compiled.diagnostics.has_errors() => {
+                    if let Some(disk) = pipe.disk() {
+                        if !fault_bypassed(lnl, cell) {
+                            if let Err(e) = store_cell(disk, lnl, cell, compiled) {
+                                eprintln!("warning: cell cache store failed: {e}");
+                            }
                         }
                     }
+                    JobResult::ok(id, compiled.graphs.len())
                 }
-                JobResult::ok(id, compiled.graphs.len())
-            }
-            Ok(compiled) => {
-                let first = compiled
-                    .diagnostics
-                    .of(Severity::Error)
-                    .next()
-                    .map(|d| d.to_string())
-                    .unwrap_or_default();
-                JobResult::failed(id, "error", 1, first)
-            }
-            Err(e) if e.severity == Severity::Fault => {
-                JobResult::failed(id, "fault", 2, format!("[{}] {}", e.stage, e.message))
-            }
-            Err(e) => JobResult::failed(id, "error", 1, format!("[{}] {}", e.stage, e.message)),
-        });
+                Ok(compiled) => {
+                    let first = compiled
+                        .diagnostics
+                        .of(Severity::Error)
+                        .next()
+                        .map(|d| d.to_string())
+                        .unwrap_or_default();
+                    JobResult::failed(id, "error", 1, first)
+                }
+                Err(e) if e.severity == Severity::Fault => {
+                    JobResult::failed(id, "fault", 2, format!("[{}] {}", e.stage, e.message))
+                }
+                Err(e) => JobResult::failed(id, "error", 1, format!("[{}] {}", e.stage, e.message)),
+            });
+        }
     }
     for r in results {
         writeln!(out, "{}", r.expect("every job line got a result").to_json())?;
@@ -480,6 +513,44 @@ mod tests {
         assert!(lines[1].contains(r#""id": "badcore", "status": "error""#), "{text}");
         assert!(lines[2].contains(r#""status": "error""#), "{text}");
         assert!(lines[3].contains(r#""id": "inline", "status": "error", "exit": 1"#), "{text}");
+    }
+
+    #[test]
+    fn parses_and_validates_the_opt_level_field() {
+        let j = parse_job(r#"{"id": "a", "isax": "dotprod", "core": "ORCA", "opt_level": "2"}"#)
+            .unwrap();
+        assert_eq!(j.opt_level, Some(2));
+        let j = parse_job(r#"{"id": "a", "isax": "dotprod", "core": "ORCA"}"#).unwrap();
+        assert_eq!(j.opt_level, None);
+        assert!(
+            parse_job(r#"{"id": "a", "isax": "dotprod", "core": "ORCA", "opt_level": "3"}"#)
+                .unwrap_err()
+                .contains("not 0, 1, or 2")
+        );
+    }
+
+    #[test]
+    fn jobs_at_mixed_opt_levels_compile_in_one_batch() {
+        let ln = Longnail::new();
+        let pipe = PipelineCache::new();
+        let input = concat!(
+            r#"{"id": "plain", "isax": "dotprod", "core": "ORCA"}"#,
+            "\n",
+            r#"{"id": "opt", "isax": "dotprod", "core": "ORCA", "opt_level": "2"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        run_serve(&ln, &pipe, 1, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains(r#""id": "plain", "status": "ok", "exit": 0"#), "{text}");
+        assert!(lines[1].contains(r#""id": "opt", "status": "ok", "exit": 0"#), "{text}");
+        // The -O2 job ran the opt stage through the shared cache; the -O0
+        // job did not (its key cone has no opt entry to look up).
+        let stats: std::collections::HashMap<_, _> = pipe.stage_stats().into_iter().collect();
+        let opt = stats.get("opt").copied().unwrap_or_default();
+        assert_eq!(opt.misses, 1, "exactly the -O2 job's unit optimizes");
     }
 
     #[test]

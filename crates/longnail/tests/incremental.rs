@@ -65,6 +65,11 @@ fn warm_no_change_recompile_is_pure_replay() {
     let warm = ln.compile_matrix_cached(&isaxes, &cores, 2, &pipe);
     let warm_mix = mix(&warm);
     for stage in telemetry::STAGES {
+        if stage == "opt" {
+            // The opt stage only exists at --opt-level >= 1; this matrix
+            // compiles at the default -O0, where it is skipped entirely.
+            continue;
+        }
         let &(misses, hits) = warm_mix.get(stage).unwrap_or(&(0, 0));
         assert_eq!(misses, 0, "warm `{stage}` recomputed");
         assert!(hits > 0, "warm `{stage}` saw no lookups");
@@ -138,7 +143,7 @@ fn corrupted_or_truncated_disk_entries_are_recomputed() {
         src,
         datasheet: builtin_datasheet("ORCA").unwrap(),
     };
-    let pipe = PipelineCache::with_disk(&root).unwrap();
+    let pipe = PipelineCache::with_disk(&root, &ln.config_fingerprint()).unwrap();
     let disk = pipe.disk().unwrap();
     let compiled = ln
         .compile_cell(&cell.src, &cell.unit, &cell.datasheet, &pipe)
@@ -187,7 +192,7 @@ fn failed_compiles_are_never_served_from_disk() {
         src: "InstructionSet Broken { instructions { bad { encoding: 7'd0; } } }".into(),
         datasheet: builtin_datasheet("ORCA").unwrap(),
     };
-    let pipe = PipelineCache::with_disk(&root).unwrap();
+    let pipe = PipelineCache::with_disk(&root, &ln.config_fingerprint()).unwrap();
     let disk = pipe.disk().unwrap();
     match ln.compile_cell(&cell.src, &cell.unit, &cell.datasheet, &pipe) {
         Err(_) => {}
@@ -199,5 +204,64 @@ fn failed_compiles_are_never_served_from_disk() {
         }
     }
     assert!(probe_cell(disk, &ln, &cell).is_none());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Regression for the cache-key completeness bug: the optimization level
+/// must be part of both the content key and the persistent schema
+/// fingerprint. Compiling -O0 into a cache dir and then -O2 against the
+/// *same* dir must not serve the -O0 bundle to the -O2 run — and both
+/// levels' bundles must coexist, each probing back its own bytes.
+#[test]
+fn opt_level_is_part_of_the_cell_cache_key() {
+    let root = tmp_root("optlevel");
+    let ln0 = Longnail::new();
+    let mut ln2 = Longnail::new();
+    ln2.opt_level = longnail::OptLevel::O2;
+    assert_ne!(ln0.config_fingerprint(), ln2.config_fingerprint());
+    let (name, unit, src) = isax_lib::all_isaxes()
+        .into_iter()
+        .find(|(n, _, _)| n == "dotprod")
+        .unwrap();
+    let cell = MatrixCell {
+        isax: name,
+        unit,
+        src,
+        datasheet: builtin_datasheet("ORCA").unwrap(),
+    };
+    // The content keys themselves must already differ.
+    let key0 = longnail::cell_key(
+        &cell.unit, &cell.src, &cell.datasheet,
+        ln0.chain_depth, ln0.work_limit, &ln0.config_fingerprint(),
+    );
+    let key2 = longnail::cell_key(
+        &cell.unit, &cell.src, &cell.datasheet,
+        ln2.chain_depth, ln2.work_limit, &ln2.config_fingerprint(),
+    );
+    assert_ne!(key0, key2, "opt level not folded into the cell key");
+
+    // -O0 run populates the shared dir.
+    let pipe0 = PipelineCache::with_disk(&root, &ln0.config_fingerprint()).unwrap();
+    let c0 = ln0
+        .compile_cell(&cell.src, &cell.unit, &cell.datasheet, &pipe0)
+        .unwrap();
+    assert!(store_cell(pipe0.disk().unwrap(), &ln0, &cell, &c0).unwrap());
+
+    // The -O2 run against the same dir must MISS (compile, not serve).
+    let pipe2 = PipelineCache::with_disk(&root, &ln2.config_fingerprint()).unwrap();
+    assert!(
+        probe_cell(pipe2.disk().unwrap(), &ln2, &cell).is_none(),
+        "-O2 probe served a -O0 bundle"
+    );
+    let c2 = ln2
+        .compile_cell(&cell.src, &cell.unit, &cell.datasheet, &pipe2)
+        .unwrap();
+    assert!(store_cell(pipe2.disk().unwrap(), &ln2, &cell, &c2).unwrap());
+
+    // Both levels now coexist: each probes back exactly its own bytes.
+    let b0 = probe_cell(pipe0.disk().unwrap(), &ln0, &cell).expect("-O0 bundle still present");
+    let b2 = probe_cell(pipe2.disk().unwrap(), &ln2, &cell).expect("-O2 bundle present");
+    assert_eq!(b0, longnail::serve::cell_bundle(&c0), "-O0 bytes");
+    assert_eq!(b2, longnail::serve::cell_bundle(&c2), "-O2 bytes");
     let _ = std::fs::remove_dir_all(&root);
 }

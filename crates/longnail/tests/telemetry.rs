@@ -17,16 +17,32 @@ fn trace_covers_every_pipeline_stage_exactly_once() {
     let compiled = compile_dotprod();
     let trace = &compiled.trace;
     // dotprod has a single instruction, so each per-unit stage appears
-    // exactly once, as do the whole-ISAX stages.
+    // exactly once, as do the whole-ISAX stages — except `opt`, which
+    // only exists at --opt-level >= 1 and is absent from this -O0 trace.
     for stage in STAGES {
+        let want = if stage == "opt" { 0 } else { 1 };
         assert_eq!(
             trace.span_count(stage),
-            1,
-            "stage `{stage}` should appear exactly once"
+            want,
+            "stage `{stage}` should appear exactly {want} time(s)"
         );
     }
     assert_eq!(trace.span_count("unit"), 1);
     assert_eq!(trace.span_count("compile"), 1);
+
+    // At -O2 the opt stage joins the trace, exactly once per unit.
+    let (unit, src) = isax_lib::isax_source("dotprod").unwrap();
+    let ds = builtin_datasheet("ORCA").unwrap();
+    let mut ln = Longnail::new();
+    ln.opt_level = longnail::OptLevel::O2;
+    let optimized = ln.compile(&src, &unit, &ds).unwrap();
+    for stage in STAGES {
+        assert_eq!(
+            optimized.trace.span_count(stage),
+            1,
+            "-O2 stage `{stage}` should appear exactly once"
+        );
+    }
 }
 
 #[test]

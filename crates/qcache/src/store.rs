@@ -48,6 +48,8 @@ pub struct StageStats {
     pub misses: u64,
     pub waits: u64,
     pub wait_ns: u64,
+    /// Ready values dropped by the byte-accounted LRU (capacity mode).
+    pub evictions: u64,
 }
 
 #[derive(Default)]
@@ -56,6 +58,7 @@ struct StatCell {
     misses: AtomicU64,
     waits: AtomicU64,
     wait_ns: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl StatCell {
@@ -65,6 +68,7 @@ impl StatCell {
             misses: self.misses.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
             wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,16 +111,54 @@ impl Drop for ComputeGuard<'_> {
     }
 }
 
+/// Byte accounting for the optional LRU capacity mode: sized entries,
+/// their recency clock, and the running total. Entries enter via
+/// [`Store::get_or_compute_sized`]; plain `get_or_compute` values are
+/// untracked (and never evicted).
+#[derive(Default)]
+struct LruState {
+    /// Byte cap; `None` means unbounded (the default).
+    cap: Option<u64>,
+    /// Bytes currently held by tracked entries.
+    total: u64,
+    /// Monotone recency clock; bumped on every tracked touch.
+    clock: u64,
+    /// `(stage, key) -> (bytes, last_use)`.
+    entries: HashMap<(&'static str, Digest), (u64, u64)>,
+}
+
 /// Content-keyed, exactly-once, stage-partitioned value store.
 #[derive(Default)]
 pub struct Store {
     slots: Mutex<HashMap<(&'static str, Digest), Arc<Slot>>>,
     stats: Mutex<BTreeMap<&'static str, Arc<StatCell>>>,
+    lru: Mutex<LruState>,
 }
 
 impl Store {
     pub fn new() -> Self {
         Store::default()
+    }
+
+    /// A store whose *sized* entries are bounded to `cap_bytes` total; the
+    /// least-recently-used entries are dropped when an insert overflows.
+    pub fn with_capacity(cap_bytes: u64) -> Self {
+        let store = Store::default();
+        store.set_capacity(Some(cap_bytes));
+        store
+    }
+
+    /// (Re)sets the byte cap for sized entries. `None` disables eviction.
+    /// Lowering the cap evicts immediately.
+    pub fn set_capacity(&self, cap_bytes: Option<u64>) {
+        let mut lru = self.lru.lock().unwrap_or_else(PoisonError::into_inner);
+        lru.cap = cap_bytes;
+        self.evict_over_cap(&mut lru, None);
+    }
+
+    /// Bytes currently held by sized entries.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.lru.lock().unwrap_or_else(PoisonError::into_inner).total
     }
 
     fn slot(&self, stage: &'static str, key: Digest) -> Arc<Slot> {
@@ -184,6 +226,61 @@ impl Store {
             stats.wait_ns.fetch_add(lookup.wait_ns, Ordering::Relaxed);
         }
         (value, lookup)
+    }
+
+    /// [`Store::get_or_compute`] plus byte accounting: the value's size
+    /// (as reported by `size_of`) is charged against the store's capacity,
+    /// and when the running total exceeds the cap the least-recently-used
+    /// sized entries are evicted (their slots dropped, so a later lookup
+    /// recomputes). Hits refresh the entry's recency. Without a capacity
+    /// this behaves exactly like `get_or_compute`.
+    pub fn get_or_compute_sized<T, F, S>(
+        &self,
+        stage: &'static str,
+        key: Digest,
+        compute: F,
+        size_of: S,
+    ) -> (T, Lookup)
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce() -> T,
+        S: FnOnce(&T) -> u64,
+    {
+        let (value, lookup) = self.get_or_compute(stage, key, compute);
+        let size = size_of(&value);
+        let mut lru = self.lru.lock().unwrap_or_else(PoisonError::into_inner);
+        lru.clock += 1;
+        let now = lru.clock;
+        match lru.entries.insert((stage, key), (size, now)) {
+            Some((old, _)) => lru.total = lru.total - old + size,
+            None => lru.total += size,
+        }
+        self.evict_over_cap(&mut lru, Some((stage, key)));
+        (value, lookup)
+    }
+
+    /// Drops least-recently-used sized entries until the total fits the
+    /// cap. `keep` (the entry just served) is never evicted, so a single
+    /// over-cap value still round-trips to its caller.
+    fn evict_over_cap(&self, lru: &mut LruState, keep: Option<(&'static str, Digest)>) {
+        let Some(cap) = lru.cap else { return };
+        while lru.total > cap {
+            let victim = lru
+                .entries
+                .iter()
+                .filter(|(k, v)| Some(**k) != keep && v.0 > 0)
+                .min_by_key(|(_, v)| v.1)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            let (size, _) = lru.entries.remove(&victim).expect("victim came from the map");
+            lru.total -= size;
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.remove(&victim);
+            drop(slots);
+            self.stat_cell(victim.0)
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record a lookup outcome against `stage` without touching any slot.
@@ -354,6 +451,67 @@ mod tests {
         let s = store.stage_stats("lower");
         assert_eq!((s.hits, s.misses, s.waits, s.wait_ns), (1, 1, 1, 5));
         assert_eq!(store.len("lower"), 0);
+    }
+
+    /// Satellite regression: a capped store fed more bytes than the cap
+    /// stays under it, still serves every value correctly (evicted keys
+    /// recompute), and counts each eviction.
+    #[test]
+    fn capped_store_stays_under_the_cap() {
+        let store = Store::with_capacity(4 * 64);
+        // 10 entries of 64 bytes against a 4-entry budget.
+        for round in 0..2 {
+            for i in 0..10u64 {
+                let (v, _) = store.get_or_compute_sized(
+                    "rtl",
+                    digest(&i.to_le_bytes()),
+                    || vec![i; 8],
+                    |v| (v.len() * 8) as u64,
+                );
+                assert_eq!(v, vec![i; 8], "round {round}");
+                assert!(
+                    store.tracked_bytes() <= 4 * 64,
+                    "round {round} key {i}: {} bytes tracked",
+                    store.tracked_bytes()
+                );
+            }
+        }
+        let s = store.stage_stats("rtl");
+        assert!(s.evictions >= 12, "two over-filled rounds must evict: {s:?}");
+        assert_eq!(s.hits + s.misses, 20);
+        assert!(s.misses > 10, "evicted keys recompute");
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        let store = Store::with_capacity(2 * 8);
+        let hot = digest(b"hot");
+        store.get_or_compute_sized("solve", hot, || 1u64, |_| 8);
+        store.get_or_compute_sized("solve", digest(b"b"), || 2u64, |_| 8);
+        // Touch `hot` so `b` is the LRU victim of the next insert.
+        let (_, l) = store.get_or_compute_sized("solve", hot, || unreachable!(), |_: &u64| 8);
+        assert!(l.hit);
+        store.get_or_compute_sized("solve", digest(b"c"), || 3u64, |_| 8);
+        let (v, l) = store.get_or_compute_sized("solve", hot, || 0u64, |_| 8);
+        assert!(l.hit, "hot entry must survive");
+        assert_eq!(v, 1);
+        let (_, l) = store.get_or_compute_sized("solve", digest(b"b"), || 2u64, |_| 8);
+        assert!(!l.hit, "cold entry was evicted");
+        assert_eq!(store.stage_stats("solve").evictions, 2);
+    }
+
+    #[test]
+    fn uncapped_sized_entries_never_evict() {
+        let store = Store::new();
+        for i in 0..100u64 {
+            store.get_or_compute_sized("modes", digest(&i.to_le_bytes()), || i, |_| 1 << 20);
+        }
+        assert_eq!(store.stage_stats("modes").evictions, 0);
+        assert_eq!(store.tracked_bytes(), 100 << 20);
+        // Capping after the fact evicts immediately.
+        store.set_capacity(Some(10 << 20));
+        assert!(store.tracked_bytes() <= 10 << 20);
+        assert_eq!(store.stage_stats("modes").evictions, 90);
     }
 
     #[test]

@@ -16,12 +16,16 @@
 //!   reproduction,
 //! * [`xsim`] — four-state (0/1/X) re-execution under the IEEE-1800
 //!   semantics of the emitted SystemVerilog, plus the differential oracle
-//!   that checks it against [`interp`].
+//!   that checks it against [`interp`],
+//! * [`opt`] — oracle-gated netlist optimization passes (constant folding,
+//!   CSE, mux flattening, strength reduction, bitwidth narrowing) run at a
+//!   fixpoint between module construction and Verilog emission.
 
 pub mod build;
 pub mod interp;
 pub mod lint;
 pub mod netlist;
+pub mod opt;
 pub mod verilog;
 pub mod xsim;
 
@@ -29,5 +33,6 @@ pub use build::{build_graph_module, BuiltModule, IfaceSignal, PortBinding};
 pub use interp::Simulator;
 pub use lint::{lint_module, lint_x_hazards, LintIssue};
 pub use netlist::{CombOp, Driver, Module, Net, NetId, Port, PortDir};
+pub use opt::{optimize, run_pass, verify_equivalent, OptLevel, OptReport, Pass};
 pub use verilog::{emit_verilog_with, EmitOptions};
 pub use xsim::{DiffCycle, DiffMismatch, DiffSim, XVal, Xsim};

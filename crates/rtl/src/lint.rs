@@ -192,17 +192,24 @@ pub fn lint_module(module: &Module) -> Result<(), Vec<LintIssue>> {
                     CombOp::Replicate => {
                         if *lo == 0 {
                             fail(Some(i), "replicate count must be at least 1".into());
-                        } else if net.width != lo * aw[0] {
-                            fail(
-                                Some(i),
-                                format!(
-                                    "replicate x{} of {} bits must be {} bits, is {}",
-                                    lo,
-                                    aw[0],
-                                    lo * aw[0],
-                                    net.width
+                        } else {
+                            match lo.checked_mul(aw[0]) {
+                                None => fail(
+                                    Some(i),
+                                    format!(
+                                        "replicate x{} of {} bits overflows the width space",
+                                        lo, aw[0]
+                                    ),
                                 ),
-                            );
+                                Some(total) if net.width != total => fail(
+                                    Some(i),
+                                    format!(
+                                        "replicate x{} of {} bits must be {} bits, is {}",
+                                        lo, aw[0], total, net.width
+                                    ),
+                                ),
+                                Some(_) => {}
+                            }
                         }
                     }
                     CombOp::Extract => {
@@ -211,14 +218,12 @@ pub fn lint_module(module: &Module) -> Result<(), Vec<LintIssue>> {
                         // even though the interpreter zero-pads.
                         if net.width == 0 {
                             fail(Some(i), "extract must produce a value".into());
-                        } else if lo + net.width > aw[0] {
+                        } else if lo.checked_add(net.width).is_none_or(|hi| hi > aw[0]) {
                             fail(
                                 Some(i),
                                 format!(
-                                    "extract [{}:{}] exceeds its {}-bit base",
-                                    lo + net.width - 1,
-                                    lo,
-                                    aw[0]
+                                    "extract [{}+{}-1:{}] exceeds its {}-bit base",
+                                    lo, net.width, lo, aw[0]
                                 ),
                             );
                         }
@@ -692,6 +697,51 @@ mod tests {
             "pad",
         );
         m.connect_output(o, pad);
+        let issues = lint_module(&m).unwrap_err();
+        assert!(
+            issues.iter().any(|i| i.message.contains("exceeds its 8-bit base")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn huge_replicate_count_reports_instead_of_overflowing() {
+        // lo * aw[0] used to be an unchecked u32 multiply: a hostile or
+        // generated netlist with a huge count panicked in debug and wrapped
+        // (possibly linting clean) in release.
+        let (mut m, na, _nb, o) = two_input_module();
+        let rep = m.add_net(
+            Driver::Comb {
+                op: CombOp::Replicate,
+                args: vec![na],
+                lo: u32::MAX, // u32::MAX * 8 bits overflows
+            },
+            8,
+            "rep",
+        );
+        m.connect_output(o, rep);
+        let issues = lint_module(&m).unwrap_err();
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.message.contains("overflows the width space")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn huge_extract_offset_reports_instead_of_overflowing() {
+        let (mut m, na, _nb, o) = two_input_module();
+        let ext = m.add_net(
+            Driver::Comb {
+                op: CombOp::Extract,
+                args: vec![na],
+                lo: u32::MAX, // lo + width overflows u32
+            },
+            8,
+            "ext",
+        );
+        m.connect_output(o, ext);
         let issues = lint_module(&m).unwrap_err();
         assert!(
             issues.iter().any(|i| i.message.contains("exceeds its 8-bit base")),

@@ -79,6 +79,30 @@ pub mod metrics {
     pub const EDA_CRIT_NS: &str = "eda.critical_path_ns";
     /// Bytes of emitted SystemVerilog (counter).
     pub const VERILOG_BYTES: &str = "verilog.bytes";
+    /// Optimizer: fixpoint iterations executed (counter, per `opt` span).
+    pub const OPT_ITERATIONS: &str = "opt.iterations";
+    /// Optimizer: constant folding/propagation rewrites (counter).
+    pub const OPT_REWRITES_FOLD: &str = "opt.rewrites.fold";
+    /// Optimizer: common subexpressions eliminated (counter).
+    pub const OPT_REWRITES_CSE: &str = "opt.rewrites.cse";
+    /// Optimizer: mux-tree flattening rewrites (counter).
+    pub const OPT_REWRITES_MUX: &str = "opt.rewrites.mux";
+    /// Optimizer: strength reductions of pow-2 Mul/DivU/RemU (counter).
+    pub const OPT_REWRITES_STRENGTH: &str = "opt.rewrites.strength";
+    /// Optimizer: bitwidth narrowings (counter, `-O2` only).
+    pub const OPT_REWRITES_NARROW: &str = "opt.rewrites.narrow";
+    /// Optimizer: dead nets (and ROMs) eliminated (counter).
+    pub const OPT_REWRITES_DCE: &str = "opt.rewrites.dce";
+    /// Optimizer: nets before optimization (counter).
+    pub const OPT_NETS_BEFORE: &str = "opt.nets_before";
+    /// Optimizer: nets after optimization (counter).
+    pub const OPT_NETS_AFTER: &str = "opt.nets_after";
+    /// Optimizer: 1 when the oracle gate rejected the optimized netlist
+    /// and the unoptimized module was emitted instead (counter).
+    pub const OPT_FALLBACK: &str = "opt.fallback";
+    /// Estimated area of the unoptimized module, µm² (gauge; the
+    /// optimized area lands on [`EDA_AREA_UM2`] of the same span).
+    pub const OPT_AREA_BEFORE_UM2: &str = "opt.area_before_um2";
     /// Frontend: instructions elaborated (counter).
     pub const FRONTEND_INSTRUCTIONS: &str = "frontend.instructions";
     /// Frontend: `always`-blocks elaborated (counter).
@@ -143,12 +167,13 @@ pub fn is_nondeterministic(name: &str) -> bool {
     name.starts_with("pool.") || name.starts_with("cache.")
 }
 
-/// The eight pipeline stages of the Longnail flow, in order. The driver
+/// The pipeline stages of the Longnail flow, in order. The driver
 /// opens exactly one span with each of these names per compilation (the
 /// per-unit stages appear once per instruction/always-block, nested in
-/// that unit's `unit` span).
-pub const STAGES: [&str; 8] = [
-    "frontend", "lower", "problem", "solve", "modes", "rtl", "verilog", "config",
+/// that unit's `unit` span) — except `opt`, which only exists at
+/// `--opt-level` 1 and above.
+pub const STAGES: [&str; 9] = [
+    "frontend", "lower", "problem", "solve", "modes", "rtl", "opt", "verilog", "config",
 ];
 
 /// Identifier of one span within a trace. Span 1 is the first span
